@@ -1,0 +1,330 @@
+// Command vsensor is the command-line front end to the vSensor pipeline.
+//
+// Usage:
+//
+//	vsensor analyze    [flags] prog.mc   — identify v-sensors, print a table
+//	vsensor instrument [flags] prog.mc   — emit instrumented source
+//	vsensor run        [flags] prog.mc   — run with on-line detection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	vsensor "vsensor"
+	"vsensor/internal/analysis"
+	"vsensor/internal/cluster"
+	"vsensor/internal/instrument"
+	"vsensor/internal/ir"
+	"vsensor/internal/rundata"
+	"vsensor/internal/validate"
+	"vsensor/internal/vis"
+	"vsensor/internal/vm"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: vsensor <command> [flags] <prog.mc | data-file | scenario>
+
+analyze     identify v-sensors and print the identification table
+instrument  emit instrumented mini-C source with vs_tick/vs_tock probes
+run         execute on the simulated cluster with on-line detection
+validate    check fixed-workload property (PMU ratios, message sizes)
+scenario    run a built-in evaluation scenario ('scenario list' to list)
+report      regenerate the variance report from saved run data
+
+flags:
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+var (
+	ranks     = flag.Int("ranks", 8, "number of simulated MPI ranks")
+	nodes     = flag.Int("nodes", 0, "cluster nodes (default ranks/8, min 1)")
+	maxDepth  = flag.Int("maxdepth", 0, "instrumentation depth cutoff (0 = default 3)")
+	staticRls = flag.Bool("staticrules", false, "enable extra static rules (communication peer)")
+	slice     = flag.Duration("slice", time.Millisecond, "smoothing time slice")
+	col       = flag.Duration("col", 2*time.Millisecond, "matrix column resolution")
+	badNode   = flag.Int("badnode", -1, "degrade this node's memory to 55%")
+	netWindow = flag.String("netwindow", "", "degrade network to 15% during A,B (fractions of expected run)")
+	matrix    = flag.Bool("matrix", false, "print ASCII performance matrices")
+	csvOut    = flag.String("csv", "", "write the computation matrix as CSV to this file")
+	pngOut    = flag.String("png", "", "write per-type matrix heatmaps as PNG files with this prefix")
+	saveOut   = flag.String("save", "", "save the run's performance data for later 'vsensor report'")
+	quiet     = flag.Bool("q", false, "suppress program print() output")
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	flag.CommandLine.Parse(os.Args[2:])
+	if flag.NArg() != 1 {
+		usage()
+	}
+	if cmd == "report" {
+		doReport(flag.Arg(0))
+		return
+	}
+	if cmd == "scenario" {
+		doScenario(flag.Arg(0))
+		return
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	acfg := analysis.Config{UseStaticRules: *staticRls}
+	icfg := instrument.Config{MaxDepth: *maxDepth}
+
+	switch cmd {
+	case "analyze":
+		doAnalyze(src, acfg, icfg)
+	case "instrument":
+		out, err := vsensor.InstrumentSource(src, acfg, icfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "run":
+		doRun(src, acfg, icfg)
+	case "validate":
+		doValidate(src, acfg, icfg)
+	default:
+		usage()
+	}
+}
+
+// doValidate runs the §6.2 validation: execute with simulated PMU jitter
+// and check that every instrumented computation sensor's instruction counts
+// are fixed, and every network operation's message sizes are constant.
+func doValidate(src string, acfg analysis.Config, icfg instrument.Config) {
+	rep, err := vsensor.Run(src, vsensor.Options{
+		Ranks:          *ranks,
+		Analysis:       acfg,
+		Instrument:     icfg,
+		CollectRecords: true,
+		PMUJitterPct:   0.005,
+		Trace:          true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res := validate.Records(rep.Instrumented, rep.Records, 1.02)
+	fmt.Printf("computation sensors: Pm = %.4f (workload max error %.2f%%)\n",
+		res.Pm, res.WorkloadMaxError()*100)
+	if len(res.Violations) == 0 {
+		fmt.Println("no computation sensor exceeded the tolerance")
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("VIOLATION: sensor %d rank %d Ps=%.3f over %d executions\n",
+			v.Sensor, v.Rank, v.Ps(), v.Executions)
+	}
+	// Network sensors: message-size constancy from the traced events.
+	events := collectEvents(rep)
+	fixed, violations := validate.NetSizes(events)
+	if fixed {
+		fmt.Println("network operations: all message sizes constant")
+	} else {
+		for _, v := range violations {
+			fmt.Printf("VIOLATION: varying message size at %s\n", v)
+		}
+	}
+}
+
+func collectEvents(rep *vsensor.Report) []vm.Event {
+	if rep.Tracer == nil {
+		return nil
+	}
+	// The tracer stores events internally; re-decode them from its
+	// encoding-independent accessor.
+	return rep.TraceEvents()
+}
+
+// doScenario runs a built-in evaluation scenario end-to-end.
+func doScenario(name string) {
+	if name == "list" || name == "" {
+		fmt.Println("available scenarios:")
+		for _, n := range vsensor.ScenarioNames() {
+			fmt.Println(" ", n)
+		}
+		return
+	}
+	rep, baseline, err := vsensor.RunScenario(name, vsensor.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if baseline != nil {
+		fmt.Printf("baseline: %.3f ms, injected: %.3f ms (%.2fx)\n",
+			baseline.TotalSeconds()*1e3, rep.TotalSeconds()*1e3,
+			rep.TotalSeconds()/baseline.TotalSeconds())
+	} else {
+		fmt.Printf("run: %.3f ms\n", rep.TotalSeconds()*1e3)
+	}
+	fmt.Print(rep.ReportText(*col, 8))
+	if *matrix {
+		for _, typ := range []ir.SnippetType{ir.Computation, ir.Network, ir.IO} {
+			if m := rep.Matrices(*col)[typ]; m != nil {
+				fmt.Println()
+				fmt.Print(m.ASCII(32, 78))
+			}
+		}
+	}
+}
+
+// doReport regenerates the variance report from saved performance data.
+func doReport(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	d, err := rundata.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved run: %d ranks, %.3f ms, %d sensors, %d slice records\n",
+		d.Ranks, float64(d.TotalNs)/1e6, len(d.Sensors), len(d.Records))
+	mats := vis.Build(d.Records, d.SensorTypes(), d.Ranks, col.Nanoseconds())
+	fmt.Print(vis.RenderReport(vis.Diagnose(mats, vis.ReportConfig{}), 0))
+	if *matrix {
+		for _, typ := range []ir.SnippetType{ir.Computation, ir.Network, ir.IO} {
+			if m := mats[typ]; m != nil {
+				fmt.Println()
+				fmt.Print(m.ASCII(32, 78))
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsensor:", err)
+	os.Exit(1)
+}
+
+func doAnalyze(src string, acfg analysis.Config, icfg instrument.Config) {
+	res, err := vsensor.Analyze(src, acfg)
+	if err != nil {
+		fatal(err)
+	}
+	ins := instrument.Apply(res, icfg)
+	fmt.Printf("snippets: %d\nv-sensors: %d\nglobal v-sensors: %d\ninstrumented: %d (%s)\n\n",
+		len(res.Snippets), len(res.Sensors), len(res.GlobalSensors), len(ins.Sensors), ins.TypeSummary())
+	fmt.Printf("%-5s %-26s %-5s %-6s %-8s %s\n", "ID", "location", "type", "depth", "fixed/ps", "deps")
+	for _, s := range ins.Sensors {
+		fmt.Printf("%-5d %-26s %-5s %-6d %-8v %s\n",
+			s.ID, s.Name, s.Type, s.Snippet.Depth, s.ProcessFixed, s.Snippet.Deps)
+	}
+}
+
+func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
+	nNodes := *nodes
+	if nNodes <= 0 {
+		nNodes = *ranks / 8
+		if nNodes < 1 {
+			nNodes = 1
+		}
+	}
+	rpn := (*ranks + nNodes - 1) / nNodes
+	mk := func() *cluster.Cluster {
+		return cluster.New(cluster.Config{Nodes: nNodes, RanksPerNode: rpn})
+	}
+
+	opts := vsensor.Options{Ranks: *ranks, Cluster: mk()}
+	if !*quiet {
+		opts.Stdout = os.Stdout
+	}
+	opts.Detect.SliceNs = slice.Nanoseconds()
+
+	// Variance injection needs the expected run length: do a quick clean
+	// run first when a relative window was requested.
+	if *netWindow != "" || *badNode >= 0 {
+		base, err := vsensor.Run(src, vsensor.Options{Ranks: *ranks, Cluster: mk(), Uninstrumented: true})
+		if err != nil {
+			fatal(err)
+		}
+		cl := mk()
+		if *badNode >= 0 {
+			cl.SetNodeMemSpeed(*badNode, 0.55)
+		}
+		if *netWindow != "" {
+			parts := strings.SplitN(*netWindow, ",", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad -netwindow %q, want A,B", *netWindow))
+			}
+			a, err1 := strconv.ParseFloat(parts[0], 64)
+			b, err2 := strconv.ParseFloat(parts[1], 64)
+			if err1 != nil || err2 != nil || a < 0 || b <= a {
+				fatal(fmt.Errorf("bad -netwindow %q", *netWindow))
+			}
+			total := float64(base.Result.TotalNs)
+			cl.AddNetWindow(int64(a*total), int64(b*total), 0.15)
+		}
+		opts.Cluster = cl
+	}
+
+	rep, err := vsensor.Run(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("execution time: %.3f ms over %d ranks\n", rep.TotalSeconds()*1e3, *ranks)
+	fmt.Printf("sensors: %s, server data: %d bytes in %d messages\n",
+		rep.Instrumented.TypeSummary(), rep.DataVolume(), rep.Server.Messages())
+	events := rep.Events()
+	fmt.Printf("per-process variance events: %d\n", len(events))
+	fmt.Print(rep.ReportText(*col, rpn))
+
+	mats := rep.Matrices(*col)
+	if *matrix {
+		for _, typ := range []ir.SnippetType{ir.Computation, ir.Network, ir.IO} {
+			if m := mats[typ]; m != nil {
+				fmt.Println()
+				fmt.Print(m.ASCII(32, 78))
+			}
+		}
+	}
+	if *csvOut != "" {
+		if m := mats[ir.Computation]; m != nil {
+			if err := os.WriteFile(*csvOut, []byte(m.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *csvOut)
+		}
+	}
+	if *pngOut != "" {
+		for typ, m := range mats {
+			path := fmt.Sprintf("%s_%s.png", *pngOut, strings.ToLower(typ.String()))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.PNG(f, 4, 4); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if *saveOut != "" {
+		f, err := os.Create(*saveOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.SaveData(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *saveOut)
+	}
+}

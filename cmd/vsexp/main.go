@@ -1,0 +1,99 @@
+// Command vsexp regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated substrate, emitting Markdown. Running
+// with no flags executes the full suite (several minutes); -exp selects a
+// single experiment.
+//
+//	vsexp -exp table1      # Table 1: validation and overhead
+//	vsexp -exp fig1        # run-to-run variance of FT
+//	vsexp -exp fig12       # data smoothing
+//	vsexp -exp fig13       # dynamic rules example
+//	vsexp -exp fig14       # clean performance matrix
+//	vsexp -exp fig16       # sense durations and intervals (+fig17)
+//	vsexp -exp fig18       # noise injection: profiler vs vSensor (+fig19/20)
+//	vsexp -exp fig21       # bad node case study
+//	vsexp -exp fig22       # network degradation case study
+//	vsexp -exp volume      # tracer vs vSensor data volume
+//	vsexp -exp overhead    # overhead scaling with rank count
+//	vsexp -exp ablations   # max-depth / slice / nesting / batching
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+type experiment struct {
+	name  string
+	title string
+	run   func(w io.Writer, cfg suiteConfig)
+}
+
+type suiteConfig struct {
+	ranks    int  // base rank count for the heavyweight experiments
+	big      bool // enable the flagship 16,384-rank overhead point
+	fastIter int  // iteration scale
+}
+
+var experiments = []experiment{
+	{"table1", "Table 1 — validation and overhead", runTable1},
+	{"fig1", "Figure 1 — run-to-run variance on fixed nodes", runFig1},
+	{"fig12", "Figure 12 — filtering background noise by smoothing", runFig12},
+	{"fig13", "Figure 13 — dynamic rules (cache-miss grouping)", runFig13},
+	{"fig14", "Figure 14 — performance matrix of a clean run", runFig14},
+	{"fig16", "Figures 16/17 — sense durations and intervals", runFig16},
+	{"fig18", "Figures 18-20 — noise injection: profiler vs vSensor", runFig18},
+	{"fig21", "Figure 21 — bad node case study (CG)", runFig21},
+	{"fig22", "Figure 22 — network degradation case study (FT)", runFig22},
+	{"volume", "Trace volume — ITAC-style tracer vs vSensor", runVolume},
+	{"overhead", "Overhead scaling with rank count", runOverhead},
+	{"ablations", "Ablations — design-choice sweeps", runAblations},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	out := flag.String("out", "", "write Markdown to this file instead of stdout")
+	ranks := flag.Int("ranks", 0, "override rank count for the case studies")
+	big := flag.Bool("big", false, "include the 16,384-rank overhead point (slow)")
+	flag.Parse()
+
+	cfg := suiteConfig{ranks: *ranks, big: *big}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	names := map[string]bool{}
+	for _, e := range experiments {
+		names[e.name] = true
+	}
+	if *exp != "all" && !names[*exp] {
+		var all []string
+		for n := range names {
+			all = append(all, n)
+		}
+		sort.Strings(all)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v\n", *exp, all)
+		os.Exit(2)
+	}
+
+	for _, e := range experiments {
+		if *exp != "all" && e.name != *exp {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "\n## %s\n\n", e.title)
+		e.run(w, cfg)
+		fmt.Fprintf(os.Stderr, "[vsexp] %s done in %s\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

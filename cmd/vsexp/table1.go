@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	vsensor "vsensor"
+	"vsensor/internal/apps"
+	"vsensor/internal/cluster"
+	"vsensor/internal/validate"
+)
+
+// runTable1 reproduces Table 1: per program, the compile-time counts
+// (snippets, v-sensors, instrumented number and type) and the runtime
+// metrics (workload max error from PMU validation, instrumentation
+// overhead, sense-time coverage, sense frequency).
+func runTable1(w io.Writer, cfg suiteConfig) {
+	ranks := cfg.ranks
+	if ranks == 0 {
+		ranks = 32
+	}
+	scale := apps.Scale{Iters: 40, Work: 60}
+
+	fmt.Fprintf(w, "Simulated at %d ranks; the paper measured 16,384 ranks on Tianhe-2. Mini apps are\n", ranks)
+	fmt.Fprintf(w, "structurally representative but orders of magnitude smaller than the originals.\n\n")
+	fmt.Fprintln(w, "| Program | LoC | Snippets | v-sensors | Instrumented | Workload max err | Overhead | Coverage | Freq (kHz) |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|")
+
+	for _, app := range apps.All(scale) {
+		nodes := ranks / 8
+		if nodes < 1 {
+			nodes = 1
+		}
+		mk := func() *cluster.Cluster {
+			return cluster.New(cluster.Config{Nodes: nodes, RanksPerNode: (ranks + nodes - 1) / nodes})
+		}
+
+		base, err := vsensor.Run(app.Source, vsensor.Options{
+			Ranks: ranks, Cluster: mk(), Uninstrumented: true,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "| %s | run failed: %v |\n", app.Name, err)
+			continue
+		}
+		rep, err := vsensor.Run(app.Source, vsensor.Options{
+			Ranks: ranks, Cluster: mk(),
+			CollectRecords: true, PMUJitterPct: 0.005,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "| %s | run failed: %v |\n", app.Name, err)
+			continue
+		}
+
+		// Workload validation (§6.2): computation sensors via PMU
+		// instruction counts (Pm = max over sensors/ranks of max/min),
+		// exactly as in the paper; network sensors are validated by their
+		// recorded message sizes instead, because their instruction
+		// footprint is a handful of instructions where integer counter
+		// granularity, not workload, dominates the ratio.
+		val := validate.Records(rep.Instrumented, rep.Records, 1.02)
+		pm := val.Pm
+
+		overhead := float64(rep.Result.TotalNs-base.Result.TotalNs) / float64(base.Result.TotalNs)
+		dist := rep.Distribution()
+
+		fmt.Fprintf(w, "| %s | %d | %d | %d | %s | %.2f%% | %.2f%% | %.2f%% | %.1f |\n",
+			app.Name, app.LoC(),
+			len(rep.Analysis.Snippets), len(rep.Analysis.Sensors),
+			rep.Instrumented.TypeSummary(),
+			(pm-1)*100, overhead*100,
+			dist.Coverage()*100, dist.FrequencyHz()/1e3)
+	}
+
+	fmt.Fprintln(w, "\nPaper reference (16,384 ranks): workload max error < 5%, overhead < 4%,")
+	fmt.Fprintln(w, "AMG lowest coverage/frequency, BT/LU computation-only instrumentation.")
+}

@@ -1,0 +1,91 @@
+package vsensor_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	vsensor "vsensor"
+	"vsensor/internal/analysis"
+	"vsensor/internal/cluster"
+	"vsensor/internal/instrument"
+	"vsensor/internal/ir"
+)
+
+// ExampleAnalyze identifies v-sensors at compile time: the constant inner
+// loop is a global sensor, the n-bounded loop is not.
+func ExampleAnalyze() {
+	src := `
+func main() {
+    for (int n = 0; n < 100; n++) {
+        for (int fixed = 0; fixed < 10; fixed++) {
+            flops(100);
+        }
+        for (int varying = 0; varying < n; varying++) {
+            flops(100);
+        }
+    }
+}`
+	res, err := vsensor.Analyze(src, analysis.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Funcs["main"].Snippets {
+		if s.Loop != nil && s.Loop.IndVar != "n" {
+			fmt.Printf("loop %s: global=%v\n", s.Loop.IndVar, s.Global)
+		}
+	}
+	// Output:
+	// loop fixed: global=true
+	// loop varying: global=false
+}
+
+// ExampleInstrumentSource emits the probed source the paper's workflow
+// hands back to the original compiler.
+func ExampleInstrumentSource() {
+	src := `
+func main() {
+    for (int i = 0; i < 50; i++) {
+        mpi_allreduce(64, 1.0);
+    }
+}`
+	out, err := vsensor.InstrumentSource(src, analysis.Config{}, instrument.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// func main() {
+	//     for (int i = 0; i < 50; i = i + 1) {
+	//         vs_tick(0);
+	//         mpi_allreduce(64, 1.0);
+	//         vs_tock(0);
+	//     }
+	// }
+}
+
+// ExampleRun executes the pipeline on a cluster with a degraded node and
+// prints the variance report.
+func ExampleRun() {
+	src := `
+func main() {
+    for (int i = 0; i < 100; i++) {
+        for (int k = 0; k < 20; k++) {
+            flops(4000);
+        }
+    }
+}`
+	cl := cluster.New(cluster.Config{Nodes: 4, RanksPerNode: 2})
+	cl.SetNodeCPUSpeed(3, 0.5) // ranks 6-7 run at half speed
+
+	rep, err := vsensor.Run(src, vsensor.Options{Ranks: 8, Cluster: cl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := rep.Matrices(time.Millisecond)[ir.Computation]
+	for _, band := range m.LowRankBands(0.8, 0.5) {
+		fmt.Printf("slow ranks %d-%d\n", band.First, band.Last)
+	}
+	// Output:
+	// slow ranks 6-7
+}

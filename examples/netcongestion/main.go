@@ -1,0 +1,59 @@
+// Command netcongestion reproduces the paper's Fig. 22 case study: mini-FT
+// (whose all-to-all transpose is highly network-bound) runs on 1024 ranks
+// while the interconnect degrades in the middle of the run. The network
+// performance matrix shows a time-bounded low window across all ranks, and
+// the slowdown factor is in the neighbourhood of the paper's 3.37x.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	vsensor "vsensor"
+	"vsensor/internal/apps"
+	"vsensor/internal/cluster"
+	"vsensor/internal/ir"
+)
+
+func main() {
+	const ranks = 1024
+	app := apps.MustGet("FT", apps.Scale{Iters: 50, Work: 40})
+
+	mkCluster := func() *cluster.Cluster {
+		return cluster.New(cluster.Config{Nodes: ranks / 16, RanksPerNode: 16})
+	}
+
+	clean, err := vsensor.Run(app.Source, vsensor.Options{Ranks: ranks, Cluster: mkCluster()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normal FT run on %d ranks: %.3f ms\n", ranks, clean.TotalSeconds()*1e3)
+
+	// Degrade the network over the middle ~60% of the expected run. The
+	// program slows down, stretching the run beyond the window's end.
+	total := clean.Result.TotalNs
+	cl := mkCluster()
+	cl.AddNetWindow(total/5, int64(1)<<62, 0.25)
+
+	congested, err := vsensor.Run(app.Source, vsensor.Options{Ranks: ranks, Cluster: cl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slowdown := congested.TotalSeconds() / clean.TotalSeconds()
+	fmt.Printf("congested run:            %.3f ms (%.2fx slower; paper observed 3.37x)\n",
+		congested.TotalSeconds()*1e3, slowdown)
+
+	m := congested.Matrices(2 * time.Millisecond)[ir.Network]
+	fmt.Println("\nnetwork performance matrix (low column block = congestion):")
+	fmt.Print(m.ASCII(32, 72))
+
+	for _, w := range m.LowTimeWindows(0.7, 0.8) {
+		fmt.Printf("\nnetwork degradation window: %.1f ms .. %.1f ms (mean perf %.2f)\n",
+			float64(w.StartNs)/1e6, float64(w.EndNs)/1e6, w.MeanPerf)
+	}
+	if mc := congested.Matrices(2 * time.Millisecond)[ir.Computation]; mc != nil {
+		fmt.Printf("computation matrix windows in the same period: %d (root cause is the network)\n",
+			len(mc.LowTimeWindows(0.7, 0.8)))
+	}
+}

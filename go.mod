@@ -1,0 +1,3 @@
+module vsensor
+
+go 1.22

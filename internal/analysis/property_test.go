@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+// genSource builds a random structured program from a seed, mixing fixed
+// and varying loops, helpers, branches and MPI calls.
+func genSource(seed int64) string {
+	rng := uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	var sb strings.Builder
+	nHelpers := 1 + next(3)
+	for h := 0; h < nHelpers; h++ {
+		fmt.Fprintf(&sb, "func h%d(int n) {\n", h)
+		switch next(4) {
+		case 0:
+			fmt.Fprintf(&sb, "    for (int i = 0; i < %d; i++) { flops(%d); }\n", 2+next(9), 5+next(100))
+		case 1:
+			sb.WriteString("    for (int i = 0; i < n; i++) { flops(10); }\n")
+		case 2:
+			fmt.Fprintf(&sb, "    if (n > %d) { mem(%d); }\n    flops(%d);\n", next(10), 5+next(40), 5+next(40))
+		default:
+			fmt.Fprintf(&sb, "    int acc = 0;\n    while (acc < %d) { acc++; flops(7); }\n", 2+next(20))
+		}
+		sb.WriteString("}\n")
+	}
+	sb.WriteString("func main() {\n    int rank = mpi_comm_rank();\n    int acc = 0;\n")
+	fmt.Fprintf(&sb, "    for (int t = 0; t < %d; t++) {\n", 2+next(8))
+	for s := 0; s < 2+next(4); s++ {
+		switch next(8) {
+		case 0:
+			fmt.Fprintf(&sb, "        h%d(%d);\n", next(nHelpers), 1+next(9))
+		case 1:
+			fmt.Fprintf(&sb, "        h%d(t);\n", next(nHelpers))
+		case 2:
+			fmt.Fprintf(&sb, "        h%d(rank);\n", next(nHelpers))
+		case 3:
+			fmt.Fprintf(&sb, "        h%d(acc);\n", next(nHelpers))
+		case 4:
+			fmt.Fprintf(&sb, "        for (int j = 0; j < %d; j++) { for (int k = 0; k < %d; k++) { flops(9); } }\n",
+				1+next(5), 1+next(5))
+		case 5:
+			fmt.Fprintf(&sb, "        mpi_allreduce(%d, 1.0);\n", 8*(1+next(8)))
+		case 6:
+			sb.WriteString("        if (t % 2 == 0) { acc += 2; }\n")
+		default:
+			fmt.Fprintf(&sb, "        for (int v = 0; v < acc + %d; v++) { mem(6); }\n", 1+next(4))
+		}
+	}
+	sb.WriteString("        acc += 1;\n    }\n}\n")
+	return sb.String()
+}
+
+// Invariants maintained by identification on arbitrary structured programs:
+//  1. exported (function-scope) snippet deps contain no LoopVar and no
+//     Extern;
+//  2. SensorOf is a contiguous prefix of the enclosing-loop chain;
+//  3. global sensors are a subset of sensors, which are a subset of
+//     snippets;
+//  4. analysis is deterministic.
+func TestQuickAnalysisInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		src := genSource(seed)
+		prog, err := ir.Build(minic.MustParse(src))
+		if err != nil {
+			t.Logf("seed %d: build: %v\n%s", seed, err, src)
+			return false
+		}
+		res := Analyze(prog)
+		res2 := Analyze(prog)
+		if len(res.GlobalSensors) != len(res2.GlobalSensors) || len(res.Sensors) != len(res2.Sensors) {
+			t.Logf("seed %d: nondeterministic", seed)
+			return false
+		}
+		if len(res.GlobalSensors) > len(res.Sensors) || len(res.Sensors) > len(res.Snippets) {
+			t.Logf("seed %d: cardinality violated", seed)
+			return false
+		}
+		for _, sum := range res.Funcs {
+			for _, s := range sum.Exported {
+				if s.Deps.HasKind(SrcLoopVar) || s.Deps.Has(ExternSrc) {
+					t.Logf("seed %d: exported snippet %s has bad deps %s\n%s", seed, s.ID(), s.Deps, src)
+					return false
+				}
+			}
+			for _, s := range sum.Snippets {
+				chain := s.EnclosingLoops()
+				if len(s.SensorOf) > len(chain) {
+					return false
+				}
+				for i, l := range s.SensorOf {
+					if chain[i] != l {
+						t.Logf("seed %d: SensorOf not a prefix for %s", seed, s.ID())
+						return false
+					}
+				}
+				if s.Global && !s.FuncScope {
+					t.Logf("seed %d: global snippet %s not function-scope", seed, s.ID())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+func copyEnv(env map[string]SourceSet) map[string]SourceSet {
+	out := make(map[string]SourceSet, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// resolveFor rewrites d so that the only remaining LoopVar sources refer to
+// loops in keep (the loops enclosing the consumer). Any other LoopVar(X) is
+// replaced by loop X's trip sources, recursively; unresolvable references
+// (cycles, loops whose trip is not yet known) become Extern.
+func (w *funcWalker) resolveFor(keep []*ir.Loop, d SourceSet) SourceSet {
+	keepIDs := make(map[int]bool, len(keep))
+	for _, l := range keep {
+		keepIDs[l.ID] = true
+	}
+	return w.resolve(keepIDs, d, nil)
+}
+
+// resolveForLoop resolves relative to a loop currently being walked: its
+// own LoopVar and those of its ancestors are kept.
+func (w *funcWalker) resolveForLoop(li *loopInfo, d SourceSet) SourceSet {
+	keepIDs := make(map[int]bool)
+	if li.loop != nil {
+		keepIDs[li.loop.ID] = true
+		for _, a := range li.loop.Ancestors() {
+			keepIDs[a.ID] = true
+		}
+	}
+	return w.resolve(keepIDs, d, nil)
+}
+
+func (w *funcWalker) resolve(keep map[int]bool, d SourceSet, visiting map[int]bool) SourceSet {
+	out := SourceSet{}
+	for _, s := range d.Sorted() {
+		if s.Kind != SrcLoopVar || keep[s.Idx] {
+			out = out.Add(s)
+			continue
+		}
+		li, ok := w.loopInfos[s.Idx]
+		if !ok || !li.tripReady || visiting[s.Idx] {
+			out = out.Add(ExternSrc)
+			continue
+		}
+		if visiting == nil {
+			visiting = make(map[int]bool)
+		}
+		visiting[s.Idx] = true
+		out = out.Union(w.resolve(keep, li.trip, visiting))
+		delete(visiting, s.Idx)
+	}
+	return out
+}
+
+// ---------- expression sources ----------
+
+// exprSources computes the abstract source set of an expression, registering
+// call-site records for every call encountered.
+func (w *funcWalker) exprSources(e minic.Expr) SourceSet {
+	switch x := e.(type) {
+	case nil:
+		return SourceSet{}
+	case *minic.IntLit, *minic.FloatLit, *minic.StringLit:
+		return NewSet(ConstSrc)
+	case *minic.Ident:
+		if src, ok := w.env[x.Name]; ok {
+			return src
+		}
+		if _, isGlobal := w.a.prog.Globals[x.Name]; isGlobal {
+			return NewSet(GlobalSrc(x.Name))
+		}
+		// Unknown identifier: conservatively unpredictable.
+		return NewSet(ExternSrc)
+	case *minic.BinaryExpr:
+		return w.exprSources(x.X).Union(w.exprSources(x.Y))
+	case *minic.UnaryExpr:
+		return w.exprSources(x.X)
+	case *minic.IndexExpr:
+		return w.exprSources(x.Array).Union(w.exprSources(x.Index))
+	case *minic.CallExpr:
+		return w.handleCall(x)
+	}
+	return NewSet(ExternSrc)
+}
+
+// handleCall analyzes one call site: computes the call's workload deps
+// (a candidate snippet, paper §3.3), records argument sources for the
+// inter-procedural global-sensor check, applies callee global-write
+// effects, and returns the call's value sources.
+func (w *funcWalker) handleCall(call *minic.CallExpr) SourceSet {
+	cs := w.a.prog.CallOf(call.CallID)
+	args := make([]SourceSet, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = w.exprSources(a)
+	}
+
+	li := w.cur()
+	var deps, value SourceSet
+	var hasNet, hasIO bool
+	typ := ir.Computation
+
+	if sum, isUser := w.a.res.Funcs[cs.Callee]; isUser {
+		deps = substParams(sum.WorkDeps, args)
+		value = substParams(sum.ReturnDeps, args)
+		hasNet, hasIO = sum.HasNet, sum.HasIO
+		// Callee global writes become visible at this site.
+		for g, src := range sum.WritesGlobals {
+			w.writesGlobals[g] = w.writesGlobals[g].Union(substParams(src, args))
+			for _, stk := range w.loopStack {
+				stk.globalWrites[g] = true
+			}
+		}
+	} else if _, defined := w.a.prog.Funcs[cs.Callee]; defined {
+		// Defined but not yet summarized: only possible for functions in a
+		// recursion cycle whose edges were removed. Never-fixed.
+		deps = NewSet(ExternSrc)
+		value = NewSet(ExternSrc)
+	} else if d := w.a.prog.Externs.Lookup(cs.Callee); d != nil {
+		deps = NewSet()
+		for _, i := range d.WorkArgs {
+			if i < len(args) {
+				deps = deps.Union(args[i])
+			}
+		}
+		if w.a.cfg.UseStaticRules {
+			for _, i := range d.StaticRuleArgs {
+				if i < len(args) {
+					deps = deps.Union(args[i])
+				}
+			}
+		}
+		if !d.Fixed {
+			deps = deps.Add(ExternSrc)
+		}
+		switch d.Value {
+		case ir.ValueOfArgs:
+			value = NewSet(ConstSrc)
+			for _, a := range args {
+				value = value.Union(a)
+			}
+		case ir.ValueRank:
+			value = NewSet(RankSrc)
+		case ir.ValueUnpredictable:
+			value = NewSet(ExternSrc)
+		}
+		typ = d.Type
+		hasNet = d.Type == ir.Network
+		hasIO = d.Type == ir.IO
+	} else {
+		// Undescribed external function: never-fixed workload (paper §3.5),
+		// unpredictable value.
+		deps = NewSet(ExternSrc)
+		value = NewSet(ExternSrc)
+	}
+
+	if hasNet {
+		typ = ir.Network
+	} else if hasIO {
+		typ = ir.IO
+	}
+
+	rdeps := w.resolveForLoop(li, deps)
+	li.items = li.items.Union(rdeps)
+	li.hasNet = li.hasNet || hasNet
+	li.hasIO = li.hasIO || hasIO
+
+	// Resolve argument sources relative to the call site's enclosing loops
+	// for the inter-procedural pass.
+	rargs := make([]SourceSet, len(args))
+	for i, a := range args {
+		rargs[i] = w.resolveFor(cs.Ancestors(), a)
+	}
+	w.a.argSources[cs.ID] = rargs
+
+	w.snippets = append(w.snippets, &Snippet{
+		Call: cs,
+		Func: w.fn,
+		Pos:  cs.Pos,
+		Type: typ,
+		Deps: w.resolveFor(cs.Ancestors(), deps),
+	})
+	return value
+}
+
+// substParams replaces Param(i) sources with the corresponding argument
+// sources; everything else passes through.
+func substParams(d SourceSet, args []SourceSet) SourceSet {
+	out := SourceSet{}
+	for _, s := range d.Sorted() {
+		if s.Kind != SrcParam {
+			out = out.Add(s)
+			continue
+		}
+		if s.Idx < len(args) {
+			out = out.Union(args[s.Idx])
+		} else {
+			out = out.Add(ExternSrc) // arity mismatch: unpredictable
+		}
+	}
+	return out
+}

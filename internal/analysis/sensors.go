@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"strings"
+
+	"vsensor/internal/ir"
+)
+
+// classifySensorOf computes, for a snippet with resolved deps, the maximal
+// chain of enclosing loops for which it is a v-sensor (paper §3.2): walking
+// outward from the innermost enclosing loop, the chain ends at the first
+// loop whose iteration state the workload depends on — because variance
+// within loop Li implies variance within every loop containing Li.
+func (w *funcWalker) classifySensorOf(s *Snippet) {
+	blocked := s.Deps.Has(ExternSrc)
+	enclosing := s.EnclosingLoops()
+
+	if s.Loop != nil {
+		s.Depth = s.Loop.Depth
+	} else if s.Call.Loop != nil {
+		s.Depth = s.Call.Loop.Depth + 1
+	}
+
+	if !blocked {
+		globalDeps := s.Deps.Globals()
+		for _, l := range enclosing {
+			li := w.loopInfos[l.ID]
+			if s.Deps.Has(LoopVar(l.ID)) || writesAny(li, globalDeps) {
+				break
+			}
+			s.SensorOf = append(s.SensorOf, l)
+		}
+	}
+	s.FuncScope = !blocked && len(s.SensorOf) == len(enclosing)
+	s.ProcessFixed = !s.Deps.Has(RankSrc)
+}
+
+func writesAny(li *loopInfo, globals []string) bool {
+	if li == nil {
+		return false
+	}
+	for _, g := range globals {
+		if li.globalWrites[g] {
+			return true
+		}
+	}
+	return false
+}
+
+// markGlobalSensors runs the inter-procedural check (paper §3.3, Fig. 7):
+// an exported (function-scope) snippet is a global v-sensor iff on every
+// call path from the entry function, the parameters and globals its
+// workload depends on are invariant across all loops enclosing each call
+// site. Rank dependence does not block globality but clears ProcessFixed.
+func (a *analyzer) markGlobalSensors() {
+	entry := a.cfg.Entry
+	reachable := a.res.Graph.ReachableFrom(entry)
+	memo := make(map[string]pathVerdict)
+	repeatsMemo := make(map[string]int)
+
+	for name, sum := range a.res.Funcs {
+		if !reachable[name] {
+			continue
+		}
+		for _, s := range sum.Exported {
+			// A v-sensor must execute repeatedly (paper §3.1: "a v-sensor
+			// must be a snippet of code inside a loop"): it needs an
+			// enclosing loop in its own function or on some call path.
+			if len(s.EnclosingLoops()) == 0 && !a.funcRepeats(name, reachable, repeatsMemo) {
+				continue
+			}
+			v := a.checkGlobal(name, s.Deps, memo, nil)
+			s.Global = v.ok
+			if v.ok {
+				s.ProcessFixed = s.ProcessFixed && v.rankFree
+			}
+		}
+	}
+}
+
+// funcRepeats reports whether fn can execute more than once in a run:
+// some reachable call site of fn is inside a loop, or its caller repeats.
+func (a *analyzer) funcRepeats(fn string, reachable map[string]bool, memo map[string]int) bool {
+	switch memo[fn] {
+	case 1:
+		return true
+	case -1, 2: // known false, or in progress (cycle)
+		return false
+	}
+	memo[fn] = 2
+	result := false
+	for _, c := range a.prog.Calls {
+		if c.Callee != fn || !reachable[c.Func.Name] {
+			continue
+		}
+		if c.Loop != nil || a.funcRepeats(c.Func.Name, reachable, memo) {
+			result = true
+			break
+		}
+	}
+	if result {
+		memo[fn] = 1
+	} else {
+		memo[fn] = -1
+	}
+	return result
+}
+
+type pathVerdict struct {
+	ok       bool
+	rankFree bool
+}
+
+// checkGlobal verifies that dependency set d, attached to a snippet inside
+// function fn, is invariant on every call path from the entry function.
+func (a *analyzer) checkGlobal(fn string, d SourceSet, memo map[string]pathVerdict, visiting []string) pathVerdict {
+	if d.Has(ExternSrc) || d.HasKind(SrcLoopVar) {
+		return pathVerdict{}
+	}
+	// A workload depending on a global that anything in the program mutates
+	// is rejected (conservative whole-program rule, paper §3.3 condition 2).
+	for _, g := range d.Globals() {
+		if a.res.MutatedGlobals[g] {
+			return pathVerdict{}
+		}
+	}
+	rankFree := !d.Has(RankSrc)
+
+	if fn == a.cfg.Entry {
+		// The entry function has no parameters to vary.
+		if len(d.Params()) > 0 {
+			return pathVerdict{}
+		}
+		return pathVerdict{ok: true, rankFree: rankFree}
+	}
+	if a.res.Graph.Recursive[fn] {
+		return pathVerdict{}
+	}
+	for _, v := range visiting {
+		if v == fn {
+			return pathVerdict{} // call-path cycle remnant; be conservative
+		}
+	}
+
+	key := fn + "|" + depsKey(d)
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	// Seed the memo pessimistically to terminate any residual cycles.
+	memo[key] = pathVerdict{}
+
+	reachable := a.res.Graph.ReachableFrom(a.cfg.Entry)
+	sites := 0
+	out := pathVerdict{ok: true, rankFree: rankFree}
+	for _, c := range a.prog.Calls {
+		if c.Callee != fn || !reachable[c.Func.Name] {
+			continue
+		}
+		sites++
+		args := a.argSources[c.ID]
+		sub := substParams(d, args)
+		// Any remaining LoopVar refers to a loop enclosing this call site
+		// (argument sources were resolved that way): the workload would
+		// change across that loop's iterations.
+		v := a.checkGlobal(c.Func.Name, sub, memo, append(visiting, fn))
+		if !v.ok {
+			out = pathVerdict{}
+			break
+		}
+		out.rankFree = out.rankFree && v.rankFree
+	}
+	if sites == 0 {
+		out = pathVerdict{} // unreachable in practice; not a global sensor
+	}
+	memo[key] = out
+	return out
+}
+
+func depsKey(d SourceSet) string {
+	var sb strings.Builder
+	for _, s := range d.Sorted() {
+		sb.WriteString(s.String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// collect fills the result's flat snippet views in a deterministic order.
+func (a *analyzer) collect() {
+	for _, name := range a.res.Graph.Order {
+		sum := a.res.Funcs[name]
+		for _, s := range sum.Snippets {
+			a.res.Snippets = append(a.res.Snippets, s)
+			if len(s.SensorOf) > 0 || s.Global {
+				a.res.Sensors = append(a.res.Sensors, s)
+			}
+			if s.Global {
+				a.res.GlobalSensors = append(a.res.GlobalSensors, s)
+			}
+		}
+	}
+}
+
+// SensorOfLoop reports whether snippet s is a v-sensor of loop l.
+func SensorOfLoop(s *Snippet, l *ir.Loop) bool {
+	for _, x := range s.SensorOf {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,478 @@
+package analysis
+
+import (
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+// analyzer holds whole-program analysis state.
+type analyzer struct {
+	prog *ir.Program
+	cfg  Config
+	res  *Result
+
+	// argSources[callID] are the resolved source sets of each argument at
+	// that call site (LoopVars restricted to loops enclosing the site).
+	argSources map[int][]SourceSet
+}
+
+// loopInfo accumulates per-loop analysis state during a function walk.
+type loopInfo struct {
+	loop *ir.Loop
+
+	// trip is the source set of the loop's trip count: init/cond/post
+	// sources excluding the induction variable itself. For while loops it
+	// is the entry condition sources plus the sources of every assignment
+	// to a condition variable in the body, minus the loop's own LoopVar.
+	trip SourceSet
+
+	// items are direct workload contributions from the loop's body region
+	// (branch conditions, extern work arguments, call workload deps), not
+	// including child loops.
+	items SourceSet
+
+	// deps is the loop's resolved snippet dependency set, set at pop time.
+	deps SourceSet
+
+	children []*loopInfo
+
+	// globalWrites are globals assigned within the body (directly or via
+	// callees), including nested loops after propagation at pop.
+	globalWrites map[string]bool
+
+	// ctlBase is the control-stack depth at loop entry, used to attribute
+	// break/continue/return conditions to this loop's trip count.
+	ctlBase int
+
+	// tripReady reports that trip is final and may be substituted for this
+	// loop's LoopVar during resolution. For-loop trips are ready as soon as
+	// the header is analyzed; while-loop trips only at pop.
+	tripReady bool
+
+	// whileCondVars / whileAssigns support while-loop trip inference: the
+	// variables read by the condition and the sources of every assignment
+	// to them within the body.
+	whileCondVars map[string]bool
+	whileAssigns  SourceSet
+
+	hasNet, hasIO bool
+}
+
+// funcWalker performs the intra-procedural dependence walk for a function.
+type funcWalker struct {
+	a  *analyzer
+	fn *ir.Function
+
+	env map[string]SourceSet // locals and parameters
+
+	root      *loopInfo // virtual top-level region (loop == nil)
+	loopStack []*loopInfo
+	loopInfos map[int]*loopInfo // by loop ID, this function only
+
+	control []SourceSet // if-condition stack (for break/continue/return)
+
+	returnDeps    SourceSet
+	writesGlobals map[string]SourceSet
+
+	snippets []*Snippet
+}
+
+func (a *analyzer) analyzeFunction(fn *ir.Function) {
+	w := &funcWalker{
+		a:             a,
+		fn:            fn,
+		env:           make(map[string]SourceSet),
+		root:          &loopInfo{globalWrites: make(map[string]bool)},
+		loopInfos:     make(map[int]*loopInfo),
+		writesGlobals: make(map[string]SourceSet),
+	}
+	if a.argSources == nil {
+		a.argSources = make(map[int][]SourceSet)
+	}
+	for i, p := range fn.Decl.Params {
+		w.env[p.Name] = NewSet(Param(i))
+	}
+	w.loopStack = []*loopInfo{w.root}
+	w.walkBlock(fn.Decl.Body)
+
+	sum := &FuncSummary{
+		Fn:            fn,
+		WritesGlobals: w.writesGlobals,
+		HasNet:        w.root.hasNet,
+		HasIO:         w.root.hasIO,
+		Snippets:      w.snippets,
+	}
+	// The function's total workload: everything the top-level region and
+	// its loops contribute, with every LoopVar resolved away.
+	work := w.root.items
+	for _, c := range w.root.children {
+		work = work.Union(c.deps)
+	}
+	sum.WorkDeps = w.resolveFor(nil, work)
+	if a.res.Graph.Recursive[fn.Name] {
+		// Recursion was cut out of the call graph; treat the function's
+		// workload as never-fixed (paper §3.5).
+		sum.WorkDeps = sum.WorkDeps.Add(ExternSrc)
+	}
+	sum.ReturnDeps = w.returnDeps
+	if sum.ReturnDeps.Len() == 0 {
+		sum.ReturnDeps = NewSet(ConstSrc)
+	}
+	for _, s := range w.snippets {
+		w.classifySensorOf(s)
+		if s.FuncScope {
+			sum.Exported = append(sum.Exported, s)
+		}
+	}
+	a.res.Funcs[fn.Name] = sum
+}
+
+// ---------- statement walk ----------
+
+func (w *funcWalker) cur() *loopInfo { return w.loopStack[len(w.loopStack)-1] }
+
+func (w *funcWalker) walkBlock(b *minic.BlockStmt) {
+	declared := make([]string, 0, 4)
+	for _, s := range b.Stmts {
+		if d, ok := s.(*minic.VarDecl); ok {
+			declared = append(declared, d.Name)
+		}
+		w.walkStmt(s)
+	}
+	// Block scoping: names declared here do not escape.
+	for _, name := range declared {
+		delete(w.env, name)
+	}
+}
+
+func (w *funcWalker) walkStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *minic.BlockStmt:
+		w.walkBlock(st)
+	case *minic.VarDecl:
+		src := NewSet(ConstSrc)
+		if st.Init != nil {
+			src = w.exprSources(st.Init)
+		}
+		if st.Len != nil {
+			// Array contents start zeroed; the length itself is not a
+			// content source.
+			w.exprSources(st.Len) // still visit for call effects
+			src = NewSet(ConstSrc)
+		}
+		w.env[st.Name] = src
+	case *minic.AssignStmt:
+		w.walkAssign(st)
+	case *minic.IfStmt:
+		w.walkIf(st)
+	case *minic.ForStmt:
+		w.walkFor(st)
+	case *minic.WhileStmt:
+		w.walkWhile(st)
+	case *minic.ReturnStmt:
+		var v SourceSet
+		if st.Value != nil {
+			v = w.exprSources(st.Value)
+		} else {
+			v = NewSet(ConstSrc)
+		}
+		ctl := w.controlUnion(0)
+		w.returnDeps = w.returnDeps.Union(w.resolveFor(nil, v.Union(ctl)))
+		// An early return changes the trip count of every enclosing loop.
+		for _, li := range w.loopStack[1:] {
+			li.trip = li.trip.Union(w.resolveForLoop(li, w.controlUnion(li.ctlBase)))
+		}
+	case *minic.BreakStmt, *minic.ContinueStmt:
+		if len(w.loopStack) > 1 {
+			li := w.cur()
+			li.trip = li.trip.Union(w.resolveForLoop(li, w.controlUnion(li.ctlBase)))
+		}
+	case *minic.ExprStmt:
+		w.exprSources(st.X)
+	}
+}
+
+// controlUnion unions the control-condition sources from stack depth base.
+func (w *funcWalker) controlUnion(base int) SourceSet {
+	var u SourceSet
+	for _, c := range w.control[base:] {
+		u = u.Union(c)
+	}
+	return u
+}
+
+func (w *funcWalker) walkAssign(st *minic.AssignStmt) {
+	val := w.exprSources(st.Value)
+	switch tgt := st.Target.(type) {
+	case *minic.Ident:
+		if _, isLocal := w.env[tgt.Name]; isLocal {
+			w.env[tgt.Name] = val
+			w.noteWhileCondAssign(tgt.Name, val)
+			return
+		}
+		if _, isGlobal := w.a.prog.Globals[tgt.Name]; isGlobal {
+			w.recordGlobalWrite(tgt.Name, val)
+			return
+		}
+		// Assignment to an undeclared name: create it (function scope).
+		w.env[tgt.Name] = val
+	case *minic.IndexExpr:
+		idx := w.exprSources(tgt.Index)
+		name := tgt.Array.Name
+		if cur, isLocal := w.env[name]; isLocal {
+			// Weak update: the array keeps its old sources too.
+			w.env[name] = cur.Union(val).Union(idx)
+			w.noteWhileCondAssign(name, val)
+			return
+		}
+		if _, isGlobal := w.a.prog.Globals[name]; isGlobal {
+			w.recordGlobalWrite(name, val.Union(idx))
+		}
+	}
+}
+
+func (w *funcWalker) recordGlobalWrite(name string, val SourceSet) {
+	ctl := w.controlUnion(0)
+	w.writesGlobals[name] = w.writesGlobals[name].Union(w.resolveFor(nil, val.Union(ctl)))
+	for _, li := range w.loopStack {
+		li.globalWrites[name] = true
+	}
+}
+
+func (w *funcWalker) walkIf(st *minic.IfStmt) {
+	cond := w.exprSources(st.Cond)
+	// A branch changes the executed instruction sequence, so its condition
+	// is workload-relevant for the enclosing snippet (paper §3.1).
+	li := w.cur()
+	li.items = li.items.Union(w.resolveForLoop(li, cond))
+
+	pre := copyEnv(w.env)
+	w.control = append(w.control, cond)
+	w.walkStmt(st.Then)
+	thenEnv := w.env
+	w.env = copyEnv(pre)
+	if st.Else != nil {
+		w.walkStmt(st.Else)
+	}
+	elseEnv := w.env
+	w.control = w.control[:len(w.control)-1]
+
+	// Merge: any variable assigned in either branch may differ depending
+	// on which branch ran, so it additionally depends on the condition.
+	// (Source sets cannot distinguish two different constants, so this is
+	// keyed on assignment, not on set difference.)
+	assigned := make(map[string]bool)
+	assignTargets(st.Then, assigned)
+	assignTargets(st.Else, assigned)
+	merged := make(map[string]SourceSet, len(pre))
+	for name := range pre {
+		m := thenEnv[name].Union(elseEnv[name])
+		if assigned[name] {
+			m = m.Union(cond)
+		}
+		merged[name] = m
+	}
+	w.env = merged
+}
+
+// assignTargets collects the names assigned anywhere in a statement
+// (including nested loops and branches), ignoring declarations.
+func assignTargets(s minic.Stmt, out map[string]bool) {
+	minic.WalkStmts(s, func(x minic.Stmt) {
+		if as, ok := x.(*minic.AssignStmt); ok {
+			switch tgt := as.Target.(type) {
+			case *minic.Ident:
+				out[tgt.Name] = true
+			case *minic.IndexExpr:
+				out[tgt.Array.Name] = true
+			}
+		}
+	})
+}
+
+func (w *funcWalker) pushLoop(l *ir.Loop) *loopInfo {
+	li := &loopInfo{
+		loop:         l,
+		globalWrites: make(map[string]bool),
+		ctlBase:      len(w.control),
+	}
+	w.loopInfos[l.ID] = li
+	parent := w.cur()
+	parent.children = append(parent.children, li)
+	w.loopStack = append(w.loopStack, li)
+	return li
+}
+
+func (w *funcWalker) popLoop() *loopInfo {
+	li := w.cur()
+	w.loopStack = w.loopStack[:len(w.loopStack)-1]
+	parent := w.cur()
+	for g := range li.globalWrites {
+		parent.globalWrites[g] = true
+	}
+	if li.hasNet {
+		parent.hasNet = true
+	}
+	if li.hasIO {
+		parent.hasIO = true
+	}
+	return li
+}
+
+// injectLoopVariance adds LoopVar(l) to every live variable assigned
+// somewhere in the loop body: at the start of an arbitrary iteration such a
+// variable may hold an iteration-dependent value. Variables freshly
+// re-assigned from invariant sources each iteration lose the marker at
+// their assignment, which is what makes the inner-reinit pattern
+// (for k=0; ... ) invariant, matching the paper's Figure 6.
+func (w *funcWalker) injectLoopVariance(l *ir.Loop, body minic.Stmt, post minic.Stmt) {
+	assigned := make(map[string]bool)
+	assignTargets(body, assigned)
+	assignTargets(post, assigned)
+	for name := range assigned {
+		if cur, ok := w.env[name]; ok {
+			w.env[name] = cur.Add(LoopVar(l.ID))
+		}
+	}
+}
+
+func (w *funcWalker) walkFor(st *minic.ForStmt) {
+	l := w.a.prog.LoopOf(st.LoopID)
+
+	// The init clause runs once in the parent context.
+	w.walkStmt(st.Init)
+	li := w.pushLoop(l)
+
+	var initVal SourceSet
+	if l.IndVar != "" {
+		initVal = w.env[l.IndVar]
+	}
+
+	pre := copyEnv(w.env)
+	w.injectLoopVariance(l, st.Body, st.Post)
+
+	// Header sources, with the induction variable excluded so that a loop
+	// like for(k=0;k<10;k++) has a constant trip count.
+	if l.IndVar != "" {
+		w.env[l.IndVar] = SourceSet{}
+	}
+	trip := initVal
+	if st.Cond != nil {
+		trip = trip.Union(w.exprSources(st.Cond))
+	} else {
+		// No condition: termination depends on breaks, handled as they
+		// are encountered; an empty condition alone is unbounded.
+		trip = trip.Add(ExternSrc)
+	}
+	if post, ok := st.Post.(*minic.AssignStmt); ok {
+		trip = trip.Union(w.exprSources(post.Value))
+	}
+	li.trip = w.resolveForLoop(li, trip)
+	li.tripReady = true
+
+	if l.IndVar != "" {
+		w.env[l.IndVar] = NewSet(LoopVar(l.ID))
+	}
+	w.walkBlock(st.Body)
+	w.popLoop()
+
+	// Zero-trip merge: after the loop each variable may hold its pre-loop
+	// value or any body value.
+	for name, preSrc := range pre {
+		if cur, ok := w.env[name]; ok {
+			w.env[name] = cur.Union(preSrc)
+		} else {
+			w.env[name] = preSrc
+		}
+	}
+	// The induction variable's final value is determined by the bounds.
+	if l.IndVar != "" {
+		w.env[l.IndVar] = li.trip
+	}
+
+	w.finishLoopSnippet(l, li)
+}
+
+func (w *funcWalker) walkWhile(st *minic.WhileStmt) {
+	l := w.a.prog.LoopOf(st.LoopID)
+	li := w.pushLoop(l)
+
+	condVars := identNames(st.Cond)
+	li.whileCondVars = condVars
+
+	entryCond := w.exprSources(st.Cond)
+
+	pre := copyEnv(w.env)
+	w.injectLoopVariance(l, st.Body, nil)
+	w.walkBlock(st.Body)
+	w.popLoop()
+
+	// Trip count: the entry condition sources plus everything assigned to
+	// condition variables in the body, minus this loop's own variance
+	// marker (self-iteration is what a trip count is).
+	self := LoopVar(l.ID)
+	trip := entryCond.Union(li.whileAssigns).Without(func(s Source) bool { return s == self })
+	li.trip = li.trip.Union(w.resolveForLoop(li, trip))
+	li.tripReady = true
+
+	for name, preSrc := range pre {
+		if cur, ok := w.env[name]; ok {
+			w.env[name] = cur.Union(preSrc)
+		} else {
+			w.env[name] = preSrc
+		}
+	}
+	w.finishLoopSnippet(l, li)
+}
+
+// noteWhileCondAssign records assignments to while-condition variables so
+// the enclosing while loop's trip sources can include them.
+func (w *funcWalker) noteWhileCondAssign(name string, val SourceSet) {
+	for _, li := range w.loopStack[1:] {
+		if li.whileCondVars != nil && li.whileCondVars[name] {
+			li.whileAssigns = li.whileAssigns.Union(val)
+		}
+	}
+}
+
+// identNames collects the identifier names read by an expression.
+func identNames(e minic.Expr) map[string]bool {
+	out := make(map[string]bool)
+	minic.WalkExprs(e, func(x minic.Expr) {
+		if id, ok := x.(*minic.Ident); ok {
+			out[id.Name] = true
+		}
+	})
+	return out
+}
+
+// finishLoopSnippet computes the loop's resolved deps and records it as a
+// candidate snippet.
+func (w *funcWalker) finishLoopSnippet(l *ir.Loop, li *loopInfo) {
+	// Break/return conditions referencing this loop's own iteration state
+	// fold into the trip count through their feeding sources, which the
+	// trip set already contains; the self marker itself is dropped.
+	self := LoopVar(l.ID)
+	li.trip = li.trip.Without(func(s Source) bool { return s == self })
+
+	d := li.trip.Union(li.items)
+	for _, c := range li.children {
+		d = d.Union(c.deps)
+	}
+	li.deps = w.resolveFor(l.Ancestors(), d)
+
+	typ := ir.Computation
+	if li.hasNet {
+		typ = ir.Network
+	} else if li.hasIO {
+		typ = ir.IO
+	}
+	w.snippets = append(w.snippets, &Snippet{
+		Loop: l,
+		Func: w.fn,
+		Pos:  l.Pos,
+		Type: typ,
+		Deps: li.deps,
+	})
+}

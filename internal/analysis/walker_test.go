@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"testing"
+
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+// Branch-merged values: a variable assigned differently in two branches of
+// a rank-dependent condition carries the rank dependence afterwards.
+func TestBranchMergeAddsCondSources(t *testing.T) {
+	res := analyze(t, `
+func main() {
+    int rank = mpi_comm_rank();
+    int n = 10;
+    if (rank % 2 == 0) {
+        n = 20;
+    }
+    for (int outer = 0; outer < 5; outer++) {
+        for (int i = 0; i < n; i++) {
+            flops(10);
+        }
+    }
+}`)
+	s := loopSnippet(t, res, "main", "i")
+	if s.ProcessFixed {
+		t.Errorf("bound n is rank-dependent after merge; deps=%s", s.Deps)
+	}
+	if !sensorOfIndvar(s, "outer") {
+		t.Errorf("n is fixed over outer iterations; deps=%s", s.Deps)
+	}
+}
+
+// A variable NOT assigned in either branch keeps its sources.
+func TestBranchMergeUnassignedUnaffected(t *testing.T) {
+	res := analyze(t, `
+func main() {
+    int rank = mpi_comm_rank();
+    int n = 10;
+    int unused = 0;
+    if (rank % 2 == 0) {
+        unused = 1;
+    }
+    for (int outer = 0; outer < 5; outer++) {
+        for (int i = 0; i < n; i++) {
+            flops(10);
+        }
+    }
+}`)
+	s := loopSnippet(t, res, "main", "i")
+	if !s.ProcessFixed || !s.Global {
+		t.Errorf("n untouched by branch; deps=%s", s.Deps)
+	}
+}
+
+// Array dependence: a loop bounded by an array element whose contents were
+// filled from received data is not a sensor.
+func TestArrayTaint(t *testing.T) {
+	res := analyze(t, `
+func main() {
+    int sizes[4];
+    sizes[0] = 16;
+    for (int outer = 0; outer < 10; outer++) {
+        for (int a = 0; a < sizes[0]; a++) {
+            flops(10);
+        }
+    }
+    int dyn[4];
+    dyn[1] = mpi_recv(0, 8);
+    for (int outer2 = 0; outer2 < 10; outer2++) {
+        for (int b = 0; b < dyn[1]; b++) {
+            flops(10);
+        }
+    }
+}`)
+	a := loopSnippet(t, res, "main", "a")
+	if !sensorOfIndvar(a, "outer") {
+		t.Errorf("const-filled array bound should be fixed; deps=%s", a.Deps)
+	}
+	b := loopSnippet(t, res, "main", "b")
+	if sensorOfIndvar(b, "outer2") {
+		t.Errorf("recv-filled array bound must not be fixed; deps=%s", b.Deps)
+	}
+}
+
+// Globals written by a callee make global-dependent snippets variant.
+func TestGlobalWriteThroughCall(t *testing.T) {
+	res := analyze(t, `
+global int G = 10;
+
+func bump() {
+    G = G + 1;
+}
+
+func main() {
+    for (int outer = 0; outer < 10; outer++) {
+        for (int i = 0; i < G; i++) {
+            flops(10);
+        }
+        bump();
+    }
+}`)
+	s := loopSnippet(t, res, "main", "i")
+	if sensorOfIndvar(s, "outer") {
+		t.Errorf("G is bumped via call each iteration; deps=%s", s.Deps)
+	}
+	if !res.MutatedGlobals["G"] {
+		t.Error("G should be marked mutated")
+	}
+}
+
+// Function return values propagate their dependence: a bound computed by a
+// pure function of a constant is fixed; of the rank, process-variant.
+func TestReturnValuePropagation(t *testing.T) {
+	res := analyze(t, `
+func double(int x) int {
+    return x * 2;
+}
+
+func main() {
+    int rank = mpi_comm_rank();
+    int c = double(8);
+    int r = double(rank);
+    for (int outer = 0; outer < 10; outer++) {
+        for (int i = 0; i < c; i++) {
+            flops(5);
+        }
+        for (int j = 0; j < r; j++) {
+            flops(5);
+        }
+    }
+}`)
+	ci := loopSnippet(t, res, "main", "i")
+	if !ci.Global || !ci.ProcessFixed {
+		t.Errorf("double(8) bound is const; deps=%s", ci.Deps)
+	}
+	rj := loopSnippet(t, res, "main", "j")
+	if rj.ProcessFixed {
+		t.Errorf("double(rank) bound is rank-dependent; deps=%s", rj.Deps)
+	}
+	if !sensorOfIndvar(rj, "outer") {
+		t.Errorf("rank is iteration-invariant; deps=%s", rj.Deps)
+	}
+}
+
+// A loop whose bound comes from an earlier sibling loop's accumulation
+// resolves through the sibling's trip sources (paper Fig. 7's spirit).
+func TestSiblingLoopResolution(t *testing.T) {
+	res := analyze(t, `
+func work(int n) {
+    int s = 0;
+    for (int a = 0; a < n; a++) {
+        s = s + 2;
+    }
+    for (int b = 0; b < s; b++) {
+        flops(10);
+    }
+}
+
+func main() {
+    for (int outer = 0; outer < 10; outer++) {
+        work(16);
+        work(outer);
+    }
+}`)
+	calls := callSnippets(res, "main", "work")
+	if !sensorOfIndvar(calls[0], "outer") {
+		t.Errorf("work(16) should be a sensor; deps=%s", calls[0].Deps)
+	}
+	if sensorOfIndvar(calls[1], "outer") {
+		t.Errorf("work(outer) must not be a sensor; deps=%s", calls[1].Deps)
+	}
+	// The b-loop inside work depends (through s) on param n.
+	b := loopSnippet(t, res, "work", "b")
+	if !b.FuncScope {
+		t.Errorf("b-loop should be function scope (fixed given n); deps=%s", b.Deps)
+	}
+	if b.Global {
+		t.Errorf("b-loop depends on n which varies at work(outer); deps=%s", b.Deps)
+	}
+}
+
+// Early return whose condition is constant does not destroy sensor status;
+// a data-dependent return does.
+func TestReturnConditionsPropagation(t *testing.T) {
+	res := analyze(t, `
+func fixed_exit() {
+    for (int i = 0; i < 100; i++) {
+        if (i == 50) {
+            return;
+        }
+        flops(10);
+    }
+}
+
+func data_exit(int lim) {
+    for (int i = 0; i < 100; i++) {
+        if (i == lim) {
+            return;
+        }
+        flops(10);
+    }
+}
+
+func main() {
+    int rank = mpi_comm_rank();
+    for (int outer = 0; outer < 10; outer++) {
+        fixed_exit();
+        data_exit(rank);
+    }
+}`)
+	fe := callSnippets(res, "main", "fixed_exit")[0]
+	if !sensorOfIndvar(fe, "outer") || !fe.ProcessFixed {
+		t.Errorf("fixed_exit should be a process-fixed sensor; deps=%s", fe.Deps)
+	}
+	de := callSnippets(res, "main", "data_exit")[0]
+	if de.ProcessFixed {
+		t.Errorf("data_exit(rank) must be process-variant; deps=%s", de.Deps)
+	}
+}
+
+// Unknown identifiers (a bug in the program) degrade to Extern rather than
+// crashing the analysis.
+func TestUnknownIdentConservative(t *testing.T) {
+	res := analyze(t, `
+func main() {
+    for (int outer = 0; outer < 10; outer++) {
+        for (int i = 0; i < mystery; i++) {
+            flops(5);
+        }
+    }
+}`)
+	s := loopSnippet(t, res, "main", "i")
+	if len(s.SensorOf) != 0 {
+		t.Errorf("unknown-bound loop must not be a sensor; deps=%s", s.Deps)
+	}
+}
+
+// Entry-function override.
+func TestCustomEntry(t *testing.T) {
+	prog, err := ir.Build(minic.MustParse(`
+func kernel() {
+    for (int k = 0; k < 10; k++) {
+        flops(5);
+    }
+}
+func driver() {
+    for (int i = 0; i < 10; i++) {
+        kernel();
+    }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := AnalyzeWith(prog, Config{Entry: "driver"})
+	found := false
+	for _, s := range res.GlobalSensors {
+		if s.Call != nil && s.Call.Callee == "kernel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kernel call should be global with driver as entry: %d global sensors", len(res.GlobalSensors))
+	}
+}
+
+// Snippet metadata sanity: IDs, depth, and the SensorOfLoop helper.
+func TestSnippetMetadata(t *testing.T) {
+	res := analyze(t, `
+func main() {
+    for (int a = 0; a < 4; a++) {
+        for (int b = 0; b < 4; b++) {
+            flops(10);
+        }
+    }
+}`)
+	b := loopSnippet(t, res, "main", "b")
+	if b.Depth != 1 {
+		t.Errorf("depth = %d", b.Depth)
+	}
+	if b.ID() == "" || b.ID()[0] != 'L' {
+		t.Errorf("ID = %q", b.ID())
+	}
+	if !SensorOfLoop(b, b.SensorOf[0]) {
+		t.Error("SensorOfLoop inconsistent")
+	}
+	outer := loopSnippet(t, res, "main", "a")
+	if SensorOfLoop(b, outer.Loop) != sensorOfIndvar(b, "a") {
+		t.Error("SensorOfLoop mismatch with indvar check")
+	}
+	// Call snippet depth: flops inside b-loop has depth 2.
+	for _, s := range res.Funcs["main"].Snippets {
+		if s.Call != nil && s.Call.Callee == "flops" && s.Depth != 2 {
+			t.Errorf("flops depth = %d", s.Depth)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package apps
+
+// Mini versions of the five NPB programs. Each mirrors the communication
+// and loop structure relevant to sensor identification, not the numerics.
+
+// buildCG: conjugate-gradient iteration — sparse matvec (fixed rows per
+// rank), two dot products per iteration (allreduce), and a neighbour halo
+// exchange. Mostly computation with a few network sensors, like the
+// paper's "7Comp+5Net" profile.
+func buildCG(s Scale) string {
+	return expand(`
+global int NITER = @ITERS@;
+global int ROWS = @ROWS@;
+
+func matvec(int rows) {
+    for (int r = 0; r < rows; r++) {
+        flops(180);
+        mem(96);
+    }
+}
+
+func axpy(int n) {
+    for (int i = 0; i < n; i++) {
+        flops(64);
+        mem(32);
+    }
+}
+
+func dot_product(int n, float seed) float {
+    float local = seed;
+    for (int i = 0; i < n; i++) {
+        flops(48);
+    }
+    return mpi_allreduce(8, local + 1.0);
+}
+
+func halo_exchange(int rank, int size, int bytes) {
+    int peer = rank + 1;
+    if (rank % 2 == 1) {
+        peer = rank - 1;
+    }
+    if (peer >= size) {
+        peer = rank;
+    }
+    mpi_sendrecv(peer, bytes, 1.0);
+}
+
+func main() {
+    int rank = mpi_comm_rank();
+    int size = mpi_comm_size();
+    float rho = 1.0;
+    for (int iter = 0; iter < NITER; iter++) {
+        matvec(ROWS);
+        halo_exchange(rank, size, 8192);
+        rho = dot_product(64, rho);
+        axpy(48);
+        rho = dot_product(64, rho);
+        mpi_barrier();
+    }
+}
+`, map[string]int{"ITERS": s.Iters, "ROWS": s.Work * 4})
+}
+
+// buildFT: 3-D FFT time steps — local evolve and FFT butterflies plus the
+// personalized all-to-all transpose that dominates communication and makes
+// FT vulnerable to network degradation (paper §6.5, Fig. 22).
+func buildFT(s Scale) string {
+	return expand(`
+global int NITER = @ITERS@;
+global int PENCIL = @PENCIL@;
+global int XPOSE_BYTES = @BYTES@;
+
+func evolve(int n) {
+    for (int i = 0; i < n; i++) {
+        flops(120);
+        mem(64);
+    }
+}
+
+func fft_local(int n) {
+    for (int stage = 0; stage < 10; stage++) {
+        for (int i = 0; i < n; i++) {
+            flops(90);
+        }
+    }
+}
+
+func transpose(int bytes) {
+    mpi_alltoall(bytes);
+}
+
+func checksum(float acc) float {
+    for (int i = 0; i < 32; i++) {
+        flops(40);
+    }
+    return mpi_allreduce(16, acc);
+}
+
+func main() {
+    float acc = 0.0;
+    for (int iter = 0; iter < NITER; iter++) {
+        evolve(PENCIL);
+        fft_local(PENCIL);
+        transpose(XPOSE_BYTES);
+        fft_local(PENCIL);
+        acc = checksum(acc + 1.0);
+    }
+}
+`, map[string]int{"ITERS": s.Iters, "PENCIL": s.Work, "BYTES": 65536})
+}
+
+// buildBT: block-tridiagonal sweeps in three directions. The face
+// exchanges use an iteration-dependent message size, so no network sensor
+// survives identification — matching the paper's BT row, which instruments
+// computation sensors only ("87Comp").
+func buildBT(s Scale) string {
+	return expand(`
+global int NITER = @ITERS@;
+global int CELLS = @CELLS@;
+
+func compute_rhs(int cells) {
+    for (int c = 0; c < cells; c++) {
+        flops(220);
+        mem(120);
+    }
+}
+
+func solve_cells(int cells) {
+    for (int c = 0; c < cells; c++) {
+        for (int j = 0; j < 5; j++) {
+            flops(60);
+            mem(20);
+        }
+    }
+}
+
+func face_exchange(int rank, int size, int iter, int dir) {
+    // Nonblocking exchange like the real BT; the iteration-dependent
+    // payload keeps this snippet out of the sensor set.
+    int peer = rank + dir;
+    if (peer < 0) {
+        peer = rank;
+    }
+    if (peer >= size) {
+        peer = rank;
+    }
+    int bytes = 4096 + iter % 3 * 512;
+    int r = mpi_irecv(peer, bytes);
+    int s = mpi_isend(peer, bytes, 1.0);
+    mpi_wait(r);
+    mpi_wait(s);
+}
+
+func x_sweep(int cells) { solve_cells(cells); }
+func y_sweep(int cells) { solve_cells(cells); }
+func z_sweep(int cells) { solve_cells(cells); }
+
+func add_update(int cells) {
+    for (int c = 0; c < cells; c++) {
+        flops(45);
+        mem(30);
+    }
+}
+
+func main() {
+    int rank = mpi_comm_rank();
+    int size = mpi_comm_size();
+    for (int iter = 0; iter < NITER; iter++) {
+        compute_rhs(CELLS);
+        x_sweep(CELLS);
+        face_exchange(rank, size, iter, 1);
+        y_sweep(CELLS);
+        face_exchange(rank, size, iter, -1);
+        z_sweep(CELLS);
+        add_update(CELLS);
+    }
+}
+`, map[string]int{"ITERS": s.Iters, "CELLS": s.Work})
+}
+
+// buildBTIO: the NPB BT-IO variant — the BT solver plus a fixed-size
+// checkpoint write every few time steps. The constant write size makes the
+// checkpoint an IO v-sensor, exercising the third sensor component.
+func buildBTIO(s Scale) string {
+	return expand(`
+global int NITER = @ITERS@;
+global int CELLS = @CELLS@;
+global int CKPT_BYTES = @BYTES@;
+
+func compute_rhs(int cells) {
+    for (int c = 0; c < cells; c++) {
+        flops(220);
+        mem(120);
+    }
+}
+
+func solve_cells(int cells) {
+    for (int c = 0; c < cells; c++) {
+        for (int j = 0; j < 5; j++) {
+            flops(60);
+            mem(20);
+        }
+    }
+}
+
+func checkpoint() {
+    io_write(CKPT_BYTES);
+}
+
+func main() {
+    for (int iter = 0; iter < NITER; iter++) {
+        compute_rhs(CELLS);
+        solve_cells(CELLS);
+        solve_cells(CELLS);
+        solve_cells(CELLS);
+        if (iter % 5 == 0) {
+            checkpoint();
+        }
+        mpi_barrier();
+    }
+}
+`, map[string]int{"ITERS": s.Iters, "CELLS": s.Work, "BYTES": 262144})
+}
+
+// buildSP: scalar-pentadiagonal sweeps with fixed-size collectives, giving
+// both computation and network sensors ("61Comp+6Net" in the paper).
+func buildSP(s Scale) string {
+	return expand(`
+global int NITER = @ITERS@;
+global int CELLS = @CELLS@;
+
+func compute_rhs(int cells) {
+    for (int c = 0; c < cells; c++) {
+        flops(160);
+        mem(80);
+    }
+}
+
+func txinvr(int cells) {
+    for (int c = 0; c < cells; c++) {
+        flops(70);
+    }
+}
+
+func sweep(int cells) {
+    for (int line = 0; line < 8; line++) {
+        for (int c = 0; c < cells; c++) {
+            flops(55);
+            mem(15);
+        }
+    }
+}
+
+func stage_exchange(int bytes) {
+    mpi_alltoall(bytes);
+}
+
+func err_norm(float acc) float {
+    return mpi_allreduce(40, acc);
+}
+
+func main() {
+    float acc = 0.0;
+    for (int iter = 0; iter < NITER; iter++) {
+        compute_rhs(CELLS);
+        txinvr(CELLS);
+        sweep(CELLS);
+        stage_exchange(16384);
+        sweep(CELLS);
+        acc = err_norm(acc + 0.5);
+    }
+}
+`, map[string]int{"ITERS": s.Iters, "CELLS": s.Work})
+}
+
+// buildLU: SSOR iteration with lower/upper triangular sweeps. The wavefront
+// pipeline sends carry an iteration-dependent payload, so like BT only
+// computation sensors survive ("83Comp").
+func buildLU(s Scale) string {
+	return expand(`
+global int NITER = @ITERS@;
+global int BLOCKS = @BLOCKS@;
+
+func jacld(int blocks) {
+    for (int b = 0; b < blocks; b++) {
+        flops(140);
+        mem(60);
+    }
+}
+
+func blts(int blocks) {
+    for (int b = 0; b < blocks; b++) {
+        for (int k = 0; k < 4; k++) {
+            flops(50);
+        }
+    }
+}
+
+func jacu(int blocks) {
+    for (int b = 0; b < blocks; b++) {
+        flops(140);
+        mem(60);
+    }
+}
+
+func buts(int blocks) {
+    for (int b = 0; b < blocks; b++) {
+        for (int k = 0; k < 4; k++) {
+            flops(50);
+        }
+    }
+}
+
+func pipeline_send(int rank, int size, int iter) {
+    int peer = rank + 1;
+    if (peer >= size) {
+        peer = 0;
+    }
+    int bytes = 2048 + iter % 5 * 128;
+    if (rank % 2 == 0) {
+        mpi_send(peer, bytes, 1.0);
+    } else {
+        mpi_recv(rank - 1, bytes);
+    }
+}
+
+func rhs_update(int blocks) {
+    for (int b = 0; b < blocks; b++) {
+        flops(95);
+        mem(40);
+    }
+}
+
+func main() {
+    int rank = mpi_comm_rank();
+    int size = mpi_comm_size();
+    for (int iter = 0; iter < NITER; iter++) {
+        jacld(BLOCKS);
+        blts(BLOCKS);
+        pipeline_send(rank, size, iter);
+        jacu(BLOCKS);
+        buts(BLOCKS);
+        rhs_update(BLOCKS);
+    }
+}
+`, map[string]int{"ITERS": s.Iters, "BLOCKS": s.Work})
+}

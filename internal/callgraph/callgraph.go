@@ -1,0 +1,190 @@
+// Package callgraph builds the program call graph used by the whole-program
+// v-sensor analysis (paper §3.5, Fig. 10). The graph is preprocessed to
+// enable a bottom-up traversal: edges that would create cycles (recursive
+// invocations) are removed, and the functions involved are flagged so the
+// analysis can treat them conservatively. A topological sort then yields
+// the callee-before-caller order.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"vsensor/internal/ir"
+)
+
+// Graph is the preprocessed call graph of a program.
+type Graph struct {
+	// Callees maps each defined function to the set of defined functions it
+	// calls, after cycle removal.
+	Callees map[string]map[string]bool
+
+	// Callers is the reverse adjacency of Callees.
+	Callers map[string]map[string]bool
+
+	// Order lists defined functions callee-first (bottom-up).
+	Order []string
+
+	// Recursive marks functions that participate in a removed cycle
+	// (directly or mutually recursive). Their snippets are treated as
+	// never-fixed by the analysis.
+	Recursive map[string]bool
+
+	// RemovedEdges lists caller→callee edges dropped to break cycles.
+	RemovedEdges [][2]string
+}
+
+// Build constructs and preprocesses the call graph for p.
+// Calls to externs do not create edges (they are handled through the extern
+// registry); calls to unknown names are ignored here and treated as
+// never-fixed externs by the analysis.
+func Build(p *ir.Program) *Graph {
+	g := &Graph{
+		Callees:   make(map[string]map[string]bool),
+		Callers:   make(map[string]map[string]bool),
+		Recursive: make(map[string]bool),
+	}
+	for name := range p.Funcs {
+		g.Callees[name] = make(map[string]bool)
+		g.Callers[name] = make(map[string]bool)
+	}
+	for _, c := range p.Calls {
+		if _, defined := p.Funcs[c.Callee]; !defined {
+			continue
+		}
+		g.Callees[c.Func.Name][c.Callee] = true
+		g.Callers[c.Callee][c.Func.Name] = true
+	}
+	g.breakCycles()
+	g.topoSort()
+	return g
+}
+
+// breakCycles finds strongly connected components (Tarjan) and removes all
+// edges internal to any component of size > 1 — plus self-loops — flagging
+// every function involved as recursive.
+func (g *Graph) breakCycles() {
+	names := sortedKeys(g.Callees)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	comp := make(map[string]int) // function -> SCC id
+	ncomp := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range sortedKeys(g.Callees[v]) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	for _, v := range names {
+		for _, w := range sortedKeys(g.Callees[v]) {
+			sameComp := comp[v] == comp[w]
+			if (sameComp && compSize[comp[v]] > 1) || v == w {
+				delete(g.Callees[v], w)
+				delete(g.Callers[w], v)
+				g.RemovedEdges = append(g.RemovedEdges, [2]string{v, w})
+				g.Recursive[v] = true
+				g.Recursive[w] = true
+			}
+		}
+	}
+}
+
+// topoSort orders functions callee-first. The graph is acyclic after
+// breakCycles, so this always succeeds.
+func (g *Graph) topoSort() {
+	indeg := make(map[string]int) // number of (remaining) callees
+	for f, callees := range g.Callees {
+		indeg[f] = len(callees)
+	}
+	// Kahn's algorithm from the leaves (functions with no callees).
+	var ready []string
+	for _, f := range sortedKeys(g.Callees) {
+		if indeg[f] == 0 {
+			ready = append(ready, f)
+		}
+	}
+	for len(ready) > 0 {
+		f := ready[0]
+		ready = ready[1:]
+		g.Order = append(g.Order, f)
+		for _, caller := range sortedKeys(g.Callers[f]) {
+			indeg[caller]--
+			if indeg[caller] == 0 {
+				ready = append(ready, caller)
+			}
+		}
+	}
+	if len(g.Order) != len(g.Callees) {
+		// Unreachable: cycles were removed above.
+		panic(fmt.Sprintf("callgraph: topo sort emitted %d of %d functions", len(g.Order), len(g.Callees)))
+	}
+}
+
+// ReachableFrom returns the set of functions reachable from root
+// (including root itself if defined), following post-preprocessing edges.
+func (g *Graph) ReachableFrom(root string) map[string]bool {
+	seen := make(map[string]bool)
+	if _, ok := g.Callees[root]; !ok {
+		return seen
+	}
+	var visit func(string)
+	visit = func(f string) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for c := range g.Callees[f] {
+			visit(c)
+		}
+	}
+	visit(root)
+	return seen
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package callgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := ir.Build(minic.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(prog)
+}
+
+func indexOf(order []string, name string) int {
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTopoOrderCalleeFirst(t *testing.T) {
+	g := build(t, `
+func leaf() { flops(1); }
+func mid() { leaf(); }
+func main() { mid(); leaf(); }
+`)
+	if len(g.Order) != 3 {
+		t.Fatalf("order = %v", g.Order)
+	}
+	if !(indexOf(g.Order, "leaf") < indexOf(g.Order, "mid") && indexOf(g.Order, "mid") < indexOf(g.Order, "main")) {
+		t.Errorf("order = %v", g.Order)
+	}
+	if len(g.Recursive) != 0 || len(g.RemovedEdges) != 0 {
+		t.Errorf("unexpected recursion flags: %v %v", g.Recursive, g.RemovedEdges)
+	}
+}
+
+func TestSelfRecursionRemoved(t *testing.T) {
+	g := build(t, `
+func fact(int n) int {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+func main() { fact(5); }
+`)
+	if !g.Recursive["fact"] {
+		t.Error("fact not flagged recursive")
+	}
+	if g.Recursive["main"] {
+		t.Error("main wrongly flagged recursive")
+	}
+	if g.Callees["fact"]["fact"] {
+		t.Error("self edge not removed")
+	}
+	if indexOf(g.Order, "fact") > indexOf(g.Order, "main") {
+		t.Errorf("order = %v", g.Order)
+	}
+}
+
+func TestMutualRecursionRemoved(t *testing.T) {
+	g := build(t, `
+func even(int n) int { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(int n) int { if (n == 0) { return 0; } return even(n - 1); }
+func main() { even(10); }
+`)
+	if !g.Recursive["even"] || !g.Recursive["odd"] {
+		t.Errorf("recursion flags: %v", g.Recursive)
+	}
+	if len(g.Order) != 3 {
+		t.Errorf("order = %v", g.Order)
+	}
+	// Both cycle edges removed.
+	if g.Callees["even"]["odd"] || g.Callees["odd"]["even"] {
+		t.Error("cycle edges remain")
+	}
+	// main -> even edge survives.
+	if !g.Callees["main"]["even"] {
+		t.Error("main->even edge lost")
+	}
+}
+
+func TestExternCallsNoEdges(t *testing.T) {
+	g := build(t, `func main() { mpi_barrier(); flops(10); unknown_fn(); }`)
+	if len(g.Callees["main"]) != 0 {
+		t.Errorf("extern calls created edges: %v", g.Callees["main"])
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := build(t, `
+func a() { b(); }
+func b() { flops(1); }
+func orphan() { flops(1); }
+func main() { a(); }
+`)
+	r := g.ReachableFrom("main")
+	if !r["main"] || !r["a"] || !r["b"] {
+		t.Errorf("reachable = %v", r)
+	}
+	if r["orphan"] {
+		t.Error("orphan wrongly reachable")
+	}
+	if len(g.ReachableFrom("nonexistent")) != 0 {
+		t.Error("unknown root should be empty")
+	}
+}
+
+// Property: for random DAG-ish programs, the topological order places every
+// callee before its caller, covers all functions exactly once, and is
+// deterministic.
+func TestQuickTopoProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := genProgram(seed)
+		prog, err := ir.Build(minic.MustParse(src))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		g := Build(prog)
+		g2 := Build(prog)
+		if len(g.Order) != len(prog.Funcs) {
+			return false
+		}
+		for i := range g.Order {
+			if g.Order[i] != g2.Order[i] {
+				return false // nondeterministic
+			}
+		}
+		seen := make(map[string]int)
+		for i, f := range g.Order {
+			seen[f] = i
+		}
+		for caller, callees := range g.Callees {
+			for callee := range callees {
+				if seen[callee] > seen[caller] {
+					t.Logf("seed %d: %s before its callee %s in %v", seed, caller, callee, g.Order)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genProgram builds a random call structure over N functions; edges may
+// include cycles, which Build must break.
+func genProgram(seed int64) string {
+	rng := seed
+	next := func(n int64) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := (rng >> 33) % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	n := next(6) + 2
+	src := ""
+	for i := int64(0); i < n; i++ {
+		src += "func f" + string(rune('a'+i)) + "() {\n"
+		calls := next(3)
+		for j := int64(0); j < calls; j++ {
+			target := next(n)
+			src += "    f" + string(rune('a'+target)) + "();\n"
+		}
+		src += "    flops(1);\n}\n"
+	}
+	return src
+}

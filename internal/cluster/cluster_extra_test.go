@@ -1,0 +1,75 @@
+package cluster
+
+import "testing"
+
+func TestAccessors(t *testing.T) {
+	c := New(Config{Nodes: 3, RanksPerNode: 4, Seed: 9})
+	if c.Node(1).ID != 1 {
+		t.Error("Node accessor wrong")
+	}
+	if cfg := c.Config(); cfg.Nodes != 3 || cfg.RanksPerNode != 4 || cfg.Seed != 9 {
+		t.Errorf("Config = %+v", cfg)
+	}
+	// Rank placement wraps safely for out-of-range ranks.
+	if c.NodeOf(12).ID != 0 {
+		t.Error("rank wraparound wrong")
+	}
+}
+
+func TestSetNodeCPUSpeed(t *testing.T) {
+	c := New(Config{Nodes: 2, RanksPerNode: 2})
+	c.SetNodeCPUSpeed(1, 0.5)
+	if c.CPUFactor(2, 0) != 0.5 || c.CPUFactor(0, 0) != 1.0 {
+		t.Error("per-node CPU speed wrong")
+	}
+	fast := c.ComputeCost(0, 0, 1e6, 0)
+	slow := c.ComputeCost(2, 0, 1e6, 0)
+	if slow < fast*19/10 {
+		t.Errorf("half-speed node should take ~2x: %d vs %d", slow, fast)
+	}
+}
+
+func TestAddMemNoiseWindow(t *testing.T) {
+	c := New(Config{Nodes: 2, RanksPerNode: 1})
+	c.AddMemNoise(0, 100, 200, 0.25)
+	if c.MemFactor(0, 150) != 0.25 {
+		t.Error("mem noise not applied inside window")
+	}
+	if c.MemFactor(0, 50) != 1.0 || c.MemFactor(0, 200) != 1.0 {
+		t.Error("mem noise leaked outside window")
+	}
+	if c.MemFactor(1, 150) != 1.0 {
+		t.Error("mem noise leaked to other node")
+	}
+}
+
+func TestIOWindowAndCost(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	base := c.IOCost(0, 1<<20)
+	if base <= 0 {
+		t.Fatal("io cost must be positive")
+	}
+	c.AddIOWindow(1000, 2000, 0.1)
+	if c.IOFactor(500) != 1.0 || c.IOFactor(1500) != 0.1 {
+		t.Error("io factor windowing wrong")
+	}
+	slow := c.IOCost(1500, 1<<20)
+	if slow < base*9 {
+		t.Errorf("storm should slow IO ~10x: %d vs %d", slow, base)
+	}
+	// Stacked windows multiply.
+	c.AddIOWindow(1400, 1600, 0.5)
+	if got := c.IOFactor(1500); got != 0.05 {
+		t.Errorf("stacked factor = %v", got)
+	}
+}
+
+func TestZeroNodeConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.Ranks() != 1 {
+		t.Errorf("default ranks = %d", c.Ranks())
+	}
+	if c.ComputeCost(0, 0, 100, 100) <= 0 {
+		t.Error("default cluster cannot compute")
+	}
+}

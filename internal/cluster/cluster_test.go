@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{Nodes: 4, RanksPerNode: 8})
+	if c.Ranks() != 32 {
+		t.Errorf("ranks = %d", c.Ranks())
+	}
+	if c.NodeOf(0).ID != 0 || c.NodeOf(7).ID != 0 || c.NodeOf(8).ID != 1 || c.NodeOf(31).ID != 3 {
+		t.Error("rank placement wrong")
+	}
+	if c.CPUFactor(0, 0) != 1.0 || c.MemFactor(0, 0) != 1.0 || c.NetFactor(0) != 1.0 {
+		t.Error("baseline factors should be 1.0")
+	}
+}
+
+func TestBadNodeMemory(t *testing.T) {
+	c := New(Config{Nodes: 4, RanksPerNode: 4})
+	c.SetNodeMemSpeed(2, 0.55)
+	// Ranks 8..11 live on node 2.
+	if c.MemFactor(9, 0) != 0.55 {
+		t.Errorf("mem factor = %v", c.MemFactor(9, 0))
+	}
+	if c.MemFactor(4, 0) != 1.0 {
+		t.Error("other nodes unaffected")
+	}
+	// Memory-heavy work on the bad node takes ~1/0.55 longer.
+	good := c.ComputeCost(4, 0, 0, 1e6)
+	bad := c.ComputeCost(9, 0, 0, 1e6)
+	ratio := float64(bad) / float64(good)
+	if ratio < 1.7 || ratio > 1.95 {
+		t.Errorf("bad node slowdown ratio = %v", ratio)
+	}
+}
+
+func TestCPUNoiseWindow(t *testing.T) {
+	c := New(Config{Nodes: 2, RanksPerNode: 2})
+	c.AddCPUNoise(1, 1000, 2000, 0.5)
+	if c.CPUFactor(2, 500) != 1.0 {
+		t.Error("before window")
+	}
+	if c.CPUFactor(2, 1500) != 0.5 {
+		t.Error("inside window")
+	}
+	if c.CPUFactor(2, 2000) != 1.0 {
+		t.Error("window end is exclusive")
+	}
+	if c.CPUFactor(0, 1500) != 1.0 {
+		t.Error("other node unaffected")
+	}
+}
+
+func TestNetWindow(t *testing.T) {
+	c := New(Config{Nodes: 2, RanksPerNode: 2})
+	c.AddNetWindow(10_000, 20_000, 0.25)
+	before := c.P2PCost(0, 1<<20)
+	during := c.P2PCost(15_000, 1<<20)
+	if during <= before*3 {
+		t.Errorf("congested transfer should be ~4x slower: %d vs %d", during, before)
+	}
+	bar := c.CollectiveCost("barrier", 64, 0, 15_000)
+	barNorm := c.CollectiveCost("barrier", 64, 0, 0)
+	if bar <= barNorm*3 {
+		t.Errorf("congested barrier: %d vs %d", bar, barNorm)
+	}
+}
+
+func TestOSNoisePeriodicity(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	c.SetOSNoise(1000, 100, 0.2)
+	if c.CPUFactor(0, 50) != 0.2 {
+		t.Error("inside noise slice")
+	}
+	if c.CPUFactor(0, 500) != 1.0 {
+		t.Error("outside noise slice")
+	}
+	if c.CPUFactor(0, 1050) != 0.2 {
+		t.Error("noise should repeat periodically")
+	}
+}
+
+func TestCollectiveCosts(t *testing.T) {
+	c := New(Config{Nodes: 16, RanksPerNode: 4})
+	// alltoall must dominate the others at scale, and costs must grow
+	// with rank count.
+	p64 := c.CollectiveCost("alltoall", 64, 4096, 0)
+	p16 := c.CollectiveCost("alltoall", 16, 4096, 0)
+	if p64 <= p16 {
+		t.Errorf("alltoall should scale with P: %d vs %d", p64, p16)
+	}
+	if c.CollectiveCost("alltoall", 64, 4096, 0) <= c.CollectiveCost("allreduce", 64, 4096, 0) {
+		t.Error("alltoall should cost more than allreduce at P=64")
+	}
+	if c.CollectiveCost("barrier", 1, 0, 0) != 1 {
+		t.Error("P=1 collective should be trivial")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown collective should panic")
+		}
+	}()
+	c.CollectiveCost("gossip", 4, 0, 0)
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 4, Seed: 42, JitterPct: 0.05})
+	a := c.ComputeCost(1, 12345, 1e6, 0)
+	b := c.ComputeCost(1, 12345, 1e6, 0)
+	if a != b {
+		t.Error("jitter not deterministic")
+	}
+	// Bounded within ±5%.
+	f := func(rank uint8, tRaw int64) bool {
+		t0 := tRaw % 1_000_000_000
+		if t0 < 0 {
+			t0 = -t0
+		}
+		cost := c.ComputeCost(int(rank)%4, t0, 1e6, 0)
+		return cost >= 950_000 && cost <= 1_050_001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeCostMinimum(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	if got := c.ComputeCost(0, 0, 0, 0); got != 1 {
+		t.Errorf("zero work should cost 1ns, got %d", got)
+	}
+}
+
+func TestSeedChangesJitter(t *testing.T) {
+	a := New(Config{Nodes: 1, RanksPerNode: 1, Seed: 1, JitterPct: 0.05})
+	b := New(Config{Nodes: 1, RanksPerNode: 1, Seed: 2, JitterPct: 0.05})
+	same := 0
+	for t0 := int64(0); t0 < 100; t0 += 7 {
+		if a.ComputeCost(0, t0, 1e6, 0) == b.ComputeCost(0, t0, 1e6, 0) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds should produce different jitter (%d/15 same)", same)
+	}
+}

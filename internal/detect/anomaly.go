@@ -1,0 +1,131 @@
+package detect
+
+// Workload-anomaly discrimination. A v-sensor's workload is fixed by
+// construction, so its PMU instruction count must stay constant even when
+// its execution time varies — that is what lets vSensor blame the system.
+// If the *instruction count itself* drifts, something else is wrong: the
+// snippet was mis-identified (a soundness escape), the program has
+// data-dependent behaviour the static rules missed, or the user described
+// an extern incorrectly. Separating the two cases keeps time-variance
+// reports trustworthy (paper §5.3 notes more PMU metrics can be folded in;
+// §6.2 uses instruction counts for validation — this does the same check
+// on-line).
+
+// AnomalyKind classifies a slice-level deviation.
+type AnomalyKind int
+
+// Anomaly kinds.
+const (
+	// SystemVariance: time changed, workload constant — the machine's
+	// fault (the paper's performance variance).
+	SystemVariance AnomalyKind = iota
+	// WorkloadAnomaly: the measured instruction count drifted beyond
+	// measurement error — the sensor is not actually fixed-workload.
+	WorkloadAnomaly
+)
+
+// String names the anomaly kind.
+func (k AnomalyKind) String() string {
+	if k == WorkloadAnomaly {
+		return "workload-anomaly"
+	}
+	return "system-variance"
+}
+
+// Anomaly is a classified deviation for one sensor slice.
+type Anomaly struct {
+	Kind    AnomalyKind
+	Sensor  int
+	Group   int
+	SliceNs int64
+	// Perf is the normalized time performance (system variance).
+	Perf float64
+	// InstrRatio is AvgInstr relative to the sensor's baseline
+	// (workload anomaly when outside the tolerance band).
+	InstrRatio float64
+}
+
+// AnomalyConfig tunes the discrimination.
+type AnomalyConfig struct {
+	// PerfThreshold flags system variance below this normalized
+	// performance (default 0.8).
+	PerfThreshold float64
+	// InstrTolerance is the acceptable relative deviation of the
+	// instruction count from baseline, covering PMU measurement error
+	// (default 0.02 = ±2%).
+	InstrTolerance float64
+}
+
+func (c AnomalyConfig) withDefaults() AnomalyConfig {
+	if c.PerfThreshold == 0 {
+		c.PerfThreshold = DefaultVarianceThreshold
+	}
+	if c.InstrTolerance == 0 {
+		c.InstrTolerance = 0.02
+	}
+	return c
+}
+
+// AnomalyDetector consumes slice records and classifies deviations. It
+// implements Emitter and chains behind a Detector via Fanout. One per rank;
+// not safe for concurrent use.
+type AnomalyDetector struct {
+	cfg AnomalyConfig
+
+	// Per (sensor, group): fastest time and baseline instruction count.
+	bestNs    map[groupKey]float64
+	baseInstr map[groupKey]float64
+
+	anomalies []Anomaly
+}
+
+// NewAnomalyDetector builds a detector.
+func NewAnomalyDetector(cfg AnomalyConfig) *AnomalyDetector {
+	return &AnomalyDetector{
+		cfg:       cfg.withDefaults(),
+		bestNs:    make(map[groupKey]float64),
+		baseInstr: make(map[groupKey]float64),
+	}
+}
+
+// OnSlice classifies one smoothed record.
+func (a *AnomalyDetector) OnSlice(r SliceRecord) {
+	if r.AvgNs <= 0 {
+		return
+	}
+	k := groupKey{sensor: r.Sensor, group: r.Group}
+
+	// Workload check first: a drifted instruction count invalidates the
+	// time comparison entirely.
+	if r.AvgInstr > 0 {
+		base, seen := a.baseInstr[k]
+		if !seen {
+			a.baseInstr[k] = r.AvgInstr
+		} else {
+			ratio := r.AvgInstr / base
+			if ratio > 1+a.cfg.InstrTolerance || ratio < 1-a.cfg.InstrTolerance {
+				a.anomalies = append(a.anomalies, Anomaly{
+					Kind: WorkloadAnomaly, Sensor: r.Sensor, Group: r.Group,
+					SliceNs: r.SliceNs, InstrRatio: ratio,
+				})
+				return
+			}
+		}
+	}
+
+	best, seen := a.bestNs[k]
+	if !seen || r.AvgNs < best {
+		a.bestNs[k] = r.AvgNs
+		best = a.bestNs[k]
+	}
+	perf := best / r.AvgNs
+	if perf < a.cfg.PerfThreshold {
+		a.anomalies = append(a.anomalies, Anomaly{
+			Kind: SystemVariance, Sensor: r.Sensor, Group: r.Group,
+			SliceNs: r.SliceNs, Perf: perf, InstrRatio: 1,
+		})
+	}
+}
+
+// Anomalies returns the classified deviations in arrival order.
+func (a *AnomalyDetector) Anomalies() []Anomaly { return a.anomalies }

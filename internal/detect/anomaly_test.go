@@ -1,0 +1,102 @@
+package detect
+
+import (
+	"testing"
+
+	"vsensor/internal/vm"
+)
+
+func TestAnomalySystemVariance(t *testing.T) {
+	a := NewAnomalyDetector(AnomalyConfig{})
+	// Constant workload (1000 instr), time degrades in the second half.
+	for i := int64(0); i < 10; i++ {
+		avg := 100.0
+		if i >= 5 {
+			avg = 200
+		}
+		a.OnSlice(SliceRecord{Sensor: 0, SliceNs: i * 1_000_000, Count: 10, AvgNs: avg, AvgInstr: 1000})
+	}
+	got := a.Anomalies()
+	if len(got) != 5 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	for _, x := range got {
+		if x.Kind != SystemVariance {
+			t.Errorf("kind = %v", x.Kind)
+		}
+		if x.Perf > 0.51 || x.Perf < 0.49 {
+			t.Errorf("perf = %v", x.Perf)
+		}
+	}
+}
+
+func TestAnomalyWorkloadDrift(t *testing.T) {
+	a := NewAnomalyDetector(AnomalyConfig{})
+	// Time degrades BECAUSE the instruction count grew: workload anomaly,
+	// not system variance.
+	a.OnSlice(SliceRecord{Sensor: 0, SliceNs: 0, Count: 10, AvgNs: 100, AvgInstr: 1000})
+	a.OnSlice(SliceRecord{Sensor: 0, SliceNs: 1_000_000, Count: 10, AvgNs: 200, AvgInstr: 2000})
+	got := a.Anomalies()
+	if len(got) != 1 || got[0].Kind != WorkloadAnomaly {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	if got[0].InstrRatio != 2.0 {
+		t.Errorf("instr ratio = %v", got[0].InstrRatio)
+	}
+}
+
+func TestAnomalyToleratesPMUJitter(t *testing.T) {
+	a := NewAnomalyDetector(AnomalyConfig{InstrTolerance: 0.02})
+	a.OnSlice(SliceRecord{Sensor: 0, SliceNs: 0, Count: 10, AvgNs: 100, AvgInstr: 1000})
+	a.OnSlice(SliceRecord{Sensor: 0, SliceNs: 1_000_000, Count: 10, AvgNs: 101, AvgInstr: 1015}) // 1.5% drift
+	if got := a.Anomalies(); len(got) != 0 {
+		t.Errorf("jitter-level drift flagged: %+v", got)
+	}
+}
+
+func TestAnomalyPerGroupBaselines(t *testing.T) {
+	// Two dynamic-rule groups with different instruction counts are each
+	// compared against their own baseline.
+	a := NewAnomalyDetector(AnomalyConfig{})
+	for i := int64(0); i < 6; i++ {
+		a.OnSlice(SliceRecord{Sensor: 0, Group: 0, SliceNs: i * 1_000_000, Count: 1, AvgNs: 100, AvgInstr: 1000})
+		a.OnSlice(SliceRecord{Sensor: 0, Group: 1, SliceNs: i * 1_000_000, Count: 1, AvgNs: 300, AvgInstr: 3000})
+	}
+	if got := a.Anomalies(); len(got) != 0 {
+		t.Errorf("per-group baselines violated: %+v", got)
+	}
+}
+
+func TestAnomalyKindString(t *testing.T) {
+	if SystemVariance.String() != "system-variance" || WorkloadAnomaly.String() != "workload-anomaly" {
+		t.Error("kind names wrong")
+	}
+}
+
+// Integration with the Detector via Fanout.
+func TestAnomalyBehindDetector(t *testing.T) {
+	an := NewAnomalyDetector(AnomalyConfig{})
+	d := New(0, mkSensors(), Config{SliceNs: 1_000_000}, Fanout{an})
+	// Degrading times, constant instr.
+	for i := 0; i < 400; i++ {
+		s := int64(i) * 50_000
+		dur := int64(20_000)
+		if i >= 200 {
+			dur = 40_000
+		}
+		d.OnRecord(vm.Record{Sensor: 0, Start: s, End: s + dur, Instr: 500})
+	}
+	d.Finish()
+	sys, wl := 0, 0
+	for _, x := range an.Anomalies() {
+		switch x.Kind {
+		case SystemVariance:
+			sys++
+		case WorkloadAnomaly:
+			wl++
+		}
+	}
+	if sys == 0 || wl != 0 {
+		t.Errorf("sys=%d wl=%d", sys, wl)
+	}
+}

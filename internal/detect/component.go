@@ -1,0 +1,128 @@
+package detect
+
+import (
+	"sort"
+
+	"vsensor/internal/ir"
+)
+
+// ComponentTracker implements the per-type data merging of paper §5.2:
+// "different v-sensors of the same type represent the performance of the
+// same system component, so their performance data can be merged to improve
+// detection accuracy" — ten network sensors each firing once per 1000µs
+// let the merged stream judge network performance every 100µs.
+//
+// The tracker consumes normalized per-sensor slice performances and
+// re-aggregates them into finer component sub-slices. One tracker serves
+// one rank; it is not safe for concurrent use.
+type ComponentTracker struct {
+	subSliceNs int64
+	threshold  float64
+
+	sensors map[int]*Sensor
+	// best per sensor (standard time, §5.3) for normalization.
+	best map[int]float64
+
+	agg    map[compKey]*compAgg
+	events []ComponentEvent
+}
+
+type compKey struct {
+	typ ir.SnippetType
+	sub int64
+}
+
+type compAgg struct {
+	sum float64
+	n   int
+}
+
+// ComponentEvent is a merged-stream variance detection: a component whose
+// aggregate normalized performance dropped below threshold in a sub-slice.
+type ComponentEvent struct {
+	Type    ir.SnippetType
+	SliceNs int64
+	Perf    float64
+	Samples int
+}
+
+// NewComponentTracker builds a tracker at the given sub-slice resolution
+// (e.g. 100µs against the detector's 1000µs slices) and threshold.
+func NewComponentTracker(sensors []Sensor, subSliceNs int64, threshold float64) *ComponentTracker {
+	if subSliceNs <= 0 {
+		subSliceNs = DefaultSliceNs / 10
+	}
+	if threshold == 0 {
+		threshold = DefaultVarianceThreshold
+	}
+	t := &ComponentTracker{
+		subSliceNs: subSliceNs,
+		threshold:  threshold,
+		sensors:    make(map[int]*Sensor, len(sensors)),
+		best:       make(map[int]float64),
+		agg:        make(map[compKey]*compAgg),
+	}
+	for i := range sensors {
+		s := sensors[i]
+		t.sensors[s.ID] = &s
+	}
+	return t
+}
+
+// OnSlice merges one smoothed sensor record into its component stream.
+// It can be chained after a Detector by a fan-out Emitter.
+func (t *ComponentTracker) OnSlice(r SliceRecord) {
+	s := t.sensors[r.Sensor]
+	if s == nil || r.AvgNs <= 0 {
+		return
+	}
+	if b, ok := t.best[r.Sensor]; !ok || r.AvgNs < b {
+		t.best[r.Sensor] = r.AvgNs
+	}
+	perf := t.best[r.Sensor] / r.AvgNs
+	key := compKey{typ: s.Type, sub: r.SliceNs - r.SliceNs%t.subSliceNs}
+	a := t.agg[key]
+	if a == nil {
+		a = &compAgg{}
+		t.agg[key] = a
+	}
+	a.sum += perf
+	a.n++
+}
+
+// Finish evaluates all merged sub-slices and returns the component events,
+// ordered by time then component.
+func (t *ComponentTracker) Finish() []ComponentEvent {
+	keys := make([]compKey, 0, len(t.agg))
+	for k := range t.agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sub != keys[j].sub {
+			return keys[i].sub < keys[j].sub
+		}
+		return keys[i].typ < keys[j].typ
+	})
+	t.events = t.events[:0]
+	for _, k := range keys {
+		a := t.agg[k]
+		perf := a.sum / float64(a.n)
+		if perf < t.threshold {
+			t.events = append(t.events, ComponentEvent{
+				Type: k.typ, SliceNs: k.sub, Perf: perf, Samples: a.n,
+			})
+		}
+	}
+	return t.events
+}
+
+// Fanout duplicates slice records to several emitters (e.g. the analysis-
+// server client plus a ComponentTracker).
+type Fanout []Emitter
+
+// OnSlice forwards to every emitter.
+func (f Fanout) OnSlice(r SliceRecord) {
+	for _, e := range f {
+		e.OnSlice(r)
+	}
+}

@@ -1,0 +1,104 @@
+package detect
+
+import (
+	"testing"
+
+	"vsensor/internal/ir"
+)
+
+func netSensors(n int) []Sensor {
+	out := make([]Sensor, n)
+	for i := range out {
+		out[i] = Sensor{ID: i, Type: ir.Network, ProcessFixed: true}
+	}
+	return out
+}
+
+// Ten network sensors, each producing one slice record per 1000µs but
+// staggered by 100µs: the merged stream judges the network every 100µs,
+// catching a degradation narrower than any single sensor's cadence.
+func TestComponentMergingImprovesResolution(t *testing.T) {
+	tr := NewComponentTracker(netSensors(10), 100_000, 0.8)
+	// 20 major slices; sensors staggered; degradation in the narrow band
+	// [5.2ms, 5.5ms) only.
+	for major := int64(0); major < 20; major++ {
+		for s := 0; s < 10; s++ {
+			at := major*1_000_000 + int64(s)*100_000
+			avg := 100.0
+			if at >= 5_200_000 && at < 5_500_000 {
+				avg = 260
+			}
+			tr.OnSlice(SliceRecord{Sensor: s, Rank: 0, SliceNs: at, Count: 10, AvgNs: avg})
+		}
+	}
+	events := tr.Finish()
+	if len(events) != 3 {
+		t.Fatalf("events = %+v", events)
+	}
+	for i, e := range events {
+		want := int64(5_200_000 + i*100_000)
+		if e.SliceNs != want || e.Type != ir.Network {
+			t.Errorf("event %d = %+v, want sub-slice %d", i, e, want)
+		}
+		if e.Perf > 0.45 {
+			t.Errorf("event perf = %v", e.Perf)
+		}
+	}
+}
+
+func TestComponentSeparation(t *testing.T) {
+	sensors := []Sensor{
+		{ID: 0, Type: ir.Computation},
+		{ID: 1, Type: ir.Network},
+	}
+	tr := NewComponentTracker(sensors, 1_000_000, 0.8)
+	for i := int64(0); i < 10; i++ {
+		// Computation degrades midway; network stays clean.
+		comp := 100.0
+		if i >= 5 {
+			comp = 300
+		}
+		tr.OnSlice(SliceRecord{Sensor: 0, SliceNs: i * 1_000_000, Count: 1, AvgNs: comp})
+		tr.OnSlice(SliceRecord{Sensor: 1, SliceNs: i * 1_000_000, Count: 1, AvgNs: 50})
+	}
+	for _, e := range tr.Finish() {
+		if e.Type != ir.Computation {
+			t.Errorf("unexpected %v event: %+v", e.Type, e)
+		}
+	}
+}
+
+func TestComponentTrackerIgnoresUnknownSensors(t *testing.T) {
+	tr := NewComponentTracker(netSensors(1), 0, 0)
+	tr.OnSlice(SliceRecord{Sensor: 99, SliceNs: 0, Count: 1, AvgNs: 100})
+	tr.OnSlice(SliceRecord{Sensor: 0, SliceNs: 0, Count: 1, AvgNs: 0}) // degenerate
+	if events := tr.Finish(); len(events) != 0 {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	a, b := &sliceCollector{}, &sliceCollector{}
+	f := Fanout{a, b}
+	f.OnSlice(SliceRecord{Sensor: 1, SliceNs: 5})
+	if len(a.recs) != 1 || len(b.recs) != 1 {
+		t.Error("fanout did not duplicate")
+	}
+}
+
+// The tracker composes with a Detector through Fanout.
+func TestDetectorToTrackerPipeline(t *testing.T) {
+	tr := NewComponentTracker(netSensors(2), 1_000_000, 0.8)
+	col := &sliceCollector{}
+	d := New(0, mkSensors(), Config{SliceNs: 1_000_000}, Fanout{col, tr})
+	feed(d, 1, 0, 100_000, 20_000, 40, 0)         // clean
+	feed(d, 1, 4_000_000, 100_000, 60_000, 40, 0) // degraded
+	d.Finish()
+	events := tr.Finish()
+	if len(events) == 0 {
+		t.Fatal("merged stream missed the degradation")
+	}
+	if len(col.recs) == 0 {
+		t.Fatal("fanout starved the other emitter")
+	}
+}

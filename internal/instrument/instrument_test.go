@@ -1,0 +1,205 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"vsensor/internal/analysis"
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+func apply(t *testing.T, src string, cfg Config) *Instrumented {
+	t.Helper()
+	prog, err := ir.Build(minic.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Apply(analysis.Analyze(prog), cfg)
+}
+
+const nestedSrc = `
+func inner() {
+    for (int j = 0; j < 10; j++) {
+        flops(5);
+    }
+}
+
+func main() {
+    for (int n = 0; n < 100; n++) {
+        for (int k = 0; k < 10; k++) {
+            inner();
+        }
+        for (int m = 0; m < 20; m++) {
+            flops(3);
+        }
+    }
+}
+`
+
+func TestNestedExclusionPrefersOutermost(t *testing.T) {
+	ins := apply(t, nestedSrc, Config{})
+	// The k-loop (calls inner with no varying work) is a global sensor at
+	// depth 1; selecting it must exclude the call to inner, the loop inside
+	// inner, and the flops call inside inner. The m-loop is selected; the
+	// flops(3) call within it is excluded.
+	names := make(map[string]bool)
+	for _, s := range ins.Sensors {
+		names[s.Snippet.Func.Name+":"+s.Snippet.ID()] = true
+	}
+	if len(ins.Sensors) != 2 {
+		t.Fatalf("sensors = %d (%v)", len(ins.Sensors), names)
+	}
+	for _, s := range ins.Sensors {
+		if s.Snippet.Func.Name != "main" || s.Snippet.Loop == nil || s.Snippet.Loop.Depth != 1 {
+			t.Errorf("unexpected sensor %s", s.Name)
+		}
+	}
+}
+
+func TestKeepNestedAblation(t *testing.T) {
+	base := apply(t, nestedSrc, Config{})
+	kept := apply(t, nestedSrc, Config{KeepNested: true})
+	if len(kept.Sensors) <= len(base.Sensors) {
+		t.Errorf("KeepNested should select more sensors: %d vs %d", len(kept.Sensors), len(base.Sensors))
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	src := `
+func main() {
+    for (int a = 0; a < 4; a++) {
+        for (int b = 0; b < 4; b++) {
+            for (int c = 0; c < 4; c++) {
+                for (int d = 0; d < 4; d++) {
+                    flops(1);
+                }
+            }
+        }
+    }
+}`
+	// With KeepNested, depth filtering is directly observable.
+	deep := apply(t, src, Config{MaxDepth: 4, KeepNested: true})
+	shallow := apply(t, src, Config{MaxDepth: 1, KeepNested: true})
+	if len(shallow.Sensors) >= len(deep.Sensors) {
+		t.Errorf("maxdepth=1 should instrument fewer sensors: %d vs %d", len(shallow.Sensors), len(deep.Sensors))
+	}
+	for _, s := range shallow.Sensors {
+		if s.Snippet.Depth >= 1 {
+			t.Errorf("sensor %s exceeds max depth", s.Name)
+		}
+	}
+}
+
+func TestRequireProcessFixed(t *testing.T) {
+	src := `
+func main() {
+    int rank = mpi_comm_rank();
+    for (int n = 0; n < 100; n++) {
+        for (int k = 0; k < 10; k++) {
+            if (rank % 2 == 1) {
+                flops(5);
+            }
+        }
+        for (int m = 0; m < 10; m++) {
+            flops(5);
+        }
+    }
+}`
+	all := apply(t, src, Config{})
+	var rankDependent bool
+	for _, s := range all.Sensors {
+		if !s.ProcessFixed {
+			rankDependent = true
+		}
+	}
+	if !rankDependent {
+		t.Fatal("expected a rank-dependent sensor without the filter")
+	}
+	// With the filter, the rank-dependent k-loop is dropped; the
+	// process-fixed flops call inside it gets promoted instead.
+	fixed := apply(t, src, Config{RequireProcessFixed: true})
+	for _, s := range fixed.Sensors {
+		if !s.ProcessFixed {
+			t.Errorf("sensor %s not process fixed", s.Name)
+		}
+		if s.Snippet.Loop != nil && s.Snippet.Loop.IndVar == "k" {
+			t.Errorf("rank-dependent k-loop still selected")
+		}
+	}
+}
+
+func TestSensorIDsAndMaps(t *testing.T) {
+	ins := apply(t, nestedSrc, Config{})
+	for i, s := range ins.Sensors {
+		if s.ID != i {
+			t.Errorf("sensor %d has ID %d", i, s.ID)
+		}
+		if s.Snippet.Loop != nil && ins.LoopSensor[s.Snippet.Loop.ID] != s {
+			t.Errorf("LoopSensor map inconsistent for %s", s.Name)
+		}
+		if s.Snippet.Call != nil && ins.CallSensor[s.Snippet.Call.ID] != s {
+			t.Errorf("CallSensor map inconsistent for %s", s.Name)
+		}
+	}
+}
+
+func TestEmitSource(t *testing.T) {
+	ins := apply(t, nestedSrc, Config{})
+	out := ins.EmitSource()
+	if strings.Count(out, "vs_tick(") != 2 || strings.Count(out, "vs_tock(") != 2 {
+		t.Fatalf("expected 2 tick/tock pairs:\n%s", out)
+	}
+	// Instrumented source must still parse.
+	if _, err := minic.Parse(out); err != nil {
+		t.Fatalf("instrumented source does not parse: %v\n%s", err, out)
+	}
+	// Probes must be properly nested around the loops.
+	tick := strings.Index(out, "vs_tick(0);")
+	tock := strings.Index(out, "vs_tock(0);")
+	if tick == -1 || tock == -1 || tick > tock {
+		t.Errorf("probe ordering wrong:\n%s", out)
+	}
+}
+
+func TestTypeSummary(t *testing.T) {
+	src := `
+func main() {
+    for (int n = 0; n < 100; n++) {
+        for (int k = 0; k < 10; k++) {
+            flops(5);
+        }
+        mpi_allreduce(64);
+        io_write(4096);
+    }
+}`
+	ins := apply(t, src, Config{})
+	sum := ins.TypeSummary()
+	if !strings.Contains(sum, "Comp") || !strings.Contains(sum, "Net") || !strings.Contains(sum, "IO") {
+		t.Errorf("TypeSummary = %q", sum)
+	}
+	counts := ins.CountByType()
+	if counts[ir.Computation] != 1 || counts[ir.Network] != 1 || counts[ir.IO] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestCallSensorEmission(t *testing.T) {
+	src := `
+func main() {
+    for (int n = 0; n < 100; n++) {
+        mpi_allreduce(64);
+    }
+}`
+	ins := apply(t, src, Config{})
+	if len(ins.Sensors) != 1 || ins.Sensors[0].Type != ir.Network {
+		t.Fatalf("sensors = %+v", ins.Sensors)
+	}
+	out := ins.EmitSource()
+	if !strings.Contains(out, "vs_tick(0);") {
+		t.Errorf("call probe missing:\n%s", out)
+	}
+	if _, err := minic.Parse(out); err != nil {
+		t.Fatalf("instrumented source does not parse: %v", err)
+	}
+}

@@ -1,0 +1,275 @@
+package ir
+
+import (
+	"fmt"
+
+	"vsensor/internal/minic"
+)
+
+// Check performs semantic analysis on a built program and returns all
+// diagnostics found: undeclared variables, arity mismatches on defined
+// functions and described externs, value use of void calls, indexing of
+// scalars, assignment to loop induction variables of the wrong shape,
+// break/continue outside loops, and duplicate parameter names. Calls to
+// unknown extern functions are NOT errors — the paper treats undescribed
+// externals as legal, never-fixed-workload calls (§3.5).
+func Check(p *Program) []error {
+	c := &checker{prog: p}
+	for _, f := range p.AST.Funcs {
+		c.checkFunc(f)
+	}
+	return c.errs
+}
+
+// CheckStrict is Check but returns the first diagnostic as an error,
+// suitable for gating a pipeline.
+func CheckStrict(p *Program) error {
+	if errs := Check(p); len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+type checker struct {
+	prog *Program
+	errs []error
+
+	fn        *minic.FuncDecl
+	scopes    []map[string]minic.Type
+	loopDepth int
+}
+
+func (c *checker) errf(pos minic.Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]minic.Type{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos minic.Pos, name string, t minic.Type) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errf(pos, "%s redeclared in the same scope", name)
+	}
+	top[name] = t
+}
+
+// lookup resolves a name to its type; the second result reports whether it
+// was found (locals shadow globals).
+func (c *checker) lookup(name string) (minic.Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	if g, ok := c.prog.Globals[name]; ok {
+		return g.Decl.Type, true
+	}
+	return minic.TypeVoid, false
+}
+
+func (c *checker) checkFunc(f *minic.FuncDecl) {
+	c.fn = f
+	c.loopDepth = 0
+	c.scopes = nil
+	c.push()
+	seen := map[string]bool{}
+	for _, prm := range f.Params {
+		if seen[prm.Name] {
+			c.errf(prm.NamePos, "duplicate parameter %s in %s", prm.Name, f.Name)
+		}
+		seen[prm.Name] = true
+		c.declare(prm.NamePos, prm.Name, prm.Type)
+	}
+	c.checkBlock(f.Body)
+	c.pop()
+}
+
+func (c *checker) checkBlock(b *minic.BlockStmt) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) checkStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *minic.BlockStmt:
+		c.checkBlock(st)
+	case *minic.VarDecl:
+		if st.Len != nil {
+			c.checkExpr(st.Len, false)
+		}
+		if st.Init != nil {
+			c.checkExpr(st.Init, true)
+		}
+		c.declare(st.NamePos, st.Name, st.Type)
+	case *minic.AssignStmt:
+		c.checkAssign(st)
+	case *minic.IfStmt:
+		c.checkExpr(st.Cond, true)
+		c.checkBlock(st.Then)
+		c.checkStmt(st.Else)
+	case *minic.ForStmt:
+		c.push() // init-declared variable scope
+		c.checkStmt(st.Init)
+		if st.Cond != nil {
+			c.checkExpr(st.Cond, true)
+		}
+		c.checkStmt(st.Post)
+		c.loopDepth++
+		c.checkBlock(st.Body)
+		c.loopDepth--
+		c.pop()
+	case *minic.WhileStmt:
+		c.checkExpr(st.Cond, true)
+		c.loopDepth++
+		c.checkBlock(st.Body)
+		c.loopDepth--
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			if c.fn.Ret == minic.TypeVoid {
+				c.errf(st.Pos(), "%s returns a value but is void", c.fn.Name)
+			}
+			c.checkExpr(st.Value, true)
+		} else if c.fn.Ret != minic.TypeVoid {
+			c.errf(st.Pos(), "%s must return a %s value", c.fn.Name, c.fn.Ret)
+		}
+	case *minic.BreakStmt:
+		if c.loopDepth == 0 {
+			c.errf(st.Pos(), "break outside loop")
+		}
+	case *minic.ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errf(st.Pos(), "continue outside loop")
+		}
+	case *minic.ExprStmt:
+		if _, ok := st.X.(*minic.CallExpr); !ok {
+			c.errf(st.Pos(), "expression statement must be a call")
+			return
+		}
+		c.checkExpr(st.X, false)
+	}
+}
+
+func (c *checker) checkAssign(st *minic.AssignStmt) {
+	c.checkExpr(st.Value, true)
+	switch tgt := st.Target.(type) {
+	case *minic.Ident:
+		t, ok := c.lookup(tgt.Name)
+		if !ok {
+			c.errf(tgt.Pos(), "assignment to undeclared variable %s", tgt.Name)
+			return
+		}
+		if t.IsArray() {
+			c.errf(tgt.Pos(), "cannot assign to whole array %s", tgt.Name)
+		}
+	case *minic.IndexExpr:
+		c.checkIndex(tgt)
+	}
+}
+
+func (c *checker) checkIndex(x *minic.IndexExpr) {
+	t, ok := c.lookup(x.Array.Name)
+	if !ok {
+		c.errf(x.Pos(), "indexing undeclared variable %s", x.Array.Name)
+		return
+	}
+	if !t.IsArray() {
+		c.errf(x.Pos(), "indexing non-array %s (type %s)", x.Array.Name, t)
+	}
+	c.checkExpr(x.Index, true)
+}
+
+// checkExpr validates an expression; wantValue reports whether the context
+// consumes the result.
+func (c *checker) checkExpr(e minic.Expr, wantValue bool) {
+	switch x := e.(type) {
+	case nil:
+	case *minic.IntLit, *minic.FloatLit:
+	case *minic.StringLit:
+		// Only print() may take string arguments; checked at the call.
+	case *minic.Ident:
+		t, ok := c.lookup(x.Name)
+		if !ok {
+			c.errf(x.Pos(), "undeclared variable %s", x.Name)
+			return
+		}
+		if wantValue && t.IsArray() {
+			// Arrays may be passed to calls (handled there); a bare array
+			// in arithmetic is an error caught by the parent context.
+			return
+		}
+	case *minic.IndexExpr:
+		c.checkIndex(x)
+	case *minic.UnaryExpr:
+		c.checkExpr(x.X, true)
+	case *minic.BinaryExpr:
+		c.checkOperand(x.X)
+		c.checkOperand(x.Y)
+	case *minic.CallExpr:
+		c.checkCall(x, wantValue)
+	}
+}
+
+// checkOperand validates an arithmetic operand: whole arrays cannot take
+// part in arithmetic.
+func (c *checker) checkOperand(e minic.Expr) {
+	if id, ok := e.(*minic.Ident); ok {
+		if t, found := c.lookup(id.Name); found && t.IsArray() {
+			c.errf(id.Pos(), "array %s used in arithmetic", id.Name)
+			return
+		}
+	}
+	if _, ok := e.(*minic.StringLit); ok {
+		c.errf(e.Pos(), "string literal used in arithmetic")
+		return
+	}
+	c.checkExpr(e, true)
+}
+
+func (c *checker) checkCall(call *minic.CallExpr, wantValue bool) {
+	// print accepts anything, including strings.
+	if call.Name == "print" {
+		for _, a := range call.Args {
+			if _, isStr := a.(*minic.StringLit); isStr {
+				continue
+			}
+			c.checkExpr(a, true)
+		}
+		return
+	}
+	for _, a := range call.Args {
+		if _, isStr := a.(*minic.StringLit); isStr {
+			c.errf(a.Pos(), "string argument outside print()")
+			continue
+		}
+		c.checkExpr(a, true)
+	}
+
+	if fn, ok := c.prog.Funcs[call.Name]; ok {
+		if len(call.Args) != len(fn.Decl.Params) {
+			c.errf(call.Pos(), "%s expects %d arguments, got %d", call.Name, len(fn.Decl.Params), len(call.Args))
+		}
+		if wantValue && fn.Decl.Ret == minic.TypeVoid {
+			c.errf(call.Pos(), "void function %s used as a value", call.Name)
+		}
+		return
+	}
+	if d := c.prog.Externs.Lookup(call.Name); d != nil {
+		if wantValue && !d.Returns {
+			c.errf(call.Pos(), "void builtin %s used as a value", call.Name)
+		}
+		for _, idx := range d.WorkArgs {
+			if idx >= len(call.Args) {
+				c.errf(call.Pos(), "%s needs at least %d arguments", call.Name, idx+1)
+				break
+			}
+		}
+		return
+	}
+	// Unknown extern: legal (never-fixed workload). vs_tick/vs_tock from
+	// instrumented source also land here when run without IR marking.
+}

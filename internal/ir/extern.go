@@ -1,0 +1,175 @@
+package ir
+
+// SnippetType classifies what system component a snippet exercises
+// (paper §3.1): computation, network, or IO. The type of a v-sensor tells
+// the runtime which component a detected variance implicates.
+type SnippetType int
+
+// Snippet types.
+const (
+	Computation SnippetType = iota
+	Network
+	IO
+)
+
+// String names the snippet type like the paper's tables ("Comp", "Net", "IO").
+func (t SnippetType) String() string {
+	switch t {
+	case Computation:
+		return "Comp"
+	case Network:
+		return "Net"
+	case IO:
+		return "IO"
+	}
+	return "?"
+}
+
+// ExternDesc describes the workload behaviour of an external function whose
+// source is unavailable (paper §3.5). The default registry covers the MPI
+// and libc-like builtins of the mini-C runtime; users may register more.
+type ExternDesc struct {
+	Name string
+	Type SnippetType
+
+	// Fixed reports whether the call's workload is determined entirely by
+	// its arguments. Undescribed externs are never fixed (conservative
+	// default: snippets containing them are never v-sensors).
+	Fixed bool
+
+	// WorkArgs are the indices of arguments that determine the quantity of
+	// work (e.g. the message size of a send). The call is a fixed-workload
+	// snippet only when every work argument is invariant.
+	WorkArgs []int
+
+	// StaticRuleArgs are argument indices usable as additional *static*
+	// rules (e.g. communication destination, §3.1). They are checked only
+	// when Config.UseStaticRules enables them.
+	StaticRuleArgs []int
+
+	// RankSource marks functions whose result identifies the calling
+	// process (mpi_comm_rank, gethostname). Values derived from them make
+	// workloads process-dependent (§3.4).
+	RankSource bool
+
+	// WritesGlobals marks externs that may modify program globals. None of
+	// the builtins do; an undescribed extern is assumed to.
+	WritesGlobals bool
+
+	// Returns reports whether the extern produces a value.
+	Returns bool
+
+	// Value classifies the returned value's provenance for dependence
+	// propagation: a pure function of the arguments, the process identity,
+	// or unpredictable (data-dependent / random / received from a peer).
+	Value ValueSource
+}
+
+// ValueSource classifies an extern's return value for dependence analysis.
+type ValueSource int
+
+// Value sources.
+const (
+	// ValueOfArgs: the result is a pure function of the arguments
+	// (abs, min, sqrt, mpi_comm_size — constant for a given run).
+	ValueOfArgs ValueSource = iota
+	// ValueRank: the result identifies the calling process.
+	ValueRank
+	// ValueUnpredictable: the result cannot be predicted statically
+	// (received data, IO contents, random numbers).
+	ValueUnpredictable
+)
+
+// ExternRegistry maps extern function names to their descriptions.
+type ExternRegistry struct {
+	byName map[string]*ExternDesc
+}
+
+// NewExternRegistry returns an empty registry.
+func NewExternRegistry() *ExternRegistry {
+	return &ExternRegistry{byName: make(map[string]*ExternDesc)}
+}
+
+// Register adds or replaces a description.
+func (r *ExternRegistry) Register(d ExternDesc) {
+	cp := d
+	r.byName[d.Name] = &cp
+}
+
+// Lookup returns the description for name, or nil if undescribed.
+func (r *ExternRegistry) Lookup(name string) *ExternDesc {
+	return r.byName[name]
+}
+
+// Names returns all registered extern names (unordered).
+func (r *ExternRegistry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Clone returns a deep copy, so user registrations don't mutate the default.
+func (r *ExternRegistry) Clone() *ExternRegistry {
+	c := NewExternRegistry()
+	for _, d := range r.byName {
+		c.Register(*d)
+	}
+	return c
+}
+
+// DefaultExterns returns descriptions for the built-in runtime functions:
+// the MPI-like message-passing layer, IO operations, compute intrinsics and
+// common libc-style helpers — the equivalent of the paper's "default
+// descriptions for common functions in Lib-C and MPI library".
+func DefaultExterns() *ExternRegistry {
+	r := NewExternRegistry()
+	for _, d := range []ExternDesc{
+		// Process identity.
+		{Name: "mpi_comm_rank", Type: Computation, Fixed: true, RankSource: true, Returns: true, Value: ValueRank},
+		{Name: "mpi_comm_size", Type: Computation, Fixed: true, Returns: true},
+
+		// Collectives: workload depends on element count (arg 0 where present).
+		{Name: "mpi_barrier", Type: Network, Fixed: true},
+		{Name: "mpi_allreduce", Type: Network, Fixed: true, WorkArgs: []int{0}, Returns: true, Value: ValueUnpredictable},
+		{Name: "mpi_alltoall", Type: Network, Fixed: true, WorkArgs: []int{0}},
+		{Name: "mpi_bcast", Type: Network, Fixed: true, WorkArgs: []int{1}, StaticRuleArgs: []int{0}, Returns: true, Value: ValueUnpredictable},
+		{Name: "mpi_reduce", Type: Network, Fixed: true, WorkArgs: []int{1}, StaticRuleArgs: []int{0}, Returns: true, Value: ValueUnpredictable},
+
+		// Point-to-point: size argument is workload; peer is a static rule.
+		{Name: "mpi_send", Type: Network, Fixed: true, WorkArgs: []int{1}, StaticRuleArgs: []int{0}},
+		{Name: "mpi_recv", Type: Network, Fixed: true, WorkArgs: []int{1}, StaticRuleArgs: []int{0}, Returns: true, Value: ValueUnpredictable},
+		{Name: "mpi_sendrecv", Type: Network, Fixed: true, WorkArgs: []int{1}, StaticRuleArgs: []int{0}},
+
+		// Nonblocking point-to-point. Posting has a fixed cost determined
+		// by the size argument; the request handle must not drive control
+		// flow (unpredictable). mpi_wait's workload depends on whichever
+		// request it completes, which is not statically known, so it is
+		// never-fixed — the same conservative stance the paper takes for
+		// undescribed behaviour (§3.5).
+		{Name: "mpi_isend", Type: Network, Fixed: true, WorkArgs: []int{1}, StaticRuleArgs: []int{0}, Returns: true, Value: ValueUnpredictable},
+		{Name: "mpi_irecv", Type: Network, Fixed: true, WorkArgs: []int{1}, StaticRuleArgs: []int{0}, Returns: true, Value: ValueUnpredictable},
+		{Name: "mpi_wait", Type: Network, Fixed: false, Returns: true, Value: ValueUnpredictable},
+
+		// IO: size argument is the workload.
+		{Name: "io_read", Type: IO, Fixed: true, WorkArgs: []int{0}, Returns: true, Value: ValueUnpredictable},
+		{Name: "io_write", Type: IO, Fixed: true, WorkArgs: []int{0}},
+
+		// Compute intrinsics: cost scales with the argument.
+		{Name: "flops", Type: Computation, Fixed: true, WorkArgs: []int{0}},
+		{Name: "mem", Type: Computation, Fixed: true, WorkArgs: []int{0}},
+
+		// Libc-style helpers. print is never-fixed by default, matching the
+		// paper's conservative treatment of printf.
+		{Name: "print", Type: IO, Fixed: false},
+		{Name: "abs_i", Type: Computation, Fixed: true, Returns: true},
+		{Name: "min_i", Type: Computation, Fixed: true, Returns: true},
+		{Name: "max_i", Type: Computation, Fixed: true, Returns: true},
+		{Name: "sqrt_f", Type: Computation, Fixed: true, Returns: true},
+		{Name: "rand_i", Type: Computation, Fixed: true, Returns: true, Value: ValueUnpredictable},
+	} {
+		r.Register(d)
+	}
+	return r
+}

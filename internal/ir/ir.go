@@ -1,0 +1,316 @@
+// Package ir builds the intermediate representation that the v-sensor
+// identification algorithm operates on. It wraps a parsed mini-C program
+// with resolved symbol information: every loop and call site gets a unique
+// ID, loop nesting (parents, children, depth) is computed, and the extern
+// registry describes functions whose source is unavailable (MPI, libc and
+// compute intrinsics), mirroring the paper's treatment of external
+// functions (§3.5).
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"vsensor/internal/minic"
+)
+
+// Program is an analyzed compilation unit.
+type Program struct {
+	AST     *minic.Program
+	Funcs   map[string]*Function
+	Globals map[string]*Global
+	Loops   []*Loop     // all loops, indexed by Loop.ID
+	Calls   []*CallSite // all call sites, indexed by CallSite.ID
+	Externs *ExternRegistry
+}
+
+// Global is a program-scope variable.
+type Global struct {
+	Name string
+	Decl *minic.GlobalDecl
+}
+
+// Function is a user-defined function with its loops and call sites.
+type Function struct {
+	Name     string
+	Decl     *minic.FuncDecl
+	Loops    []*Loop     // all loops in this function, outermost first
+	TopLoops []*Loop     // depth-0 loops only
+	Calls    []*CallSite // all call sites in this function, source order
+}
+
+// Param returns the index of the named parameter, or -1.
+func (f *Function) Param(name string) int {
+	for i, p := range f.Decl.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Loop is a for or while loop occurrence.
+type Loop struct {
+	ID       int
+	Func     *Function
+	Stmt     minic.Stmt // *minic.ForStmt or *minic.WhileStmt
+	Body     *minic.BlockStmt
+	Parent   *Loop // enclosing loop within the same function, or nil
+	Children []*Loop
+	Depth    int    // 0 = outermost loop of its function
+	IndVar   string // induction variable name; "" if not canonical (while)
+	Pos      minic.Pos
+}
+
+// Ancestors returns the chain of enclosing loops, innermost first,
+// starting at the loop's parent.
+func (l *Loop) Ancestors() []*Loop {
+	var out []*Loop
+	for p := l.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// String identifies the loop for diagnostics.
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop#%d(%s@%s)", l.ID, l.Func.Name, l.Pos)
+}
+
+// CallSite is a single call occurrence.
+type CallSite struct {
+	ID     int
+	Func   *Function // containing function
+	Call   *minic.CallExpr
+	Loop   *Loop // innermost enclosing loop, or nil
+	Callee string
+	Pos    minic.Pos
+}
+
+// Ancestors returns the enclosing loops of the call site, innermost first.
+func (c *CallSite) Ancestors() []*Loop {
+	var out []*Loop
+	for l := c.Loop; l != nil; l = l.Parent {
+		out = append(out, l)
+	}
+	return out
+}
+
+// String identifies the call site for diagnostics.
+func (c *CallSite) String() string {
+	return fmt.Sprintf("call#%d(%s->%s@%s)", c.ID, c.Func.Name, c.Callee, c.Pos)
+}
+
+// Build resolves a parsed program into IR form using the default extern
+// registry. It verifies that every called name is either a defined function
+// or a described/describable extern and that globals and functions are
+// uniquely named.
+func Build(ast *minic.Program) (*Program, error) {
+	return BuildWithExterns(ast, DefaultExterns())
+}
+
+// BuildWithExterns is Build with a caller-supplied extern registry
+// (users may describe the behaviour of additional external functions,
+// paper §3.5).
+func BuildWithExterns(ast *minic.Program, ext *ExternRegistry) (*Program, error) {
+	p := &Program{
+		AST:     ast,
+		Funcs:   make(map[string]*Function),
+		Globals: make(map[string]*Global),
+		Externs: ext,
+	}
+	for _, g := range ast.Globals {
+		if _, dup := p.Globals[g.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate global %q", g.Pos(), g.Name)
+		}
+		p.Globals[g.Name] = &Global{Name: g.Name, Decl: g}
+	}
+	for _, f := range ast.Funcs {
+		if _, dup := p.Funcs[f.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate function %q", f.Pos(), f.Name)
+		}
+		if p.Externs.Lookup(f.Name) != nil {
+			return nil, fmt.Errorf("%s: function %q shadows a builtin", f.Pos(), f.Name)
+		}
+		p.Funcs[f.Name] = &Function{Name: f.Name, Decl: f}
+	}
+	for _, f := range ast.Funcs {
+		if err := p.indexFunction(p.Funcs[f.Name]); err != nil {
+			return nil, err
+		}
+	}
+	// Validate call targets.
+	for _, c := range p.Calls {
+		if _, ok := p.Funcs[c.Callee]; ok {
+			continue
+		}
+		if p.Externs.Lookup(c.Callee) != nil {
+			continue
+		}
+		// Unknown extern: permitted, treated conservatively (never-fixed),
+		// like an undescribed external function in the paper.
+	}
+	return p, nil
+}
+
+// MustBuild builds or panics; for tests and embedded apps.
+func MustBuild(ast *minic.Program) *Program {
+	p, err := Build(ast)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// indexFunction walks fn's body assigning loop/call IDs and nesting.
+func (p *Program) indexFunction(fn *Function) error {
+	var loopStack []*Loop
+
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		minic.WalkExprs(e, func(x minic.Expr) {
+			call, ok := x.(*minic.CallExpr)
+			if !ok {
+				return
+			}
+			cs := &CallSite{
+				ID:     len(p.Calls),
+				Func:   fn,
+				Call:   call,
+				Callee: call.Name,
+				Pos:    call.Pos(),
+			}
+			if len(loopStack) > 0 {
+				cs.Loop = loopStack[len(loopStack)-1]
+			}
+			call.CallID = cs.ID
+			p.Calls = append(p.Calls, cs)
+			fn.Calls = append(fn.Calls, cs)
+		})
+	}
+
+	var walkStmt func(s minic.Stmt) error
+	walkStmts := func(list []minic.Stmt) error {
+		for _, s := range list {
+			if err := walkStmt(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	walkStmt = func(s minic.Stmt) error {
+		switch st := s.(type) {
+		case nil:
+			return nil
+		case *minic.BlockStmt:
+			return walkStmts(st.Stmts)
+		case *minic.VarDecl:
+			walkExpr(st.Init)
+			walkExpr(st.Len)
+		case *minic.AssignStmt:
+			walkExpr(st.Target)
+			walkExpr(st.Value)
+		case *minic.IfStmt:
+			walkExpr(st.Cond)
+			if err := walkStmt(st.Then); err != nil {
+				return err
+			}
+			return walkStmt(st.Else)
+		case *minic.ForStmt:
+			loop := p.pushLoop(fn, st, st.Body, st.Pos(), &loopStack)
+			st.LoopID = loop.ID
+			loop.IndVar = forIndVar(st)
+			// Header expressions belong to the loop's *parent* context for
+			// call indexing; but charging them to the loop is harmless and
+			// matches treating the whole for statement as the snippet.
+			if err := walkStmt(st.Init); err != nil {
+				return err
+			}
+			walkExpr(st.Cond)
+			if err := walkStmt(st.Post); err != nil {
+				return err
+			}
+			err := walkStmt(st.Body)
+			loopStack = loopStack[:len(loopStack)-1]
+			return err
+		case *minic.WhileStmt:
+			loop := p.pushLoop(fn, st, st.Body, st.Pos(), &loopStack)
+			st.LoopID = loop.ID
+			walkExpr(st.Cond)
+			err := walkStmt(st.Body)
+			loopStack = loopStack[:len(loopStack)-1]
+			return err
+		case *minic.ReturnStmt:
+			walkExpr(st.Value)
+		case *minic.ExprStmt:
+			walkExpr(st.X)
+		}
+		return nil
+	}
+	return walkStmt(fn.Decl.Body)
+}
+
+func (p *Program) pushLoop(fn *Function, s minic.Stmt, body *minic.BlockStmt, pos minic.Pos, stack *[]*Loop) *Loop {
+	loop := &Loop{
+		ID:   len(p.Loops),
+		Func: fn,
+		Stmt: s,
+		Body: body,
+		Pos:  pos,
+	}
+	if n := len(*stack); n > 0 {
+		loop.Parent = (*stack)[n-1]
+		loop.Parent.Children = append(loop.Parent.Children, loop)
+		loop.Depth = loop.Parent.Depth + 1
+	}
+	p.Loops = append(p.Loops, loop)
+	fn.Loops = append(fn.Loops, loop)
+	if loop.Depth == 0 {
+		fn.TopLoops = append(fn.TopLoops, loop)
+	}
+	*stack = append(*stack, loop)
+	return loop
+}
+
+// forIndVar identifies the canonical induction variable of a for loop:
+// the variable declared or assigned in the init clause and updated in the
+// post clause. Returns "" when the loop is not in canonical form.
+func forIndVar(st *minic.ForStmt) string {
+	var initVar, postVar string
+	switch init := st.Init.(type) {
+	case *minic.VarDecl:
+		initVar = init.Name
+	case *minic.AssignStmt:
+		if id, ok := init.Target.(*minic.Ident); ok {
+			initVar = id.Name
+		}
+	}
+	if post, ok := st.Post.(*minic.AssignStmt); ok {
+		if id, ok := post.Target.(*minic.Ident); ok {
+			postVar = id.Name
+		}
+	}
+	switch {
+	case initVar != "" && (postVar == "" || postVar == initVar):
+		return initVar
+	case initVar == "" && postVar != "":
+		return postVar
+	}
+	return ""
+}
+
+// FuncNames returns the defined function names in sorted order.
+func (p *Program) FuncNames() []string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoopOf returns the loop with the given ID.
+func (p *Program) LoopOf(id int) *Loop { return p.Loops[id] }
+
+// CallOf returns the call site with the given ID.
+func (p *Program) CallOf(id int) *CallSite { return p.Calls[id] }

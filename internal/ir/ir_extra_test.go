@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"vsensor/internal/minic"
+)
+
+func TestHelperAccessors(t *testing.T) {
+	p := build(t, `
+global int G = 1;
+func foo(int a, float b) int {
+    for (int i = 0; i < a; i++) {
+        flops(1);
+    }
+    return a;
+}
+func main() {
+    for (int n = 0; n < 3; n++) {
+        foo(n, 1.5);
+    }
+}`)
+	foo := p.Funcs["foo"]
+	if foo.Param("a") != 0 || foo.Param("b") != 1 || foo.Param("zz") != -1 {
+		t.Error("Param lookup wrong")
+	}
+	names := p.FuncNames()
+	if len(names) != 2 || names[0] != "foo" || names[1] != "main" {
+		t.Errorf("FuncNames = %v", names)
+	}
+	// Ancestors of a loop with no parent is empty.
+	if len(foo.TopLoops[0].Ancestors()) != 0 {
+		t.Error("top loop should have no ancestors")
+	}
+	// String renderings identify the construct.
+	if s := foo.TopLoops[0].String(); !strings.Contains(s, "foo") || !strings.Contains(s, "loop#") {
+		t.Errorf("loop String = %q", s)
+	}
+	call := p.Funcs["main"].Calls[0]
+	if s := call.String(); !strings.Contains(s, "main->foo") {
+		t.Errorf("call String = %q", s)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid programs")
+		}
+	}()
+	MustBuild(minic.MustParse("func f() {}\nfunc f() {}"))
+}
+
+func TestMustBuildOK(t *testing.T) {
+	p := MustBuild(minic.MustParse("func main() { flops(1); }"))
+	if p == nil || len(p.Calls) != 1 {
+		t.Error("MustBuild result wrong")
+	}
+}
+
+func TestExternNames(t *testing.T) {
+	r := DefaultExterns()
+	names := r.Names()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"mpi_send", "flops", "print", "io_read"} {
+		if !found[want] {
+			t.Errorf("Names missing %q", want)
+		}
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if minic.TypeIntArray.Elem() != minic.TypeInt || minic.TypeFloatArray.Elem() != minic.TypeFloat {
+		t.Error("Elem wrong")
+	}
+	if minic.TypeInt.Elem() != minic.TypeInt {
+		t.Error("Elem of scalar should be identity")
+	}
+	if !minic.TypeIntArray.IsArray() || minic.TypeFloat.IsArray() {
+		t.Error("IsArray wrong")
+	}
+	for _, typ := range []minic.Type{minic.TypeVoid, minic.TypeInt, minic.TypeFloat, minic.TypeIntArray, minic.TypeFloatArray} {
+		if typ.String() == "?" {
+			t.Errorf("type %d has no name", typ)
+		}
+	}
+}

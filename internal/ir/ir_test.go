@@ -1,0 +1,203 @@
+package ir
+
+import (
+	"testing"
+
+	"vsensor/internal/minic"
+)
+
+const figure4Src = `
+global int GLBV = 40;
+
+func foo(int x, int y) int {
+    int value = 0;
+    for (int i = 0; i < x; i++) {      // L0 in foo
+        value += y;
+        for (int j = 0; j < 10; j++) { // L1 nested
+            value -= 1;
+        }
+    }
+    if (x > GLBV) {
+        value -= x * y;
+    }
+    return value;
+}
+
+func main() {
+    int count = 0;
+    for (int n = 0; n < 100; n++) {         // outer
+        for (int k = 0; k < 10; k++) {      // L2
+            foo(n, k);
+            foo(k, n);
+        }
+        for (int k = 0; k < 10; k++) {      // L3
+            count++;
+        }
+        mpi_barrier();
+    }
+}
+`
+
+func build(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Build(minic.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildFigure4(t *testing.T) {
+	p := build(t, figure4Src)
+
+	foo := p.Funcs["foo"]
+	if len(foo.Loops) != 2 || len(foo.TopLoops) != 1 {
+		t.Fatalf("foo loops=%d top=%d", len(foo.Loops), len(foo.TopLoops))
+	}
+	outer := foo.TopLoops[0]
+	if outer.IndVar != "i" || outer.Depth != 0 {
+		t.Errorf("foo outer loop: indvar=%q depth=%d", outer.IndVar, outer.Depth)
+	}
+	if len(outer.Children) != 1 || outer.Children[0].IndVar != "j" || outer.Children[0].Depth != 1 {
+		t.Errorf("foo inner loop wrong: %+v", outer.Children)
+	}
+
+	main := p.Funcs["main"]
+	if len(main.TopLoops) != 1 || len(main.Loops) != 3 {
+		t.Fatalf("main loops=%d top=%d", len(main.Loops), len(main.TopLoops))
+	}
+	mainOuter := main.TopLoops[0]
+	if mainOuter.IndVar != "n" || len(mainOuter.Children) != 2 {
+		t.Errorf("main outer: %q children=%d", mainOuter.IndVar, len(mainOuter.Children))
+	}
+
+	// Calls: foo×2, mpi_barrier in main.
+	if len(main.Calls) != 3 {
+		t.Fatalf("main calls = %d", len(main.Calls))
+	}
+	if main.Calls[0].Callee != "foo" || main.Calls[0].Loop == nil || main.Calls[0].Loop.IndVar != "k" {
+		t.Errorf("call 0: %+v", main.Calls[0])
+	}
+	if main.Calls[2].Callee != "mpi_barrier" || main.Calls[2].Loop != mainOuter {
+		t.Errorf("barrier call site wrong: %+v", main.Calls[2])
+	}
+
+	// Ancestor chains.
+	anc := main.Calls[0].Ancestors()
+	if len(anc) != 2 || anc[0].IndVar != "k" || anc[1].IndVar != "n" {
+		t.Errorf("ancestors of foo(n,k) call: %v", anc)
+	}
+}
+
+func TestLoopIDsMatchAST(t *testing.T) {
+	p := build(t, figure4Src)
+	for _, l := range p.Loops {
+		switch st := l.Stmt.(type) {
+		case *minic.ForStmt:
+			if st.LoopID != l.ID {
+				t.Errorf("loop %d AST id %d", l.ID, st.LoopID)
+			}
+		case *minic.WhileStmt:
+			if st.LoopID != l.ID {
+				t.Errorf("loop %d AST id %d", l.ID, st.LoopID)
+			}
+		}
+		if p.LoopOf(l.ID) != l {
+			t.Errorf("LoopOf(%d) mismatch", l.ID)
+		}
+	}
+	for _, c := range p.Calls {
+		if c.Call.CallID != c.ID || p.CallOf(c.ID) != c {
+			t.Errorf("call id mismatch: %+v", c)
+		}
+	}
+}
+
+func TestWhileLoopIndexing(t *testing.T) {
+	p := build(t, `func f() { int x = 100; while (x > 0) { x--; flops(10); } }`)
+	f := p.Funcs["f"]
+	if len(f.Loops) != 1 || f.Loops[0].IndVar != "" {
+		t.Fatalf("while loop: %+v", f.Loops)
+	}
+	if len(f.Calls) != 1 || f.Calls[0].Loop != f.Loops[0] {
+		t.Fatalf("call in while: %+v", f.Calls)
+	}
+}
+
+func TestCallsInHeadersAndConditions(t *testing.T) {
+	p := build(t, `
+func g() int { return 3; }
+func f() {
+    for (int i = 0; i < g(); i++) { }
+    if (g() > 2) { }
+    int z = g();
+}`)
+	f := p.Funcs["f"]
+	if len(f.Calls) != 3 {
+		t.Fatalf("calls = %d, want 3 (header, cond, init)", len(f.Calls))
+	}
+}
+
+func TestDuplicateErrors(t *testing.T) {
+	if _, err := Build(minic.MustParse("func f() {}\nfunc f() {}")); err == nil {
+		t.Error("duplicate function not rejected")
+	}
+	if _, err := Build(minic.MustParse("global int x = 1;\nglobal int x = 2;")); err == nil {
+		t.Error("duplicate global not rejected")
+	}
+	if _, err := Build(minic.MustParse("func flops(int n) {}")); err == nil {
+		t.Error("builtin shadowing not rejected")
+	}
+}
+
+func TestExternRegistry(t *testing.T) {
+	r := DefaultExterns()
+	send := r.Lookup("mpi_send")
+	if send == nil || send.Type != Network || len(send.WorkArgs) != 1 || send.WorkArgs[0] != 1 {
+		t.Fatalf("mpi_send desc: %+v", send)
+	}
+	if d := r.Lookup("print"); d == nil || d.Fixed {
+		t.Errorf("print should be never-fixed: %+v", d)
+	}
+	if d := r.Lookup("mpi_comm_rank"); d == nil || !d.RankSource || d.Value != ValueRank {
+		t.Errorf("mpi_comm_rank desc: %+v", d)
+	}
+	if r.Lookup("no_such_fn") != nil {
+		t.Error("unknown extern should be nil")
+	}
+
+	// Clone isolation.
+	c := r.Clone()
+	c.Register(ExternDesc{Name: "print", Type: IO, Fixed: true})
+	if r.Lookup("print").Fixed {
+		t.Error("Clone leaked registration into source registry")
+	}
+	if !c.Lookup("print").Fixed {
+		t.Error("Clone registration missing")
+	}
+}
+
+func TestSnippetTypeString(t *testing.T) {
+	if Computation.String() != "Comp" || Network.String() != "Net" || IO.String() != "IO" {
+		t.Error("SnippetType names wrong")
+	}
+}
+
+func TestForIndVarVariants(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func f() { for (int i = 0; i < 3; i++) { } }", "i"},
+		{"func f() { int i; for (i = 0; i < 3; i++) { } }", "i"},
+		{"func f() { int i = 0; for (; i < 3; i++) { } }", "i"},
+		{"func f() { int i; int j; for (i = 0; i < 3; j++) { } }", ""}, // mismatched
+	}
+	for _, c := range cases {
+		p := build(t, c.src)
+		got := p.Funcs["f"].Loops[0].IndVar
+		if got != c.want {
+			t.Errorf("%s: indvar = %q, want %q", c.src, got, c.want)
+		}
+	}
+}

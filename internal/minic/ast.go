@@ -1,0 +1,335 @@
+package minic
+
+// Type is a mini-C value type.
+type Type int
+
+// Value types.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeFloat
+	TypeIntArray
+	TypeFloatArray
+)
+
+// String names the type as it appears in source.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeIntArray:
+		return "int[]"
+	case TypeFloatArray:
+		return "float[]"
+	}
+	return "?"
+}
+
+// Elem returns the element type of an array type (or the type itself).
+func (t Type) Elem() Type {
+	switch t {
+	case TypeIntArray:
+		return TypeInt
+	case TypeFloatArray:
+		return TypeFloat
+	}
+	return t
+}
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t == TypeIntArray || t == TypeFloatArray }
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() Pos
+}
+
+// ---------- Top level ----------
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	Source  string // original source text, for diagnostics and mapping
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (p *Program) Global(name string) *GlobalDecl {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// GlobalDecl is a file-scope variable declaration:
+// global int NAME = expr;  or  global int NAME[len];
+type GlobalDecl struct {
+	NamePos Pos
+	Name    string
+	Type    Type
+	Len     Expr // array length for array globals, else nil
+	Init    Expr // scalar initializer, may be nil (zero value)
+}
+
+// Pos returns the declaration position.
+func (g *GlobalDecl) Pos() Pos { return g.NamePos }
+
+// Param is a function parameter.
+type Param struct {
+	NamePos Pos
+	Name    string
+	Type    Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	FuncPos Pos
+	Name    string
+	Params  []Param
+	Ret     Type
+	Body    *BlockStmt
+}
+
+// Pos returns the position of the func keyword.
+func (f *FuncDecl) Pos() Pos { return f.FuncPos }
+
+// ---------- Statements ----------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a { ... } statement list.
+type BlockStmt struct {
+	LBrace Pos
+	Stmts  []Stmt
+}
+
+// VarDecl declares a local variable: int x = e;  int a[n];
+type VarDecl struct {
+	NamePos Pos
+	Name    string
+	Type    Type
+	Len     Expr // array length, else nil
+	Init    Expr // may be nil
+}
+
+// AssignStmt assigns to a variable or array element. Compound assignments
+// (+=, ++, ...) are desugared by the parser into plain assignments whose RHS
+// is a binary expression referencing the target.
+type AssignStmt struct {
+	Target Expr // *Ident or *IndexExpr
+	Value  Expr
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	IfPos Pos
+	Cond  Expr
+	Then  *BlockStmt
+	Else  Stmt // *BlockStmt, *IfStmt (else-if), or nil
+}
+
+// ForStmt is a C-style counted loop. The parser requires the canonical
+// shape for(init; cond; post) so loop analysis can identify the induction
+// variable; init and post may be nil.
+type ForStmt struct {
+	ForPos Pos
+	Init   Stmt // *VarDecl or *AssignStmt, or nil
+	Cond   Expr // may be nil (infinite)
+	Post   Stmt // *AssignStmt, or nil
+	Body   *BlockStmt
+
+	// LoopID is assigned during IR construction; unique per program.
+	LoopID int
+}
+
+// WhileStmt is a condition-only loop.
+type WhileStmt struct {
+	WhilePos Pos
+	Cond     Expr
+	Body     *BlockStmt
+	LoopID   int
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	RetPos Pos
+	Value  Expr // may be nil
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ BrPos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ CtPos Pos }
+
+// ExprStmt evaluates an expression for effect (always a call).
+type ExprStmt struct{ X Expr }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Pos implementations.
+func (s *BlockStmt) Pos() Pos    { return s.LBrace }
+func (s *VarDecl) Pos() Pos      { return s.NamePos }
+func (s *AssignStmt) Pos() Pos   { return s.Target.Pos() }
+func (s *IfStmt) Pos() Pos       { return s.IfPos }
+func (s *ForStmt) Pos() Pos      { return s.ForPos }
+func (s *WhileStmt) Pos() Pos    { return s.WhilePos }
+func (s *ReturnStmt) Pos() Pos   { return s.RetPos }
+func (s *BreakStmt) Pos() Pos    { return s.BrPos }
+func (s *ContinueStmt) Pos() Pos { return s.CtPos }
+func (s *ExprStmt) Pos() Pos     { return s.X.Pos() }
+
+// ---------- Expressions ----------
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident references a variable (local, parameter, or global).
+type Ident struct {
+	NamePos Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos Pos
+	Value  int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	LitPos Pos
+	Value  float64
+}
+
+// StringLit is a string literal (only valid as a call argument, e.g. print).
+type StringLit struct {
+	LitPos Pos
+	Value  string
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   Kind // Plus..Percent, Eq..GtEq, AndAnd, OrOr
+	X, Y Expr
+}
+
+// UnaryExpr is a unary operation (-x or !x).
+type UnaryExpr struct {
+	OpPos Pos
+	Op    Kind // Minus or Not
+	X     Expr
+}
+
+// CallExpr is a function call: user-defined, builtin, or extern.
+type CallExpr struct {
+	NamePos Pos
+	Name    string
+	Args    []Expr
+
+	// CallID is assigned during IR construction; unique per program.
+	CallID int
+}
+
+// IndexExpr is an array element access a[i].
+type IndexExpr struct {
+	Array *Ident
+	Index Expr
+}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StringLit) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+
+// Pos implementations.
+func (e *Ident) Pos() Pos      { return e.NamePos }
+func (e *IntLit) Pos() Pos     { return e.LitPos }
+func (e *FloatLit) Pos() Pos   { return e.LitPos }
+func (e *StringLit) Pos() Pos  { return e.LitPos }
+func (e *BinaryExpr) Pos() Pos { return e.X.Pos() }
+func (e *UnaryExpr) Pos() Pos  { return e.OpPos }
+func (e *CallExpr) Pos() Pos   { return e.NamePos }
+func (e *IndexExpr) Pos() Pos  { return e.Array.Pos() }
+
+// WalkExprs applies fn to e and every sub-expression, pre-order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Y, fn)
+	case *UnaryExpr:
+		WalkExprs(x.X, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	case *IndexExpr:
+		WalkExprs(x.Array, fn)
+		WalkExprs(x.Index, fn)
+	}
+}
+
+// WalkStmts applies fn to s and every nested statement, pre-order. It does
+// not descend into expressions; use WalkExprs for those.
+func WalkStmts(s Stmt, fn func(Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch x := s.(type) {
+	case *BlockStmt:
+		for _, sub := range x.Stmts {
+			WalkStmts(sub, fn)
+		}
+	case *IfStmt:
+		WalkStmts(x.Then, fn)
+		WalkStmts(x.Else, fn)
+	case *ForStmt:
+		WalkStmts(x.Init, fn)
+		WalkStmts(x.Post, fn)
+		WalkStmts(x.Body, fn)
+	case *WhileStmt:
+		WalkStmts(x.Body, fn)
+	}
+}

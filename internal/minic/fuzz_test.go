@@ -1,0 +1,60 @@
+package minic
+
+import "testing"
+
+// FuzzParse checks the front end never panics on arbitrary input, and that
+// accepted programs survive a print→parse round trip. Run with
+// `go test -fuzz FuzzParse ./internal/minic` for coverage-guided fuzzing;
+// plain `go test` exercises the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() {}",
+		"global int X = 1;\nfunc main() { X = X + 1; }",
+		"func f(int a, float b[]) float { return b[a]; }",
+		"func main() { for (int i = 0; i < 10; i++) { flops(i); } }",
+		"func main() { while (1 < 2) { break; } }",
+		"func main() { if (1 == 1) { } else if (2 > 1) { } else { } }",
+		"func main() { print(\"s\", 1, 2.5); }",
+		"func f() { /* comment */ // line\n }",
+		"func main() { int a[10]; a[0] = -a[1] * (2 + 3) % 4; }",
+		"global float Y[8];\nfunc main() { Y[7] = 1.0e-3; }",
+		"func f() { x += 1; }",
+		"func f() int { return 1 && 0 || !1; }",
+		"}{)(", "func", "global global", "\"unterminated",
+		"func main() { for (;;) { continue; } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := Format(prog)
+		prog2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-parse: %v\noriginal: %q\nprinted: %q", err, src, out)
+		}
+		if out2 := Format(prog2); out != out2 {
+			t.Fatalf("printer not a fixed point:\n%q\nvs\n%q", out, out2)
+		}
+	})
+}
+
+// FuzzLex checks the lexer in isolation.
+func FuzzLex(f *testing.F) {
+	f.Add("int x = 1; // c")
+	f.Add("\"str\\n\" 1.5e-3 <= >= != && ||")
+	f.Add("/* unterminated")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Fatalf("token stream not EOF-terminated: %v", toks)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package minic
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer turns mini-C source text into a token stream. It tracks line/column
+// positions and skips // line comments and /* block */ comments.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire source, returning the token list terminated by an
+// EOF token, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			open := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(open, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or a lexical error.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+			sb.WriteByte(lx.advance())
+		}
+		text := sb.String()
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: start}, nil
+	case isDigit(c):
+		var sb strings.Builder
+		isFloat := false
+		for lx.off < len(lx.src) && (isDigit(lx.peek()) || lx.peek() == '.' || lx.peek() == 'e' || lx.peek() == 'E') {
+			ch := lx.peek()
+			if ch == '.' {
+				if isFloat {
+					break
+				}
+				// Require a digit after the dot to be part of the number.
+				if !isDigit(lx.peek2()) {
+					break
+				}
+				isFloat = true
+			}
+			if ch == 'e' || ch == 'E' {
+				// Exponent: e[+-]?digits.
+				next := lx.peek2()
+				if next != '+' && next != '-' && !isDigit(next) {
+					break
+				}
+				isFloat = true
+				sb.WriteByte(lx.advance()) // e
+				if lx.peek() == '+' || lx.peek() == '-' {
+					sb.WriteByte(lx.advance())
+				}
+				continue
+			}
+			sb.WriteByte(lx.advance())
+		}
+		kind := INT
+		if isFloat {
+			kind = FLOAT
+		}
+		return Token{Kind: kind, Text: sb.String(), Pos: start}, nil
+	case c == '"':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, errf(start, "unterminated string literal")
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.off >= len(lx.src) {
+					return Token{}, errf(start, "unterminated string literal")
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				default:
+					return Token{}, errf(start, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: STRING, Text: sb.String(), Pos: start}, nil
+	}
+
+	// Operators and punctuation.
+	two := func(k Kind) (Token, error) {
+		lx.advance()
+		lx.advance()
+		return Token{Kind: k, Pos: start}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		lx.advance()
+		return Token{Kind: k, Pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semicolon)
+	case '+':
+		switch lx.peek2() {
+		case '+':
+			return two(PlusPlus)
+		case '=':
+			return two(PlusEq)
+		}
+		return one(Plus)
+	case '-':
+		switch lx.peek2() {
+		case '-':
+			return two(MinusMinus)
+		case '=':
+			return two(MinusEq)
+		}
+		return one(Minus)
+	case '*':
+		if lx.peek2() == '=' {
+			return two(StarEq)
+		}
+		return one(Star)
+	case '/':
+		if lx.peek2() == '=' {
+			return two(SlashEq)
+		}
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(Eq)
+		}
+		return one(Assign)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(NotEq)
+		}
+		return one(Not)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(LtEq)
+		}
+		return one(Lt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(GtEq)
+		}
+		return one(Gt)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(AndAnd)
+		}
+	case '|':
+		if lx.peek2() == '|' {
+			return two(OrOr)
+		}
+	}
+	return Token{}, errf(start, "unexpected character %q", string(c))
+}

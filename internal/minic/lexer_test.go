@@ -1,0 +1,146 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("func main() { int x = 42; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwFunc, IDENT, LParen, RParen, LBrace, KwInt, IDENT, Assign, INT, Semicolon, RBrace, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "+ - * / % ++ -- += -= *= /= == != < > <= >= && || ! = ( ) { } [ ] , ;"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Plus, Minus, Star, Slash, Percent, PlusPlus, MinusMinus,
+		PlusEq, MinusEq, StarEq, SlashEq, Eq, NotEq, Lt, Gt, LtEq, GtEq,
+		AndAnd, OrOr, Not, Assign, LParen, RParen, LBrace, RBrace,
+		LBracket, RBracket, Comma, Semicolon, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"0", INT},
+		{"12345", INT},
+		{"3.5", FLOAT},
+		{"1e9", FLOAT},
+		{"2.5e-3", FLOAT},
+		{"1E+6", FLOAT},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind || toks[0].Text != c.src {
+			t.Errorf("%q: got %s %q", c.src, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `// line comment
+int /* block
+comment */ x`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwInt, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	src := "int\n  x = 1"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("int pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("x pos = %v", toks[1].Pos)
+	}
+	if toks[3].Pos != (Pos{2, 7}) {
+		t.Errorf("1 pos = %v", toks[3].Pos)
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex(`print("a\n\"b\"")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "a\n\"b\"" {
+		t.Errorf("got %q", toks[2].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", `"unterminated`, "/* open", `"bad \q esc"`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("Lex(%q): error lacks position: %v", src, err)
+		}
+	}
+}
+
+func TestPosHelpers(t *testing.T) {
+	a, b := Pos{1, 5}, Pos{2, 1}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before ordering wrong across lines")
+	}
+	c := Pos{1, 9}
+	if !a.Before(c) {
+		t.Error("Before ordering wrong within line")
+	}
+	if (Pos{}).Valid() || !a.Valid() {
+		t.Error("Valid wrong")
+	}
+	if a.String() != "1:5" {
+		t.Errorf("String = %s", a)
+	}
+}

@@ -1,0 +1,593 @@
+package minic
+
+import "strconv"
+
+// Parser is a recursive-descent parser for mini-C.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses src into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{Source: src}
+	for p.cur().Kind != EOF {
+		switch p.cur().Kind {
+		case KwGlobal:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case KwFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errf(p.cur().Pos, "expected 'global' or 'func' at top level, got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded apps.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, got %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseType() (Type, error) {
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		return TypeInt, nil
+	case KwFloat:
+		p.next()
+		return TypeFloat, nil
+	case KwVoid:
+		p.next()
+		return TypeVoid, nil
+	}
+	return TypeVoid, errf(p.cur().Pos, "expected type, got %s", p.cur())
+}
+
+// global int NAME = expr;   global float A[expr];
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	if _, err := p.expect(KwGlobal); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ == TypeVoid {
+		return nil, errf(p.cur().Pos, "global cannot be void")
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{NamePos: name.Pos, Name: name.Text, Type: typ}
+	if p.accept(LBracket) {
+		ln, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		g.Len = ln
+		if typ == TypeInt {
+			g.Type = TypeIntArray
+		} else {
+			g.Type = TypeFloatArray
+		}
+	} else if p.accept(Assign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// func NAME(type a, type b) type { ... }   (return type optional => void)
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw, err := p.expect(KwFunc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{FuncPos: kw.Pos, Name: name.Text, Ret: TypeVoid}
+	for p.cur().Kind != RParen {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if typ == TypeVoid {
+			return nil, errf(p.cur().Pos, "parameter cannot be void")
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(LBracket) { // array parameter: int a[]
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if typ == TypeInt {
+				typ = TypeIntArray
+			} else {
+				typ = TypeFloatArray
+			}
+		}
+		f.Params = append(f.Params, Param{NamePos: pn.Pos, Name: pn.Text, Type: typ})
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == KwInt || p.cur().Kind == KwFloat || p.cur().Kind == KwVoid {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		f.Ret = rt
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{LBrace: lb.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, errf(lb.Pos, "unclosed block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwInt, KwFloat:
+		d, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case KwIf:
+		return p.parseIf()
+	case KwFor:
+		return p.parseFor()
+	case KwWhile:
+		return p.parseWhile()
+	case KwReturn:
+		kw := p.next()
+		rs := &ReturnStmt{RetPos: kw.Pos}
+		if p.cur().Kind != Semicolon {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case KwBreak:
+		kw := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{BrPos: kw.Pos}, nil
+	case KwContinue:
+		kw := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{CtPos: kw.Pos}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseVarDecl parses "int x = e" / "float a[n]" without the semicolon.
+func (p *Parser) parseVarDecl() (*VarDecl, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{NamePos: name.Pos, Name: name.Text, Type: typ}
+	if p.accept(LBracket) {
+		ln, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		d.Len = ln
+		if typ == TypeInt {
+			d.Type = TypeIntArray
+		} else {
+			d.Type = TypeFloatArray
+		}
+	} else if p.accept(Assign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment (with compound-op desugaring), an
+// increment/decrement, or a call expression statement — without semicolon.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	mkBin := func(op Kind, rhs Expr) Stmt {
+		return &AssignStmt{Target: e, Value: &BinaryExpr{Op: op, X: e, Y: rhs}}
+	}
+	switch p.cur().Kind {
+	case Assign:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e) {
+			return nil, errf(e.Pos(), "cannot assign to this expression")
+		}
+		return &AssignStmt{Target: e, Value: rhs}, nil
+	case PlusEq, MinusEq, StarEq, SlashEq:
+		opTok := p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e) {
+			return nil, errf(e.Pos(), "cannot assign to this expression")
+		}
+		var op Kind
+		switch opTok.Kind {
+		case PlusEq:
+			op = Plus
+		case MinusEq:
+			op = Minus
+		case StarEq:
+			op = Star
+		case SlashEq:
+			op = Slash
+		}
+		return mkBin(op, rhs), nil
+	case PlusPlus:
+		p.next()
+		if !isLvalue(e) {
+			return nil, errf(e.Pos(), "cannot increment this expression")
+		}
+		return mkBin(Plus, &IntLit{LitPos: e.Pos(), Value: 1}), nil
+	case MinusMinus:
+		p.next()
+		if !isLvalue(e) {
+			return nil, errf(e.Pos(), "cannot decrement this expression")
+		}
+		return mkBin(Minus, &IntLit{LitPos: e.Pos(), Value: 1}), nil
+	}
+	if _, ok := e.(*CallExpr); ok {
+		return &ExprStmt{X: e}, nil
+	}
+	return nil, errf(e.Pos(), "expected assignment or call statement")
+}
+
+func isLvalue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{IfPos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw := p.next() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{ForPos: kw.Pos}
+	if p.cur().Kind != Semicolon {
+		if p.cur().Kind == KwInt || p.cur().Kind == KwFloat {
+			d, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = d
+		} else {
+			s, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Semicolon {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next() // while
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{WhilePos: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+// ---------- Expressions (precedence climbing) ----------
+
+// Binding powers, loosest to tightest:
+//
+//	||  &&  (== !=)  (< > <= >=)  (+ -)  (* / %)  unary  primary
+func binPrec(k Kind) int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Eq, NotEq:
+		return 3
+	case Lt, Gt, LtEq, GtEq:
+		return 4
+	case Plus, Minus:
+		return 5
+	case Star, Slash, Percent:
+		return 6
+	}
+	return 0
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Not:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{OpPos: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{LitPos: t.Pos, Value: v}, nil
+	case FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLit{LitPos: t.Pos, Value: v}, nil
+	case STRING:
+		p.next()
+		return &StringLit{LitPos: t.Pos, Value: t.Text}, nil
+	case IDENT:
+		p.next()
+		if p.cur().Kind == LParen { // call
+			p.next()
+			call := &CallExpr{NamePos: t.Pos, Name: t.Text}
+			for p.cur().Kind != RParen {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		id := &Ident{NamePos: t.Pos, Name: t.Text}
+		if p.cur().Kind == LBracket { // index
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Array: id, Index: idx}, nil
+		}
+		return id, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(p.cur().Pos, "expected expression, got %s", p.cur())
+}

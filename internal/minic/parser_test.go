@@ -1,0 +1,348 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const figure4Src = `
+global int GLBV = 40;
+
+func foo(int x, int y) int {
+    int value = 0;
+    for (int i = 0; i < x; i++) {
+        value += y;
+        for (int j = 0; j < 10; j++) {
+            value -= 1;
+        }
+    }
+    if (x > GLBV) {
+        value -= x * y;
+    }
+    return value;
+}
+
+func main() {
+    int count = 0;
+    for (int n = 0; n < 100; n++) {
+        for (int k = 0; k < 10; k++) {
+            foo(n, k);
+            foo(k, n);
+        }
+        for (int k = 0; k < 10; k++) {
+            count++;
+        }
+        mpi_barrier();
+    }
+}
+`
+
+func TestParseFigure4(t *testing.T) {
+	prog, err := Parse(figure4Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 1 || prog.Globals[0].Name != "GLBV" {
+		t.Fatalf("globals = %+v", prog.Globals)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	foo := prog.Func("foo")
+	if foo == nil || len(foo.Params) != 2 || foo.Ret != TypeInt {
+		t.Fatalf("foo = %+v", foo)
+	}
+	main := prog.Func("main")
+	if main == nil || main.Ret != TypeVoid {
+		t.Fatal("main missing or wrong return type")
+	}
+	// main: count decl + one outer for loop.
+	if len(main.Body.Stmts) != 2 {
+		t.Fatalf("main stmts = %d", len(main.Body.Stmts))
+	}
+	outer, ok := main.Body.Stmts[1].(*ForStmt)
+	if !ok {
+		t.Fatalf("main stmt 1 = %T", main.Body.Stmts[1])
+	}
+	// outer body: two for loops + barrier call.
+	if len(outer.Body.Stmts) != 3 {
+		t.Fatalf("outer body stmts = %d", len(outer.Body.Stmts))
+	}
+	if _, ok := outer.Body.Stmts[2].(*ExprStmt); !ok {
+		t.Fatalf("expected barrier call, got %T", outer.Body.Stmts[2])
+	}
+}
+
+func TestParseDesugar(t *testing.T) {
+	prog := MustParse(`func f() { int x = 0; x++; x--; x += 2; x -= 3; x *= 4; x /= 5; }`)
+	body := prog.Func("f").Body.Stmts
+	wantOps := []Kind{Plus, Minus, Plus, Minus, Star, Slash}
+	if len(body) != 7 {
+		t.Fatalf("stmts = %d", len(body))
+	}
+	for i, op := range wantOps {
+		as, ok := body[i+1].(*AssignStmt)
+		if !ok {
+			t.Fatalf("stmt %d = %T", i+1, body[i+1])
+		}
+		be, ok := as.Value.(*BinaryExpr)
+		if !ok || be.Op != op {
+			t.Fatalf("stmt %d: value = %v, want op %s", i+1, as.Value, op)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse(`func f() int { return 1 + 2 * 3 < 4 && 5 == 6 || 7 > 8; }`)
+	ret := prog.Func("f").Body.Stmts[0].(*ReturnStmt)
+	top, ok := ret.Value.(*BinaryExpr)
+	if !ok || top.Op != OrOr {
+		t.Fatalf("top op = %v", ret.Value)
+	}
+	land, ok := top.X.(*BinaryExpr)
+	if !ok || land.Op != AndAnd {
+		t.Fatalf("lhs of || = %v", top.X)
+	}
+	lt, ok := land.X.(*BinaryExpr)
+	if !ok || lt.Op != Lt {
+		t.Fatalf("lhs of && = %v", land.X)
+	}
+	add, ok := lt.X.(*BinaryExpr)
+	if !ok || add.Op != Plus {
+		t.Fatalf("lhs of < = %v", lt.X)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != Star {
+		t.Fatalf("rhs of + = %v", add.Y)
+	}
+}
+
+func TestParseArrays(t *testing.T) {
+	prog := MustParse(`
+global float A[100];
+func f(int v[], float w[]) float {
+    int b[10];
+    b[0] = 1;
+    A[b[0]] = w[2] + 1.5;
+    return A[0];
+}`)
+	g := prog.Global("A")
+	if g == nil || g.Type != TypeFloatArray {
+		t.Fatalf("global A = %+v", g)
+	}
+	f := prog.Func("f")
+	if f.Params[0].Type != TypeIntArray || f.Params[1].Type != TypeFloatArray {
+		t.Fatalf("params = %+v", f.Params)
+	}
+	as, ok := f.Body.Stmts[2].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 2 = %T", f.Body.Stmts[2])
+	}
+	if _, ok := as.Target.(*IndexExpr); !ok {
+		t.Fatalf("target = %T", as.Target)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog := MustParse(`func f(int x) int {
+    if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; }
+}`)
+	ifs := prog.Func("f").Body.Stmts[0].(*IfStmt)
+	elif, ok := ifs.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else = %T", ifs.Else)
+	}
+	if _, ok := elif.Else.(*BlockStmt); !ok {
+		t.Fatalf("final else = %T", elif.Else)
+	}
+}
+
+func TestParseWhileBreakContinue(t *testing.T) {
+	prog := MustParse(`func f() {
+    int x = 0;
+    while (x < 10) {
+        x++;
+        if (x == 3) { continue; }
+        if (x == 7) { break; }
+    }
+}`)
+	w, ok := prog.Func("f").Body.Stmts[1].(*WhileStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", prog.Func("f").Body.Stmts[1])
+	}
+	if len(w.Body.Stmts) != 3 {
+		t.Fatalf("while body = %d stmts", len(w.Body.Stmts))
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	// Empty clauses.
+	prog := MustParse(`func f() { int i = 0; for (;;) { i++; if (i > 3) { break; } } }`)
+	fs := prog.Func("f").Body.Stmts[1].(*ForStmt)
+	if fs.Init != nil || fs.Cond != nil || fs.Post != nil {
+		t.Fatal("expected empty for clauses")
+	}
+	// Assign init instead of decl.
+	prog = MustParse(`func f() { int i; for (i = 0; i < 3; i++) { } }`)
+	fs = prog.Func("f").Body.Stmts[1].(*ForStmt)
+	if _, ok := fs.Init.(*AssignStmt); !ok {
+		t.Fatalf("init = %T", fs.Init)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func",                   // truncated
+		"global void v;",         // void global
+		"func f() { 1 + 2; }",    // expression statement that is not a call
+		"func f() { 3 = x; }",    // assign to literal
+		"func f() { int x = ; }", // missing expr
+		"func f() { if x { } }",  // missing parens
+		"x = 1;",                 // statement at top level
+		"func f(void v) { }",     // void param
+		"func f() { for (int i = 0; i < 10) { } }", // missing clause
+		"func f() { foo(1,; }",                     // bad call
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// TestPrintRoundTrip checks parse→print→parse→print is a fixed point.
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{figure4Src, `
+global int N = 1024;
+global float A[64];
+
+func kernel(int n, float data[]) float {
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0 && n > 3 || i == 1) {
+            acc += data[i] * 2.0;
+        } else {
+            acc -= 1.0e-3;
+        }
+    }
+    while (acc > 100.0) {
+        acc /= 2.0;
+    }
+    return -acc;
+}
+
+func main() {
+    float r = kernel(N, A);
+    print("result", r);
+}
+`}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out1 := Format(p1)
+		p2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nsource:\n%s", err, out1)
+		}
+		out2 := Format(p2)
+		if out1 != out2 {
+			t.Errorf("printer not a fixed point:\n--- first\n%s\n--- second\n%s", out1, out2)
+		}
+	}
+}
+
+// Property: any expression built from a small grammar survives a
+// print→parse→print round trip.
+func TestQuickExprRoundTrip(t *testing.T) {
+	gen := func(seed int64) bool {
+		e := genExpr(seed, 4)
+		src := "func f(int a, int b, float c) { g(" + ExprString(e) + "); }"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Logf("seed %d: parse error %v for %q", seed, err, src)
+			return false
+		}
+		call := prog.Func("f").Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+		return ExprString(call.Args[0]) == ExprString(e)
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genExpr deterministically builds an expression from a seed.
+func genExpr(seed int64, depth int) Expr {
+	next := func() int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := seed >> 33
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	var build func(d int) Expr
+	build = func(d int) Expr {
+		if d <= 0 {
+			switch next() % 3 {
+			case 0:
+				return &IntLit{Value: next() % 1000}
+			case 1:
+				return &Ident{Name: []string{"a", "b", "c"}[next()%3]}
+			default:
+				return &IntLit{Value: next() % 7}
+			}
+		}
+		switch next() % 6 {
+		case 0:
+			return &BinaryExpr{Op: []Kind{Plus, Minus, Star, Slash, Percent}[next()%5], X: build(d - 1), Y: build(d - 1)}
+		case 1:
+			return &BinaryExpr{Op: []Kind{Lt, Gt, LtEq, GtEq, Eq, NotEq}[next()%6], X: build(d - 1), Y: build(d - 1)}
+		case 2:
+			return &BinaryExpr{Op: []Kind{AndAnd, OrOr}[next()%2], X: build(d - 1), Y: build(d - 1)}
+		case 3:
+			return &UnaryExpr{Op: Minus, X: build(d - 1)}
+		case 4:
+			return &CallExpr{Name: "h", Args: []Expr{build(d - 1)}}
+		default:
+			return build(0)
+		}
+	}
+	return build(depth)
+}
+
+func TestWalkStmtsAndExprs(t *testing.T) {
+	prog := MustParse(figure4Src)
+	var loops, calls int
+	for _, f := range prog.Funcs {
+		WalkStmts(f.Body, func(s Stmt) {
+			switch st := s.(type) {
+			case *ForStmt:
+				loops++
+			case *ExprStmt:
+				WalkExprs(st.X, func(e Expr) {
+					if _, ok := e.(*CallExpr); ok {
+						calls++
+					}
+				})
+			}
+		})
+	}
+	if loops != 5 {
+		t.Errorf("loops = %d, want 5", loops)
+	}
+	if calls != 3 { // foo, foo, mpi_barrier
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestFormatContainsStructure(t *testing.T) {
+	out := Format(MustParse(figure4Src))
+	for _, want := range []string{"global int GLBV = 40;", "func foo(int x, int y) int {", "mpi_barrier();", "value = value + y;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}

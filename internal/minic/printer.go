@@ -1,0 +1,276 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Printer renders an AST back to mini-C source text. It is used to emit
+// instrumented source (step 4 of the paper's workflow: "map to source" +
+// "instrument"), and for golden tests of the parser.
+type Printer struct {
+	sb     strings.Builder
+	indent int
+
+	// BeforeStmt, if non-nil, is called before each statement is printed
+	// and may emit extra lines (e.g. vs_tick calls).
+	BeforeStmt func(p *Printer, s Stmt)
+	// AfterStmt likewise runs after each statement.
+	AfterStmt func(p *Printer, s Stmt)
+}
+
+// Format renders prog with default settings.
+func Format(prog *Program) string {
+	var p Printer
+	return p.Print(prog)
+}
+
+// Print renders the program and returns the source text.
+func (p *Printer) Print(prog *Program) string {
+	p.sb.Reset()
+	for _, g := range prog.Globals {
+		p.printGlobal(g)
+	}
+	if len(prog.Globals) > 0 {
+		p.sb.WriteByte('\n')
+	}
+	for i, f := range prog.Funcs {
+		if i > 0 {
+			p.sb.WriteByte('\n')
+		}
+		p.printFunc(f)
+	}
+	return p.sb.String()
+}
+
+// Line writes one line at the current indent; used by instrumentation hooks.
+func (p *Printer) Line(text string) {
+	p.writeIndent()
+	p.sb.WriteString(text)
+	p.sb.WriteByte('\n')
+}
+
+func (p *Printer) writeIndent() {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("    ")
+	}
+}
+
+func (p *Printer) printGlobal(g *GlobalDecl) {
+	p.writeIndent()
+	if g.Type.IsArray() {
+		fmt.Fprintf(&p.sb, "global %s %s[%s];\n", g.Type.Elem(), g.Name, ExprString(g.Len))
+		return
+	}
+	if g.Init != nil {
+		fmt.Fprintf(&p.sb, "global %s %s = %s;\n", g.Type, g.Name, ExprString(g.Init))
+	} else {
+		fmt.Fprintf(&p.sb, "global %s %s;\n", g.Type, g.Name)
+	}
+}
+
+func (p *Printer) printFunc(f *FuncDecl) {
+	p.writeIndent()
+	p.sb.WriteString("func ")
+	p.sb.WriteString(f.Name)
+	p.sb.WriteByte('(')
+	for i, prm := range f.Params {
+		if i > 0 {
+			p.sb.WriteString(", ")
+		}
+		if prm.Type.IsArray() {
+			fmt.Fprintf(&p.sb, "%s %s[]", prm.Type.Elem(), prm.Name)
+		} else {
+			fmt.Fprintf(&p.sb, "%s %s", prm.Type, prm.Name)
+		}
+	}
+	p.sb.WriteByte(')')
+	if f.Ret != TypeVoid {
+		fmt.Fprintf(&p.sb, " %s", f.Ret)
+	}
+	p.sb.WriteByte(' ')
+	p.printBlock(f.Body)
+}
+
+func (p *Printer) printBlock(b *BlockStmt) {
+	p.sb.WriteString("{\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.printStmt(s)
+	}
+	p.indent--
+	p.writeIndent()
+	p.sb.WriteString("}\n")
+}
+
+func (p *Printer) printStmt(s Stmt) {
+	if p.BeforeStmt != nil {
+		p.BeforeStmt(p, s)
+	}
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.writeIndent()
+		p.printBlock(st)
+	case *VarDecl:
+		p.writeIndent()
+		p.sb.WriteString(varDeclString(st))
+		p.sb.WriteString(";\n")
+	case *AssignStmt:
+		p.writeIndent()
+		p.sb.WriteString(assignString(st))
+		p.sb.WriteString(";\n")
+	case *IfStmt:
+		p.writeIndent()
+		p.printIfChain(st)
+	case *ForStmt:
+		p.writeIndent()
+		fmt.Fprintf(&p.sb, "for (%s; %s; %s) ",
+			simpleStmtString(st.Init), optExprString(st.Cond), simpleStmtString(st.Post))
+		p.printBlock(st.Body)
+	case *WhileStmt:
+		p.writeIndent()
+		fmt.Fprintf(&p.sb, "while (%s) ", ExprString(st.Cond))
+		p.printBlock(st.Body)
+	case *ReturnStmt:
+		p.writeIndent()
+		if st.Value != nil {
+			fmt.Fprintf(&p.sb, "return %s;\n", ExprString(st.Value))
+		} else {
+			p.sb.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		p.Line("break;")
+		// Line already handled indent+newline; avoid double hooks below.
+	case *ContinueStmt:
+		p.Line("continue;")
+	case *ExprStmt:
+		p.writeIndent()
+		p.sb.WriteString(ExprString(st.X))
+		p.sb.WriteString(";\n")
+	}
+	if p.AfterStmt != nil {
+		p.AfterStmt(p, s)
+	}
+}
+
+func (p *Printer) printIfChain(st *IfStmt) {
+	fmt.Fprintf(&p.sb, "if (%s) ", ExprString(st.Cond))
+	p.printBlock(st.Then)
+	if st.Else == nil {
+		return
+	}
+	// Splice "else" onto the previous line's closing brace.
+	out := p.sb.String()
+	if strings.HasSuffix(out, "}\n") {
+		p.sb.Reset()
+		p.sb.WriteString(out[:len(out)-1])
+		p.sb.WriteString(" else ")
+	}
+	switch e := st.Else.(type) {
+	case *IfStmt:
+		p.printIfChain(e)
+	case *BlockStmt:
+		p.printBlock(e)
+	}
+}
+
+func varDeclString(d *VarDecl) string {
+	if d.Type.IsArray() {
+		return fmt.Sprintf("%s %s[%s]", d.Type.Elem(), d.Name, ExprString(d.Len))
+	}
+	if d.Init != nil {
+		return fmt.Sprintf("%s %s = %s", d.Type, d.Name, ExprString(d.Init))
+	}
+	return fmt.Sprintf("%s %s", d.Type, d.Name)
+}
+
+func assignString(a *AssignStmt) string {
+	return fmt.Sprintf("%s = %s", ExprString(a.Target), ExprString(a.Value))
+}
+
+// simpleStmtString renders a for-header init/post statement (no semicolon).
+func simpleStmtString(s Stmt) string {
+	switch st := s.(type) {
+	case nil:
+		return ""
+	case *VarDecl:
+		return varDeclString(st)
+	case *AssignStmt:
+		return assignString(st)
+	case *ExprStmt:
+		return ExprString(st.X)
+	}
+	return "?"
+}
+
+func optExprString(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return ExprString(e)
+}
+
+var opText = map[Kind]string{
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Eq: "==", NotEq: "!=", Lt: "<", Gt: ">", LtEq: "<=", GtEq: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+// ExprString renders an expression as source text, fully parenthesizing
+// nested binary operations of different precedence.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *StringLit:
+		return strconv.Quote(x.Value)
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", operandString(x.X, x.Op, false), opText[x.Op], operandString(x.Y, x.Op, true))
+	case *UnaryExpr:
+		// Unary operators bind tighter than every binary operator, so a
+		// binary child always needs parentheses.
+		// A nested unary needs them too, so that "-(-x)" does not lex as
+		// the "--" token.
+		inner := ExprString(x.X)
+		switch x.X.(type) {
+		case *BinaryExpr, *UnaryExpr:
+			inner = "(" + inner + ")"
+		}
+		return opText[x.Op] + inner
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, ExprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Array.Name, ExprString(x.Index))
+	}
+	return "?"
+}
+
+// operandString parenthesizes child when its precedence is looser than the
+// parent operator's — or equal, on the right of a left-associative operator —
+// preserving evaluation order on re-parse.
+func operandString(child Expr, parentOp Kind, right bool) string {
+	s := ExprString(child)
+	if b, ok := child.(*BinaryExpr); ok {
+		cp, pp := binPrec(b.Op), binPrec(parentOp)
+		if cp < pp || (right && cp == pp) {
+			return "(" + s + ")"
+		}
+	}
+	if _, ok := child.(*UnaryExpr); ok && parentOp != Not {
+		return "(" + s + ")"
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintWhileAndControl(t *testing.T) {
+	src := `func f() {
+    int x = 10;
+    while (x > 0) {
+        x -= 1;
+        if (x == 5) {
+            continue;
+        }
+        if (x == 2) {
+            break;
+        }
+    }
+    return;
+}`
+	out := Format(MustParse(src))
+	for _, want := range []string{"while (x > 0) {", "continue;", "break;", "return;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Round trip.
+	if out2 := Format(MustParse(out)); out2 != out {
+		t.Errorf("not a fixed point:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestPrintElseIfChainRendering(t *testing.T) {
+	src := `func f(int x) int {
+    if (x < 0) {
+        return 0;
+    } else if (x < 10) {
+        return 1;
+    } else {
+        return 2;
+    }
+}`
+	out := Format(MustParse(src))
+	if !strings.Contains(out, "} else if (x < 10) {") || !strings.Contains(out, "} else {") {
+		t.Errorf("else-if chain rendering:\n%s", out)
+	}
+	if out2 := Format(MustParse(out)); out2 != out {
+		t.Error("else-if chain not a fixed point")
+	}
+}
+
+func TestPrintGlobalsAndArrays(t *testing.T) {
+	src := `global int N = 4;
+global float A[16];
+global int Z;
+
+func f(int v[], float w[]) {
+    v[0] = v[1] + 2;
+}`
+	out := Format(MustParse(src))
+	for _, want := range []string{
+		"global int N = 4;", "global float A[16];", "global int Z;",
+		"func f(int v[], float w[]) {", "v[0] = v[1] + 2;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintFloatLiteralsKeepDot(t *testing.T) {
+	out := Format(MustParse(`func f() { float x = 2.0; float y = 1.0e9; x = y; }`))
+	if !strings.Contains(out, "2.0") {
+		t.Errorf("float literal lost its decimal point:\n%s", out)
+	}
+	// Must re-parse as floats, not ints.
+	p2 := MustParse(out)
+	d := p2.Func("f").Body.Stmts[0].(*VarDecl)
+	if _, ok := d.Init.(*FloatLit); !ok {
+		t.Errorf("literal re-parsed as %T", d.Init)
+	}
+}
+
+func TestPrintStringEscapes(t *testing.T) {
+	out := Format(MustParse(`func f() { print("a\nb\t\"q\""); }`))
+	if !strings.Contains(out, `"a\nb\t\"q\""`) {
+		t.Errorf("string escaping:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("escaped output does not re-parse: %v", err)
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	for k := EOF; k <= Not; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("token kind %d unnamed", k)
+		}
+	}
+	tok := Token{Kind: IDENT, Text: "abc"}
+	if !strings.Contains(tok.String(), "abc") {
+		t.Errorf("token String = %q", tok.String())
+	}
+	if (Token{Kind: Plus}).String() != "+" {
+		t.Error("operator token String wrong")
+	}
+}
+
+func TestExprStringIndexAndCall(t *testing.T) {
+	prog := MustParse(`func f(int a[]) int { return g(a[2 + 1], -a[0]); }`)
+	ret := prog.Func("f").Body.Stmts[0].(*ReturnStmt)
+	got := ExprString(ret.Value)
+	if got != "g(a[2 + 1], -(a[0]))" && got != "g(a[2 + 1], -a[0])" {
+		t.Errorf("ExprString = %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package minic implements the front end for the mini-C language that
+// vSensor analyzes: a lexer, a recursive-descent parser, an AST with full
+// source positions, and a pretty-printer used for emitting instrumented
+// source.
+//
+// The language is a small, C-like subset sufficient for writing the loop
+// nests, branches, function calls, and message-passing operations that the
+// v-sensor identification algorithm (paper §3) reasons about. It replaces
+// the paper's LLVM-IR front end.
+package minic
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT    // integer literal
+	FLOAT  // floating-point literal
+	STRING // string literal
+
+	// Keywords.
+	KwFunc
+	KwGlobal
+	KwInt
+	KwFloat
+	KwVoid
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwReturn
+	KwBreak
+	KwContinue
+
+	// Punctuation and operators.
+	LParen     // (
+	RParen     // )
+	LBrace     // {
+	RBrace     // }
+	LBracket   // [
+	RBracket   // ]
+	Comma      // ,
+	Semicolon  // ;
+	Assign     // =
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	PlusPlus   // ++
+	MinusMinus // --
+	PlusEq     // +=
+	MinusEq    // -=
+	StarEq     // *=
+	SlashEq    // /=
+	Eq         // ==
+	NotEq      // !=
+	Lt         // <
+	Gt         // >
+	LtEq       // <=
+	GtEq       // >=
+	AndAnd     // &&
+	OrOr       // ||
+	Not        // !
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "int literal", FLOAT: "float literal",
+	STRING: "string literal",
+	KwFunc: "func", KwGlobal: "global", KwInt: "int", KwFloat: "float",
+	KwVoid: "void", KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	PlusPlus: "++", MinusMinus: "--",
+	PlusEq: "+=", MinusEq: "-=", StarEq: "*=", SlashEq: "/=",
+	Eq: "==", NotEq: "!=", Lt: "<", Gt: ">", LtEq: "<=", GtEq: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"func": KwFunc, "global": KwGlobal, "int": KwInt, "float": KwFloat,
+	"void": KwVoid, "if": KwIf, "else": KwElse, "for": KwFor,
+	"while": KwWhile, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Valid reports whether the position has been set.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// Before reports whether p occurs strictly before q in the source.
+func (p Pos) Before(q Pos) bool {
+	return p.Line < q.Line || (p.Line == q.Line && p.Col < q.Col)
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT, INT, FLOAT, STRING
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, STRING:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end diagnostic tied to a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

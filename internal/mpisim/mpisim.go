@@ -1,0 +1,242 @@
+// Package mpisim is a message-passing runtime over simulated ranks. Each
+// rank runs as a goroutine with its own virtual clock; communication
+// operations synchronize clocks and charge costs through the cluster's
+// network model. It stands in for MPI on the paper's Tianhe-2 testbed:
+// barrier, point-to-point send/recv/sendrecv, and the bcast / reduce /
+// allreduce / alltoall collectives.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+
+	"vsensor/internal/cluster"
+)
+
+// World is one parallel job: P ranks on a cluster.
+type World struct {
+	P       int
+	Cluster *cluster.Cluster
+
+	// colls holds one slot per collective instance. Entries are retained
+	// for the lifetime of the world (one small struct per collective call,
+	// not per rank), which keeps every rank free to read its exit time.
+	colls sync.Map // "kind#seq" -> *collSlot
+	pairs sync.Map // "src>dst" -> chan message
+}
+
+// message is an in-flight point-to-point payload.
+type message struct {
+	sentAt int64
+	bytes  int64
+	value  float64
+}
+
+// Proc is one rank's handle: its clock and communication endpoints.
+// Methods must only be called from the rank's own goroutine.
+type Proc struct {
+	Rank  int
+	World *World
+	now   int64
+
+	collSeq map[string]int // local per-kind collective counters
+}
+
+// NewWorld creates a job with p ranks on c.
+func NewWorld(p int, c *cluster.Cluster) *World {
+	if p <= 0 {
+		panic("mpisim: world needs at least one rank")
+	}
+	return &World{P: p, Cluster: c}
+}
+
+// Proc returns the handle for one rank.
+func (w *World) Proc(rank int) *Proc {
+	if rank < 0 || rank >= w.P {
+		panic(fmt.Sprintf("mpisim: rank %d out of range [0,%d)", rank, w.P))
+	}
+	return &Proc{Rank: rank, World: w, collSeq: make(map[string]int)}
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. It returns the maximum final clock across ranks (the job's
+// execution time).
+func (w *World) Run(body func(p *Proc)) int64 {
+	var wg sync.WaitGroup
+	procs := make([]*Proc, w.P)
+	for r := 0; r < w.P; r++ {
+		procs[r] = w.Proc(r)
+	}
+	wg.Add(w.P)
+	for r := 0; r < w.P; r++ {
+		go func(p *Proc) {
+			defer wg.Done()
+			body(p)
+		}(procs[r])
+	}
+	wg.Wait()
+	var max int64
+	for _, p := range procs {
+		if p.now > max {
+			max = p.now
+		}
+	}
+	return max
+}
+
+// Now returns the rank's virtual clock.
+func (p *Proc) Now() int64 { return p.now }
+
+// AdvanceTo moves the clock forward to t (no-op if t is in the past).
+func (p *Proc) AdvanceTo(t int64) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
+// Compute charges cpuNs of nominal CPU work and memNs of nominal memory
+// work at the current time, through the cluster's speed model.
+func (p *Proc) Compute(cpuNs, memNs float64) {
+	p.now += p.World.Cluster.ComputeCost(p.Rank, p.now, cpuNs, memNs)
+}
+
+// ---------- point-to-point ----------
+
+func (w *World) pair(src, dst int) chan message {
+	key := fmt.Sprintf("%d>%d", src, dst)
+	if ch, ok := w.pairs.Load(key); ok {
+		return ch.(chan message)
+	}
+	ch := make(chan message, 4096)
+	actual, _ := w.pairs.LoadOrStore(key, ch)
+	return actual.(chan message)
+}
+
+// Send posts bytes to dst. Eager semantics: the sender continues after a
+// local injection overhead; the transfer cost is charged at the receiver.
+func (p *Proc) Send(dst int, bytes int64, value float64) {
+	p.checkPeer(dst)
+	p.World.pair(p.Rank, dst) <- message{sentAt: p.now, bytes: bytes, value: value}
+	// Injection overhead: a fraction of the latency.
+	p.now += p.World.Cluster.P2PCost(p.now, 0) / 4
+}
+
+// Recv blocks for a message from src and returns its value. Completion time
+// is the later of the local post time and the send time, plus the transfer.
+func (p *Proc) Recv(src int, bytes int64) float64 {
+	p.checkPeer(src)
+	m := <-p.World.pair(src, p.Rank)
+	start := p.now
+	if m.sentAt > start {
+		start = m.sentAt
+	}
+	n := bytes
+	if m.bytes > n {
+		n = m.bytes
+	}
+	p.now = start + p.World.Cluster.P2PCost(start, n)
+	return m.value
+}
+
+// SendRecv exchanges bytes with peer and returns the received value.
+func (p *Proc) SendRecv(peer int, bytes int64, value float64) float64 {
+	if peer == p.Rank {
+		p.now += 1
+		return value
+	}
+	p.Send(peer, bytes, value)
+	return p.Recv(peer, bytes)
+}
+
+func (p *Proc) checkPeer(r int) {
+	if r < 0 || r >= p.World.P {
+		panic(fmt.Sprintf("mpisim: rank %d: peer %d out of range [0,%d)", p.Rank, r, p.World.P))
+	}
+}
+
+// ---------- collectives ----------
+
+// collSlot synchronizes one collective instance across all ranks.
+type collSlot struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	maxT    int64
+	sum     float64
+	exit    int64
+	done    bool
+}
+
+func (w *World) slot(kind string, seq int) *collSlot {
+	key := fmt.Sprintf("%s#%d", kind, seq)
+	if s, ok := w.colls.Load(key); ok {
+		return s.(*collSlot)
+	}
+	s := &collSlot{}
+	s.cond = sync.NewCond(&s.mu)
+	actual, loaded := w.colls.LoadOrStore(key, s)
+	if loaded {
+		return actual.(*collSlot)
+	}
+	return s
+}
+
+// collective runs one instance of a collective: all ranks arrive, the exit
+// time is the latest arrival plus the modeled cost, and the value-sum is
+// available for reductions. Ranks must call collectives in the same order
+// (standard MPI requirement).
+func (p *Proc) collective(kind string, bytes int64, contrib float64) float64 {
+	seq := p.collSeq[kind]
+	p.collSeq[kind] = seq + 1
+	s := p.World.slot(kind, seq)
+
+	s.mu.Lock()
+	s.arrived++
+	if p.now > s.maxT {
+		s.maxT = p.now
+	}
+	s.sum += contrib
+	if s.arrived == p.World.P {
+		s.exit = s.maxT + p.World.Cluster.CollectiveCost(kind, p.World.P, bytes, s.maxT)
+		s.done = true
+		s.cond.Broadcast()
+	} else {
+		for !s.done {
+			s.cond.Wait()
+		}
+	}
+	exit, sum := s.exit, s.sum
+	s.mu.Unlock()
+
+	p.now = exit
+	return sum
+}
+
+// Barrier synchronizes all ranks (paper Fig. 4's MPI_Barrier).
+func (p *Proc) Barrier() { p.collective("barrier", 0, 0) }
+
+// Allreduce reduces contrib across all ranks (sum) moving bytes per rank.
+func (p *Proc) Allreduce(bytes int64, contrib float64) float64 {
+	return p.collective("allreduce", bytes, contrib)
+}
+
+// Alltoall performs the personalized all-to-all exchange of bytes per rank
+// — the operation that made FT vulnerable to network problems (paper §6.5).
+func (p *Proc) Alltoall(bytes int64) {
+	p.collective("alltoall", bytes, 0)
+}
+
+// Bcast broadcasts from root; the returned value is the root's contribution.
+func (p *Proc) Bcast(root int, bytes int64, value float64) float64 {
+	var contrib float64
+	if p.Rank == root {
+		contrib = value
+	}
+	return p.collective("bcast", bytes, contrib)
+}
+
+// Reduce reduces contrib to root (sum); all ranks receive the sum here for
+// simplicity, matching the simulator's needs.
+func (p *Proc) Reduce(root int, bytes int64, contrib float64) float64 {
+	return p.collective("reduce", bytes, contrib)
+}

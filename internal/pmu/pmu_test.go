@@ -1,0 +1,88 @@
+package pmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExactCounts(t *testing.T) {
+	c := New(0, 1, 0)
+	c.AddInstructions(100)
+	c.AddInstructions(50)
+	c.AddFlops(7)
+	c.AddMemOps(3)
+	if c.Exact() != 150 {
+		t.Errorf("exact = %d", c.Exact())
+	}
+	if c.Read() != 150 || c.ReadFlops() != 7 || c.ReadMemOps() != 3 {
+		t.Error("jitter-free reads should be exact")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	f := func(seedRaw int64, rank uint8) bool {
+		c := New(int(rank), seedRaw, 0.005)
+		c.AddInstructions(1_000_000)
+		for i := 0; i < 20; i++ {
+			v := c.Read()
+			if v < 995_000 || v > 1_005_001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitterVariesAcrossReads(t *testing.T) {
+	c := New(3, 42, 0.005)
+	c.AddInstructions(1_000_000)
+	a, b := c.Read(), c.Read()
+	if a == b {
+		// Two consecutive reads use different sequence numbers; identical
+		// values are astronomically unlikely with a 0.5% band.
+		t.Errorf("reads identical: %d", a)
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	mk := func() []int64 {
+		c := New(1, 99, 0.01)
+		c.AddInstructions(12345)
+		out := make([]int64, 5)
+		for i := range out {
+			out[i] = c.Read()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZeroReads(t *testing.T) {
+	c := New(0, 5, 0.01)
+	if c.Read() != 0 {
+		t.Error("zero count should read zero even with jitter")
+	}
+}
+
+func TestMissRateModel(t *testing.T) {
+	var m *MissRateModel
+	if m.Rate(0) != 0 {
+		t.Error("nil model should report 0")
+	}
+	m = &MissRateModel{Base: 0.05, HighRate: 0.4, Phase: func(i int64) bool { return i%2 == 1 }}
+	if m.Rate(0) != 0.05 || m.Rate(1) != 0.4 || m.Rate(2) != 0.05 {
+		t.Error("phase selection wrong")
+	}
+	m2 := &MissRateModel{Base: 0.1}
+	if m2.Rate(123) != 0.1 {
+		t.Error("base-only model wrong")
+	}
+}

@@ -1,0 +1,133 @@
+// Package profiler is the mpiP-equivalent baseline of paper §6.4: a
+// lightweight profiler that accumulates, per rank, the total time spent in
+// computation versus MPI communication. The paper shows that such profiles
+// cannot localize injected variance — the noise shifts MPI wait time,
+// misleading the user to suspect the network (Figs. 18-19) — which is
+// exactly the behaviour this baseline reproduces against vSensor.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vsensor/internal/vm"
+)
+
+// Profile is the aggregated per-rank time breakdown.
+type Profile struct {
+	mu    sync.Mutex
+	ranks map[int]*RankProfile
+}
+
+// RankProfile is one rank's accumulated times.
+type RankProfile struct {
+	Rank   int
+	MPINs  int64
+	IONs   int64
+	CompNs int64            // filled in by Finalize from total time
+	Calls  map[string]int64 // per-MPI-operation time
+}
+
+// New creates an empty profile.
+func New() *Profile {
+	return &Profile{ranks: make(map[int]*RankProfile)}
+}
+
+// Collector returns the per-rank event sink feeding this profile.
+func (p *Profile) Collector(rank int) vm.EventSink {
+	return &collector{p: p, rank: rank}
+}
+
+type collector struct {
+	p    *Profile
+	rank int
+}
+
+// OnEvent accumulates one runtime event.
+func (c *collector) OnEvent(e vm.Event) {
+	c.p.mu.Lock()
+	defer c.p.mu.Unlock()
+	rp := c.p.ranks[c.rank]
+	if rp == nil {
+		rp = &RankProfile{Rank: c.rank, Calls: make(map[string]int64)}
+		c.p.ranks[c.rank] = rp
+	}
+	dur := e.End - e.Start
+	switch e.Kind {
+	case vm.EvNet:
+		rp.MPINs += dur
+		rp.Calls[e.Op] += dur
+	case vm.EvIO:
+		rp.IONs += dur
+		rp.Calls[e.Op] += dur
+	}
+}
+
+// Finalize computes computation time per rank as total minus MPI/IO time.
+func (p *Profile) Finalize(result *vm.Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range result.Ranks {
+		rp := p.ranks[st.Rank]
+		if rp == nil {
+			rp = &RankProfile{Rank: st.Rank, Calls: make(map[string]int64)}
+			p.ranks[st.Rank] = rp
+		}
+		rp.CompNs = st.Total - rp.MPINs - rp.IONs
+		if rp.CompNs < 0 {
+			rp.CompNs = 0
+		}
+	}
+}
+
+// Ranks returns the per-rank profiles in rank order.
+func (p *Profile) Ranks() []*RankProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*RankProfile, 0, len(p.ranks))
+	for _, rp := range p.ranks {
+		out = append(out, rp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// MeanMPISeconds returns the mean MPI time across ranks in seconds —
+// the quantity that grows under noise injection in the paper's Fig. 19.
+func (p *Profile) MeanMPISeconds() float64 {
+	ranks := p.Ranks()
+	if len(ranks) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, rp := range ranks {
+		sum += rp.MPINs
+	}
+	return float64(sum) / float64(len(ranks)) / 1e9
+}
+
+// MeanCompSeconds returns the mean computation time across ranks in seconds.
+func (p *Profile) MeanCompSeconds() float64 {
+	ranks := p.Ranks()
+	if len(ranks) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, rp := range ranks {
+		sum += rp.CompNs
+	}
+	return float64(sum) / float64(len(ranks)) / 1e9
+}
+
+// Report renders the mpiP-style per-rank table (Figs. 18-19's data).
+func (p *Profile) Report() string {
+	var sb strings.Builder
+	sb.WriteString("rank  comp_s   mpi_s    io_s\n")
+	for _, rp := range p.Ranks() {
+		fmt.Fprintf(&sb, "%4d  %7.3f  %7.3f  %6.3f\n",
+			rp.Rank, float64(rp.CompNs)/1e9, float64(rp.MPINs)/1e9, float64(rp.IONs)/1e9)
+	}
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"vsensor/internal/vm"
+)
+
+func TestAccumulation(t *testing.T) {
+	p := New()
+	c0 := p.Collector(0)
+	c1 := p.Collector(1)
+	c0.OnEvent(vm.Event{Rank: 0, Kind: vm.EvNet, Op: "mpi_barrier", Start: 0, End: 100})
+	c0.OnEvent(vm.Event{Rank: 0, Kind: vm.EvNet, Op: "mpi_send", Start: 200, End: 500})
+	c0.OnEvent(vm.Event{Rank: 0, Kind: vm.EvIO, Op: "io_write", Start: 600, End: 700})
+	c1.OnEvent(vm.Event{Rank: 1, Kind: vm.EvNet, Op: "mpi_barrier", Start: 0, End: 50})
+
+	res := &vm.Result{Ranks: []vm.RankStats{
+		{Rank: 0, Total: 1000},
+		{Rank: 1, Total: 1000},
+	}}
+	p.Finalize(res)
+
+	ranks := p.Ranks()
+	if len(ranks) != 2 {
+		t.Fatalf("ranks = %d", len(ranks))
+	}
+	r0 := ranks[0]
+	if r0.MPINs != 400 || r0.IONs != 100 || r0.CompNs != 500 {
+		t.Errorf("rank 0 = %+v", r0)
+	}
+	if r0.Calls["mpi_send"] != 300 {
+		t.Errorf("per-call time = %v", r0.Calls)
+	}
+	if ranks[1].CompNs != 950 {
+		t.Errorf("rank 1 comp = %d", ranks[1].CompNs)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	p := New()
+	p.Collector(0).OnEvent(vm.Event{Rank: 0, Kind: vm.EvNet, Op: "x", Start: 0, End: 2_000_000_000})
+	p.Collector(1).OnEvent(vm.Event{Rank: 1, Kind: vm.EvNet, Op: "x", Start: 0, End: 4_000_000_000})
+	p.Finalize(&vm.Result{Ranks: []vm.RankStats{{Rank: 0, Total: 5_000_000_000}, {Rank: 1, Total: 5_000_000_000}}})
+	if m := p.MeanMPISeconds(); m != 3 {
+		t.Errorf("mean mpi = %v", m)
+	}
+	if m := p.MeanCompSeconds(); m != 2 {
+		t.Errorf("mean comp = %v", m)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := New()
+	p.Collector(0).OnEvent(vm.Event{Rank: 0, Kind: vm.EvNet, Op: "x", Start: 0, End: 1_500_000_000})
+	p.Finalize(&vm.Result{Ranks: []vm.RankStats{{Rank: 0, Total: 2_000_000_000}}})
+	rep := p.Report()
+	if !strings.Contains(rep, "rank") || !strings.Contains(rep, "1.500") || !strings.Contains(rep, "0.500") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := New()
+	if p.MeanMPISeconds() != 0 || p.MeanCompSeconds() != 0 {
+		t.Error("empty profile should report zeros")
+	}
+	p.Finalize(&vm.Result{Ranks: []vm.RankStats{{Rank: 0, Total: 100}}})
+	if len(p.Ranks()) != 1 || p.Ranks()[0].CompNs != 100 {
+		t.Error("finalize should create missing rank entries")
+	}
+}

@@ -1,0 +1,59 @@
+// Package rundata persists the performance data a run produces — the
+// artifact between the paper's "Run" and "Analyze/Visualize" workflow steps
+// (Fig. 2) — so reports and figures can be regenerated without re-running
+// the job, and data from a cluster can be inspected elsewhere.
+package rundata
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/ir"
+)
+
+// Version identifies the on-disk format.
+const Version = 1
+
+// RunData is everything needed to rebuild matrices and reports.
+type RunData struct {
+	Version int
+	Ranks   int
+	TotalNs int64
+	Sensors []detect.Sensor
+	Records []detect.SliceRecord
+}
+
+// SensorTypes rebuilds the sensor-ID → component-type map.
+func (d *RunData) SensorTypes() map[int]ir.SnippetType {
+	out := make(map[int]ir.SnippetType, len(d.Sensors))
+	for _, s := range d.Sensors {
+		out[s.ID] = s.Type
+	}
+	return out
+}
+
+// Save writes the run data.
+func Save(w io.Writer, d *RunData) error {
+	d.Version = Version
+	return saveRaw(w, d)
+}
+
+// saveRaw encodes without forcing the version; split out so tests can write
+// a bad version.
+func saveRaw(w io.Writer, d *RunData) error {
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load reads run data, validating the format version.
+func Load(r io.Reader) (*RunData, error) {
+	var d RunData
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("rundata: %w", err)
+	}
+	if d.Version != Version {
+		return nil, fmt.Errorf("rundata: version %d, want %d", d.Version, Version)
+	}
+	return &d, nil
+}

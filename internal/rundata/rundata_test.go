@@ -1,0 +1,72 @@
+package rundata
+
+import (
+	"bytes"
+	"testing"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/ir"
+)
+
+func sample() *RunData {
+	return &RunData{
+		Ranks:   8,
+		TotalNs: 123_456_789,
+		Sensors: []detect.Sensor{
+			{ID: 0, Type: ir.Computation, ProcessFixed: true, Name: "main:L0@3:5"},
+			{ID: 1, Type: ir.Network, ProcessFixed: false, Name: "main:C4@9:9"},
+		},
+		Records: []detect.SliceRecord{
+			{Sensor: 0, Rank: 1, SliceNs: 1_000_000, Count: 12, AvgNs: 345.5, AvgInstr: 99},
+			{Sensor: 1, Rank: 7, SliceNs: 2_000_000, Count: 1, AvgNs: 4.25},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Ranks != want.Ranks || got.TotalNs != want.TotalNs {
+		t.Errorf("meta mismatch: %+v", got)
+	}
+	if len(got.Sensors) != 2 || got.Sensors[1].Name != "main:C4@9:9" {
+		t.Errorf("sensors = %+v", got.Sensors)
+	}
+	if len(got.Records) != 2 || got.Records[0] != want.Records[0] {
+		t.Errorf("records = %+v", got.Records)
+	}
+	types := got.SensorTypes()
+	if types[0] != ir.Computation || types[1] != ir.Network {
+		t.Errorf("types = %v", types)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob data"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	d := sample()
+	if err := Save(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by re-encoding manually.
+	d.Version = 99
+	var buf2 bytes.Buffer
+	if err := saveRaw(&buf2, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf2); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"vsensor/internal/detect"
+)
+
+// RecordsSince returns the slice records received after the given cursor
+// along with the new cursor. It lets a reporting loop poll the server while
+// a job is still running and update figures incrementally — the paper's
+// "the performance report is updated periodically, thus users can notice
+// performance variance without waiting for a program to finish" (§2).
+func (s *Server) RecordsSince(cursor int) ([]detect.SliceRecord, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(s.records) {
+		cursor = len(s.records)
+	}
+	out := make([]detect.SliceRecord, len(s.records)-cursor)
+	copy(out, s.records[cursor:])
+	return out, len(s.records)
+}
+
+// Progress summarizes how much data the server has seen, for live
+// dashboards.
+type Progress struct {
+	Records  int
+	Messages int64
+	Bytes    int64
+	// LatestSliceNs is the most recent slice start observed; it advances
+	// with the job's virtual time.
+	LatestSliceNs int64
+}
+
+// Progress returns a snapshot of the server's ingest state.
+func (s *Server) Progress() Progress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := Progress{
+		Records:  len(s.records),
+		Messages: s.messages,
+		Bytes:    s.bytesReceived,
+	}
+	for _, r := range s.records {
+		if r.SliceNs > p.LatestSliceNs {
+			p.LatestSliceNs = r.SliceNs
+		}
+	}
+	return p
+}

@@ -1,0 +1,257 @@
+// Package server implements the dedicated analysis-server process of paper
+// §5.4. Each rank buffers its smoothed slice records locally and ships them
+// in network-friendly batches; the server aggregates them, detects
+// inter-process variance by comparing the performance of the same v-sensor
+// across processes, and accounts the transferred data volume (the paper's
+// 8.8 MB vs 501.5 MB tracing comparison).
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"vsensor/internal/detect"
+)
+
+// DefaultBatchSize is how many slice records a client buffers before
+// transferring them in one message.
+const DefaultBatchSize = 64
+
+// Server aggregates slice records from every rank.
+type Server struct {
+	mu      sync.Mutex
+	records []detect.SliceRecord
+
+	bytesReceived int64
+	messages      int64
+}
+
+// New creates an empty analysis server.
+func New() *Server { return &Server{} }
+
+// receive ingests one encoded batch.
+func (s *Server) receive(encoded []byte) error {
+	recs, err := decodeBatch(encoded)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.records = append(s.records, recs...)
+	s.bytesReceived += int64(len(encoded))
+	s.messages++
+	s.mu.Unlock()
+	return nil
+}
+
+// BytesReceived returns the total encoded bytes shipped to the server.
+func (s *Server) BytesReceived() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesReceived
+}
+
+// Messages returns how many batch messages arrived.
+func (s *Server) Messages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.messages
+}
+
+// Records returns a snapshot of all received slice records.
+func (s *Server) Records() []detect.SliceRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]detect.SliceRecord, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// Client is a per-rank connection to the analysis server. It implements
+// detect.Emitter, buffering records and transferring them in batches
+// (paper: "each process buffers its data locally and periodically
+// transfers them in batch to analysis-server"). Not safe for concurrent
+// use; each rank owns one client.
+type Client struct {
+	server    *Server
+	batchSize int
+	buf       []detect.SliceRecord
+
+	sent      int64
+	bytesSent int64
+}
+
+// NewClient connects a rank to the server. batchSize <= 0 selects the
+// default; batchSize 1 effectively disables batching (ablation A4).
+func (s *Server) NewClient(batchSize int) *Client {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &Client{server: s, batchSize: batchSize}
+}
+
+// OnSlice buffers one record, flushing when the batch is full.
+func (c *Client) OnSlice(r detect.SliceRecord) {
+	c.buf = append(c.buf, r)
+	if len(c.buf) >= c.batchSize {
+		c.Flush()
+	}
+}
+
+// Flush transfers the buffered records.
+func (c *Client) Flush() {
+	if len(c.buf) == 0 {
+		return
+	}
+	enc := encodeBatch(c.buf)
+	if err := c.server.receive(enc); err != nil {
+		panic(fmt.Sprintf("server: self-encoded batch failed to decode: %v", err))
+	}
+	c.sent += int64(len(c.buf))
+	c.bytesSent += int64(len(enc))
+	c.buf = c.buf[:0]
+}
+
+// BytesSent returns the client's total encoded payload bytes.
+func (c *Client) BytesSent() int64 { return c.bytesSent }
+
+// RecordsSent returns how many slice records this client shipped.
+func (c *Client) RecordsSent() int64 { return c.sent }
+
+// ---------- wire format ----------
+
+// Batch layout: u32 count, then per record:
+// u32 sensor, u32 group, u32 rank, i64 slice, i32 count, f64 avgNs, f64 avgInstr.
+const recordWireSize = 4 + 4 + 4 + 8 + 4 + 8 + 8
+
+func encodeBatch(recs []detect.SliceRecord) []byte {
+	var b bytes.Buffer
+	b.Grow(4 + len(recs)*recordWireSize)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(recs)))
+	b.Write(hdr[:])
+	var scratch [8]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		b.Write(scratch[:4])
+	}
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		b.Write(scratch[:])
+	}
+	for _, r := range recs {
+		putU32(uint32(r.Sensor))
+		putU32(uint32(r.Group))
+		putU32(uint32(r.Rank))
+		putU64(uint64(r.SliceNs))
+		putU32(uint32(r.Count))
+		putU64(math.Float64bits(r.AvgNs))
+		putU64(math.Float64bits(r.AvgInstr))
+	}
+	return b.Bytes()
+}
+
+func decodeBatch(data []byte) ([]detect.SliceRecord, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("server: short batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(data[:4]))
+	want := 4 + n*recordWireSize
+	if len(data) != want {
+		return nil, fmt.Errorf("server: batch length %d, want %d for %d records", len(data), want, n)
+	}
+	out := make([]detect.SliceRecord, 0, n)
+	off := 4
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 4
+		return v
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off : off+8])
+		off += 8
+		return v
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, detect.SliceRecord{
+			Sensor:   int(u32()),
+			Group:    int(u32()),
+			Rank:     int(u32()),
+			SliceNs:  int64(u64()),
+			Count:    int32(u32()),
+			AvgNs:    math.Float64frombits(u64()),
+			AvgInstr: math.Float64frombits(u64()),
+		})
+	}
+	return out, nil
+}
+
+// ---------- inter-process analysis ----------
+
+// Outlier is a rank whose performance for one sensor in one time slice lags
+// its peers — the inter-process variance of paper §5.4.
+type Outlier struct {
+	Sensor  int
+	SliceNs int64
+	Rank    int
+	Perf    float64 // rank's normalized perf relative to the slice median
+}
+
+// InterProcessOutliers compares the same v-sensor across processes per
+// slice: a rank is an outlier when its average time exceeds the cross-rank
+// median by more than 1/threshold (e.g. threshold 0.8 → 25% slower).
+func (s *Server) InterProcessOutliers(threshold float64) []Outlier {
+	recs := s.Records()
+	type key struct {
+		sensor int
+		group  int
+		slice  int64
+	}
+	bySlice := make(map[key][]detect.SliceRecord)
+	for _, r := range recs {
+		k := key{r.Sensor, r.Group, r.SliceNs}
+		bySlice[k] = append(bySlice[k], r)
+	}
+	var out []Outlier
+	for k, group := range bySlice {
+		if len(group) < 3 {
+			continue
+		}
+		med := medianAvg(group)
+		if med <= 0 {
+			continue
+		}
+		for _, r := range group {
+			perf := med / r.AvgNs
+			if perf < threshold {
+				out = append(out, Outlier{Sensor: k.sensor, SliceNs: k.slice, Rank: r.Rank, Perf: perf})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SliceNs != out[j].SliceNs {
+			return out[i].SliceNs < out[j].SliceNs
+		}
+		if out[i].Sensor != out[j].Sensor {
+			return out[i].Sensor < out[j].Sensor
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+func medianAvg(recs []detect.SliceRecord) float64 {
+	vals := make([]float64, len(recs))
+	for i, r := range recs {
+		vals[i] = r.AvgNs
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vsensor/internal/detect"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	recs := []detect.SliceRecord{
+		{Sensor: 1, Group: 0, Rank: 5, SliceNs: 3_000_000, Count: 12, AvgNs: 1234.5, AvgInstr: 99.25},
+		{Sensor: 2, Group: 3, Rank: 0, SliceNs: 0, Count: 1, AvgNs: 7, AvgInstr: 0},
+	}
+	enc := encodeBatch(recs)
+	got, err := decodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := decodeBatch([]byte{1}); err == nil {
+		t.Error("short header accepted")
+	}
+	enc := encodeBatch([]detect.SliceRecord{{Sensor: 1}})
+	if _, err := decodeBatch(enc[:len(enc)-2]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+}
+
+func TestClientBatching(t *testing.T) {
+	s := New()
+	c := s.NewClient(10)
+	for i := 0; i < 25; i++ {
+		c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: 1, SliceNs: int64(i), Count: 1, AvgNs: 5})
+	}
+	if s.Messages() != 2 {
+		t.Errorf("messages before flush = %d, want 2 full batches", s.Messages())
+	}
+	c.Flush()
+	if s.Messages() != 3 || c.RecordsSent() != 25 {
+		t.Errorf("messages=%d sent=%d", s.Messages(), c.RecordsSent())
+	}
+	if len(s.Records()) != 25 {
+		t.Errorf("server records = %d", len(s.Records()))
+	}
+	if c.BytesSent() != s.BytesReceived() {
+		t.Errorf("byte accounting mismatch: %d vs %d", c.BytesSent(), s.BytesReceived())
+	}
+}
+
+func TestBatchingReducesMessages(t *testing.T) {
+	batched, unbatched := New(), New()
+	cb := batched.NewClient(64)
+	cu := unbatched.NewClient(1)
+	for i := 0; i < 640; i++ {
+		r := detect.SliceRecord{Sensor: 0, Rank: 0, SliceNs: int64(i), Count: 1, AvgNs: 1}
+		cb.OnSlice(r)
+		cu.OnSlice(r)
+	}
+	cb.Flush()
+	cu.Flush()
+	if batched.Messages() >= unbatched.Messages() {
+		t.Errorf("batching should reduce messages: %d vs %d", batched.Messages(), unbatched.Messages())
+	}
+	// Payload bytes shrink too (fewer headers).
+	if batched.BytesReceived() >= unbatched.BytesReceived() {
+		t.Errorf("batching should reduce bytes: %d vs %d", batched.BytesReceived(), unbatched.BytesReceived())
+	}
+}
+
+func TestInterProcessOutliers(t *testing.T) {
+	s := New()
+	c := s.NewClient(0)
+	// 8 ranks, same sensor & slice; rank 5 is 2x slower.
+	for rank := 0; rank < 8; rank++ {
+		avg := 100.0
+		if rank == 5 {
+			avg = 200
+		}
+		c.OnSlice(detect.SliceRecord{Sensor: 3, Rank: rank, SliceNs: 1_000_000, Count: 10, AvgNs: avg})
+	}
+	c.Flush()
+	outs := s.InterProcessOutliers(0.8)
+	if len(outs) != 1 {
+		t.Fatalf("outliers = %+v", outs)
+	}
+	o := outs[0]
+	if o.Rank != 5 || o.Sensor != 3 || o.Perf > 0.51 || o.Perf < 0.49 {
+		t.Errorf("outlier = %+v", o)
+	}
+}
+
+func TestOutliersRequireQuorum(t *testing.T) {
+	s := New()
+	c := s.NewClient(0)
+	c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: 0, SliceNs: 0, Count: 1, AvgNs: 100})
+	c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: 1, SliceNs: 0, Count: 1, AvgNs: 500})
+	c.Flush()
+	if outs := s.InterProcessOutliers(0.8); len(outs) != 0 {
+		t.Errorf("two ranks should not produce outliers: %+v", outs)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	for r := 0; r < 16; r++ {
+		go func(rank int) {
+			defer func() { done <- struct{}{} }()
+			c := s.NewClient(7)
+			for i := 0; i < 100; i++ {
+				c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: rank, SliceNs: int64(i), Count: 1, AvgNs: 1})
+			}
+			c.Flush()
+		}(r)
+	}
+	for r := 0; r < 16; r++ {
+		<-done
+	}
+	if len(s.Records()) != 1600 {
+		t.Errorf("records = %d", len(s.Records()))
+	}
+}
+
+// Property: encode/decode is the identity for arbitrary record batches.
+func TestQuickWireFormat(t *testing.T) {
+	f := func(sensors []uint8, avg float64, slice int64) bool {
+		recs := make([]detect.SliceRecord, len(sensors))
+		for i, sn := range sensors {
+			recs[i] = detect.SliceRecord{
+				Sensor: int(sn), Group: i % 4, Rank: i,
+				SliceNs: slice, Count: int32(i + 1), AvgNs: avg, AvgInstr: avg / 2,
+			}
+		}
+		enc := encodeBatch(recs)
+		got, err := decodeBatch(enc)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package tracer is the ITAC-equivalent baseline of paper §6.4: a full MPI
+// event tracer that records every communication operation with timestamps.
+// Its purpose here is the data-volume comparison — the paper measured
+// 501.5 MB of trace against 8.8 MB of vSensor data for the same run — and
+// the scalability argument that full tracing cannot be used on-line.
+package tracer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+
+	"vsensor/internal/vm"
+)
+
+// eventWireSize is the encoded size of one trace event:
+// rank u32, kind u8, op-len u8, start i64, end i64, bytes i64 + op name.
+const eventFixedSize = 4 + 1 + 1 + 8 + 8 + 8
+
+// Trace accumulates events from all ranks and accounts encoded bytes.
+type Trace struct {
+	mu     sync.Mutex
+	events []vm.Event
+	bytes  int64
+}
+
+// New creates an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Collector returns the per-rank event sink feeding this trace.
+func (t *Trace) Collector(rank int) vm.EventSink {
+	return &collector{t: t}
+}
+
+type collector struct {
+	t *Trace
+}
+
+// OnEvent records one event, charging its encoded size.
+func (c *collector) OnEvent(e vm.Event) {
+	c.t.mu.Lock()
+	c.t.events = append(c.t.events, e)
+	c.t.bytes += int64(eventFixedSize + len(e.Op))
+	c.t.mu.Unlock()
+}
+
+// Events returns the number of recorded events.
+func (t *Trace) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// AllEvents returns a snapshot of every recorded event.
+func (t *Trace) AllEvents() []vm.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]vm.Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Bytes returns the total encoded trace size.
+func (t *Trace) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// Encode serializes the whole trace (verifying the byte accounting).
+func (t *Trace) Encode() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b bytes.Buffer
+	b.Grow(int(t.bytes))
+	var scratch [8]byte
+	for _, e := range t.events {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(e.Rank))
+		b.Write(scratch[:4])
+		b.WriteByte(byte(e.Kind))
+		b.WriteByte(byte(len(e.Op)))
+		binary.LittleEndian.PutUint64(scratch[:], uint64(e.Start))
+		b.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], uint64(e.End))
+		b.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], uint64(e.Bytes))
+		b.Write(scratch[:])
+		b.WriteString(e.Op)
+	}
+	return b.Bytes()
+}

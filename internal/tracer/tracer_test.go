@@ -1,0 +1,45 @@
+package tracer
+
+import (
+	"sync"
+	"testing"
+
+	"vsensor/internal/vm"
+)
+
+func TestByteAccountingMatchesEncoding(t *testing.T) {
+	tr := New()
+	c := tr.Collector(0)
+	c.OnEvent(vm.Event{Rank: 0, Kind: vm.EvNet, Op: "mpi_alltoall", Start: 1, End: 2, Bytes: 4096})
+	c.OnEvent(vm.Event{Rank: 0, Kind: vm.EvIO, Op: "io_write", Start: 3, End: 9, Bytes: 64})
+	if tr.Events() != 2 {
+		t.Fatalf("events = %d", tr.Events())
+	}
+	enc := tr.Encode()
+	if int64(len(enc)) != tr.Bytes() {
+		t.Errorf("accounted %d bytes, encoded %d", tr.Bytes(), len(enc))
+	}
+}
+
+func TestConcurrentCollectors(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := tr.Collector(rank)
+			for i := 0; i < 1000; i++ {
+				c.OnEvent(vm.Event{Rank: rank, Kind: vm.EvNet, Op: "mpi_send", Start: int64(i), End: int64(i + 1)})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if tr.Events() != 8000 {
+		t.Errorf("events = %d", tr.Events())
+	}
+	per := int64(eventFixedSize + len("mpi_send"))
+	if tr.Bytes() != 8000*per {
+		t.Errorf("bytes = %d, want %d", tr.Bytes(), 8000*per)
+	}
+}

@@ -1,0 +1,64 @@
+package vis
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// PNG renders the matrix as a heatmap image using the paper's colormap:
+// deep blue is the best performance (1.0), fading towards white at half of
+// best or worse (the paper's "white blocks" are variance), and light grey
+// marks cells with no data. Each cell is scaled to at least cellW×cellH
+// pixels so small matrices remain legible.
+func (m *Matrix) PNG(w io.Writer, cellW, cellH int) error {
+	if cellW <= 0 {
+		cellW = 4
+	}
+	if cellH <= 0 {
+		cellH = 4
+	}
+	cols := m.Cols()
+	if cols == 0 || m.Ranks == 0 {
+		return png.Encode(w, image.NewRGBA(image.Rect(0, 0, 1, 1)))
+	}
+	img := image.NewRGBA(image.Rect(0, 0, cols*cellW, m.Ranks*cellH))
+	for r := 0; r < m.Ranks; r++ {
+		for c := 0; c < cols; c++ {
+			px := cellColor(m.Cells[r][c])
+			for dy := 0; dy < cellH; dy++ {
+				for dx := 0; dx < cellW; dx++ {
+					img.SetRGBA(c*cellW+dx, r*cellH+dy, px)
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// cellColor maps normalized performance to the blue→white ramp.
+// The paper's legend spans [0.5, 1.0]: performance at or below half of the
+// best renders pure white.
+func cellColor(v float64) color.RGBA {
+	if math.IsNaN(v) {
+		return color.RGBA{R: 0xdd, G: 0xdd, B: 0xdd, A: 0xff}
+	}
+	// t = 1 at best (deep blue), 0 at <= 0.5 of best (white).
+	t := (v - 0.5) * 2
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	lerp := func(a, b float64) uint8 { return uint8(a + (b-a)*t) }
+	// white (255,255,255) → deep blue (8, 48, 140)
+	return color.RGBA{
+		R: lerp(255, 8),
+		G: lerp(255, 48),
+		B: lerp(255, 140),
+		A: 0xff,
+	}
+}

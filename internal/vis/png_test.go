@@ -1,0 +1,67 @@
+package vis
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"testing"
+)
+
+func TestPNGEncodesAndScales(t *testing.T) {
+	recs := synth(4, 6, 1_000_000, func(r, c int) float64 {
+		if r == 2 {
+			return 250
+		}
+		return 100
+	})
+	m := Build(recs, compOnly, 4, 1_000_000)[compOnly[0]]
+	var buf bytes.Buffer
+	if err := m.PNG(&buf, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 6*5 || b.Dy() != 4*3 {
+		t.Errorf("image size = %dx%d", b.Dx(), b.Dy())
+	}
+	// Fast rank is deep blue (low red), slow rank is whiter (high red).
+	fast := img.At(0, 0)
+	slow := img.At(0, 2*3)
+	fr, _, _, _ := fast.RGBA()
+	sr, _, _, _ := slow.RGBA()
+	if sr <= fr {
+		t.Errorf("slow rank should render whiter: fast-red=%d slow-red=%d", fr, sr)
+	}
+}
+
+func TestPNGEmptyMatrix(t *testing.T) {
+	m := &Matrix{}
+	var buf bytes.Buffer
+	if err := m.PNG(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellColorRamp(t *testing.T) {
+	best := cellColor(1.0)
+	half := cellColor(0.5)
+	nan := cellColor(math.NaN())
+	if best.B <= best.R {
+		t.Errorf("best should be blue: %+v", best)
+	}
+	if half.R != 255 || half.G != 255 || half.B != 255 {
+		t.Errorf("half-of-best should be white: %+v", half)
+	}
+	if below := cellColor(0.2); below != half {
+		t.Errorf("below-half clamps to white: %+v", below)
+	}
+	if nan.R != 0xdd {
+		t.Errorf("no-data should be grey: %+v", nan)
+	}
+}

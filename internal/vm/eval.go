@@ -1,0 +1,398 @@
+package vm
+
+import (
+	"math"
+
+	"vsensor/internal/minic"
+)
+
+func (in *interp) eval(fr *frame, e minic.Expr) Value {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return IntVal(x.Value)
+	case *minic.FloatLit:
+		return FloatVal(x.Value)
+	case *minic.StringLit:
+		return IntVal(0) // strings only reach print(), handled there
+	case *minic.Ident:
+		return *in.lvalue(fr, x)
+	case *minic.IndexExpr:
+		arr := in.lvalue(fr, x.Array)
+		idx := in.eval(fr, x.Index).AsInt()
+		in.pmu.AddMemOps(1)
+		in.charge(exprCostNs, memCostNs)
+		switch arr.Kind {
+		case KIntArr:
+			in.boundCheck(x, idx, len(arr.AI))
+			return IntVal(arr.AI[idx])
+		case KFloatArr:
+			in.boundCheck(x, idx, len(arr.AF))
+			return FloatVal(arr.AF[idx])
+		}
+		panic(rtErr(in.proc.Rank, x.Pos(), "indexing non-array %q", x.Array.Name))
+	case *minic.UnaryExpr:
+		v := in.eval(fr, x.X)
+		in.pmu.AddInstructions(1)
+		in.charge(exprCostNs, 0)
+		switch x.Op {
+		case minic.Minus:
+			if v.Kind == KFloat {
+				return FloatVal(-v.F)
+			}
+			return IntVal(-v.I)
+		case minic.Not:
+			if truthy(v) {
+				return IntVal(0)
+			}
+			return IntVal(1)
+		}
+	case *minic.BinaryExpr:
+		return in.evalBinary(fr, x)
+	case *minic.CallExpr:
+		return in.evalCall(fr, x)
+	}
+	panic(rtErr(in.proc.Rank, e.Pos(), "cannot evaluate expression"))
+}
+
+func (in *interp) evalBinary(fr *frame, x *minic.BinaryExpr) Value {
+	// Short-circuit logicals.
+	switch x.Op {
+	case minic.AndAnd:
+		in.pmu.AddInstructions(1)
+		in.charge(exprCostNs, 0)
+		if !truthy(in.eval(fr, x.X)) {
+			return IntVal(0)
+		}
+		return boolVal(truthy(in.eval(fr, x.Y)))
+	case minic.OrOr:
+		in.pmu.AddInstructions(1)
+		in.charge(exprCostNs, 0)
+		if truthy(in.eval(fr, x.X)) {
+			return IntVal(1)
+		}
+		return boolVal(truthy(in.eval(fr, x.Y)))
+	}
+
+	a := in.eval(fr, x.X)
+	b := in.eval(fr, x.Y)
+	in.pmu.AddInstructions(1)
+	in.charge(exprCostNs, 0)
+
+	if a.Kind == KFloat || b.Kind == KFloat {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch x.Op {
+		case minic.Plus:
+			return FloatVal(af + bf)
+		case minic.Minus:
+			return FloatVal(af - bf)
+		case minic.Star:
+			return FloatVal(af * bf)
+		case minic.Slash:
+			if bf == 0 {
+				panic(rtErr(in.proc.Rank, x.Pos(), "division by zero"))
+			}
+			return FloatVal(af / bf)
+		case minic.Percent:
+			if bf == 0 {
+				panic(rtErr(in.proc.Rank, x.Pos(), "modulo by zero"))
+			}
+			return FloatVal(math.Mod(af, bf))
+		case minic.Eq:
+			return boolVal(af == bf)
+		case minic.NotEq:
+			return boolVal(af != bf)
+		case minic.Lt:
+			return boolVal(af < bf)
+		case minic.Gt:
+			return boolVal(af > bf)
+		case minic.LtEq:
+			return boolVal(af <= bf)
+		case minic.GtEq:
+			return boolVal(af >= bf)
+		}
+	}
+	ai, bi := a.I, b.I
+	switch x.Op {
+	case minic.Plus:
+		return IntVal(ai + bi)
+	case minic.Minus:
+		return IntVal(ai - bi)
+	case minic.Star:
+		return IntVal(ai * bi)
+	case minic.Slash:
+		if bi == 0 {
+			panic(rtErr(in.proc.Rank, x.Pos(), "division by zero"))
+		}
+		return IntVal(ai / bi)
+	case minic.Percent:
+		if bi == 0 {
+			panic(rtErr(in.proc.Rank, x.Pos(), "modulo by zero"))
+		}
+		return IntVal(ai % bi)
+	case minic.Eq:
+		return boolVal(ai == bi)
+	case minic.NotEq:
+		return boolVal(ai != bi)
+	case minic.Lt:
+		return boolVal(ai < bi)
+	case minic.Gt:
+		return boolVal(ai > bi)
+	case minic.LtEq:
+		return boolVal(ai <= bi)
+	case minic.GtEq:
+		return boolVal(ai >= bi)
+	}
+	panic(rtErr(in.proc.Rank, x.Pos(), "unknown operator"))
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// ---------- calls ----------
+
+func (in *interp) evalCall(fr *frame, call *minic.CallExpr) Value {
+	// User-defined functions.
+	if fn := in.m.prog.AST.Func(call.Name); fn != nil {
+		sensor := in.callSensor(call.CallID)
+		args := make([]Value, len(call.Args))
+		for i, a := range call.Args {
+			args[i] = in.eval(fr, a)
+		}
+		if sensor >= 0 {
+			in.tick(sensor)
+			defer in.tock(sensor)
+		}
+		in.pmu.AddInstructions(1)
+		in.charge(stmtCostNs, 0)
+		return in.call(fn, args, call.Pos())
+	}
+	return in.evalBuiltin(fr, call)
+}
+
+func (in *interp) callSensor(callID int) int {
+	if in.m.ins == nil {
+		return -1
+	}
+	if s, ok := in.m.ins.CallSensor[callID]; ok {
+		return s.ID
+	}
+	return -1
+}
+
+// netOp wraps an MPI operation: flushes pending work, runs op, accounts the
+// elapsed time as network time, and emits a trace event.
+func (in *interp) netOp(name string, bytes int64, op func()) {
+	in.flush()
+	start := in.proc.Now()
+	op()
+	end := in.proc.Now()
+	in.netNs += end - start
+	if in.events != nil {
+		in.events.OnEvent(Event{Rank: in.proc.Rank, Kind: EvNet, Op: name, Start: start, End: end, Bytes: bytes})
+	}
+}
+
+func (in *interp) evalBuiltin(fr *frame, call *minic.CallExpr) Value {
+	name := call.Name
+	sensor := in.callSensor(call.CallID)
+
+	// Evaluate arguments (print handles string literals specially).
+	argOf := func(i int) Value {
+		if i < len(call.Args) {
+			return in.eval(fr, call.Args[i])
+		}
+		return IntVal(0)
+	}
+
+	if name == "print" {
+		args := make([]Value, len(call.Args))
+		lits := make([]string, len(call.Args))
+		for i, a := range call.Args {
+			if s, ok := a.(*minic.StringLit); ok {
+				lits[i] = s.Value
+				continue
+			}
+			args[i] = in.eval(fr, a)
+		}
+		in.pmu.AddInstructions(1)
+		in.charge(stmtCostNs, 0)
+		in.printf(args, lits)
+		return IntVal(0)
+	}
+
+	if name == "vs_tick" || name == "vs_tock" {
+		id := int(argOf(0).AsInt())
+		if name == "vs_tick" {
+			in.tick(id)
+		} else {
+			in.tock(id)
+		}
+		return IntVal(0)
+	}
+
+	if sensor >= 0 {
+		in.tick(sensor)
+		defer in.tock(sensor)
+	}
+	in.pmu.AddInstructions(1)
+	in.charge(exprCostNs, 0)
+
+	switch name {
+	case "mpi_comm_rank":
+		return IntVal(int64(in.proc.Rank))
+	case "mpi_comm_size":
+		return IntVal(int64(in.proc.World.P))
+	case "mpi_barrier":
+		in.netOp(name, 0, func() { in.proc.Barrier() })
+		return IntVal(0)
+	case "mpi_send":
+		dst := argOf(0).AsInt()
+		n := argOf(1).AsInt()
+		val := argOf(2).AsFloat()
+		in.checkRank(call, dst)
+		in.netOp(name, n, func() { in.proc.Send(int(dst), n, val) })
+		return IntVal(0)
+	case "mpi_recv":
+		src := argOf(0).AsInt()
+		n := argOf(1).AsInt()
+		in.checkRank(call, src)
+		var v float64
+		in.netOp(name, n, func() { v = in.proc.Recv(int(src), n) })
+		return FloatVal(v)
+	case "mpi_isend":
+		dst := argOf(0).AsInt()
+		n := argOf(1).AsInt()
+		val := argOf(2).AsFloat()
+		in.checkRank(call, dst)
+		// Post eagerly; completion is instantaneous for the sender.
+		in.netOp(name, n, func() { in.proc.Send(int(dst), n, val) })
+		in.nextReq++
+		in.requests[in.nextReq] = pendingReq{peer: int(dst), bytes: n}
+		return IntVal(in.nextReq)
+	case "mpi_irecv":
+		src := argOf(0).AsInt()
+		n := argOf(1).AsInt()
+		in.checkRank(call, src)
+		// Posting a receive costs almost nothing; the transfer is charged
+		// at mpi_wait.
+		in.nextReq++
+		in.requests[in.nextReq] = pendingReq{isRecv: true, peer: int(src), bytes: n}
+		return IntVal(in.nextReq)
+	case "mpi_wait":
+		id := argOf(0).AsInt()
+		req, ok := in.requests[id]
+		if !ok {
+			panic(rtErr(in.proc.Rank, call.Pos(), "mpi_wait: unknown request %d", id))
+		}
+		delete(in.requests, id)
+		if !req.isRecv {
+			return FloatVal(0) // isend already completed at post time
+		}
+		var v float64
+		in.netOp(name, req.bytes, func() { v = in.proc.Recv(req.peer, req.bytes) })
+		return FloatVal(v)
+	case "mpi_sendrecv":
+		peer := argOf(0).AsInt()
+		n := argOf(1).AsInt()
+		val := argOf(2).AsFloat()
+		in.checkRank(call, peer)
+		var v float64
+		in.netOp(name, n, func() { v = in.proc.SendRecv(int(peer), n, val) })
+		return FloatVal(v)
+	case "mpi_allreduce":
+		n := argOf(0).AsInt()
+		contrib := argOf(1).AsFloat()
+		var v float64
+		in.netOp(name, n, func() { v = in.proc.Allreduce(n, contrib) })
+		return FloatVal(v)
+	case "mpi_alltoall":
+		n := argOf(0).AsInt()
+		in.netOp(name, n, func() { in.proc.Alltoall(n) })
+		return IntVal(0)
+	case "mpi_bcast":
+		root := argOf(0).AsInt()
+		n := argOf(1).AsInt()
+		val := argOf(2).AsFloat()
+		in.checkRank(call, root)
+		var v float64
+		in.netOp(name, n, func() { v = in.proc.Bcast(int(root), n, val) })
+		return FloatVal(v)
+	case "mpi_reduce":
+		root := argOf(0).AsInt()
+		n := argOf(1).AsInt()
+		contrib := argOf(2).AsFloat()
+		in.checkRank(call, root)
+		var v float64
+		in.netOp(name, n, func() { v = in.proc.Reduce(int(root), n, contrib) })
+		return FloatVal(v)
+	case "io_read", "io_write":
+		n := argOf(0).AsInt()
+		in.flush()
+		start := in.proc.Now()
+		in.proc.AdvanceTo(start + in.cfg.Cluster.IOCost(start, n))
+		end := in.proc.Now()
+		in.ioNs += end - start
+		if in.events != nil {
+			in.events.OnEvent(Event{Rank: in.proc.Rank, Kind: EvIO, Op: name, Start: start, End: end, Bytes: n})
+		}
+		if name == "io_read" {
+			return IntVal(n)
+		}
+		return IntVal(0)
+	case "flops":
+		n := argOf(0).AsInt()
+		if n < 0 {
+			n = 0
+		}
+		in.pmu.AddInstructions(n)
+		in.pmu.AddFlops(n)
+		in.charge(float64(n)*flopCostNs, 0)
+		return IntVal(0)
+	case "mem":
+		n := argOf(0).AsInt()
+		if n < 0 {
+			n = 0
+		}
+		in.pmu.AddMemOps(n)
+		in.charge(0, float64(n)*memCostNs)
+		return IntVal(0)
+	case "abs_i":
+		v := argOf(0).AsInt()
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(v)
+	case "min_i":
+		a, b := argOf(0).AsInt(), argOf(1).AsInt()
+		if a < b {
+			return IntVal(a)
+		}
+		return IntVal(b)
+	case "max_i":
+		a, b := argOf(0).AsInt(), argOf(1).AsInt()
+		if a > b {
+			return IntVal(a)
+		}
+		return IntVal(b)
+	case "sqrt_f":
+		return FloatVal(math.Sqrt(argOf(0).AsFloat()))
+	case "rand_i":
+		n := argOf(0).AsInt()
+		if n <= 0 {
+			return IntVal(0)
+		}
+		in.rng = in.rng*6364136223846793005 + 1442695040888963407
+		return IntVal(int64(in.rng>>33) % n)
+	}
+	panic(rtErr(in.proc.Rank, call.Pos(), "call to undefined function %q", name))
+}
+
+func (in *interp) checkRank(call *minic.CallExpr, r int64) {
+	if r < 0 || r >= int64(in.proc.World.P) {
+		panic(rtErr(in.proc.Rank, call.Pos(), "%s: rank %d out of range [0,%d)", call.Name, r, in.proc.World.P))
+	}
+}

@@ -1,0 +1,465 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"vsensor/internal/minic"
+	"vsensor/internal/mpisim"
+	"vsensor/internal/pmu"
+)
+
+// interp executes one rank.
+type interp struct {
+	m    *Machine
+	proc *mpisim.Proc
+	cfg  Config
+
+	globals map[string]*Value
+	pmu     *pmu.Counter
+	sink    Sink
+	events  EventSink
+
+	// pending nominal costs not yet charged to the virtual clock.
+	pendingCPU float64
+	pendingMem float64
+
+	// time accounting per category.
+	compNs, netNs, ioNs int64
+
+	// active sensor probes (nested probes form a stack).
+	probes []probeFrame
+	// per-sensor execution counters, for the miss-rate model.
+	execIdx map[int]int64
+	records int
+
+	steps int64
+	rng   uint64
+
+	// Nonblocking point-to-point request table.
+	nextReq  int64
+	requests map[int64]pendingReq
+}
+
+// pendingReq is an outstanding mpi_isend/mpi_irecv awaiting mpi_wait.
+type pendingReq struct {
+	isRecv bool
+	peer   int
+	bytes  int64
+}
+
+type probeFrame struct {
+	sensor  int
+	start   int64
+	instrAt int64
+}
+
+// frame is one function activation; scopes is a stack of name->value maps.
+type frame struct {
+	scopes []map[string]*Value
+}
+
+func (f *frame) push() { f.scopes = append(f.scopes, make(map[string]*Value, 8)) }
+func (f *frame) pop()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+func (f *frame) declare(name string, v Value) {
+	f.scopes[len(f.scopes)-1][name] = &v
+}
+func (f *frame) lookup(name string) *Value {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if v, ok := f.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// ctrl signals non-linear control flow during statement execution.
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+func newInterp(m *Machine, proc *mpisim.Proc, cfg Config) *interp {
+	in := &interp{
+		m:        m,
+		proc:     proc,
+		cfg:      cfg,
+		globals:  make(map[string]*Value),
+		pmu:      m.newPMU(proc.Rank),
+		execIdx:  make(map[int]int64),
+		requests: make(map[int64]pendingReq),
+		rng:      uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(proc.Rank) + 0x632be59bd9b4e019,
+	}
+	if cfg.SinkFactory != nil {
+		in.sink = cfg.SinkFactory(proc.Rank)
+	}
+	if cfg.EventFactory != nil {
+		in.events = cfg.EventFactory(proc.Rank)
+	}
+	return in
+}
+
+// runMain initializes globals and executes main().
+func (in *interp) runMain() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	fr := &frame{}
+	fr.push()
+	for _, g := range in.m.prog.AST.Globals {
+		arrLen := 0
+		if g.Len != nil {
+			arrLen = int(in.eval(fr, g.Len).AsInt())
+			if arrLen < 0 {
+				panic(rtErr(in.proc.Rank, g.Pos(), "negative array length %d for global %s", arrLen, g.Name))
+			}
+		}
+		v := zeroValue(g.Type, arrLen)
+		if g.Init != nil {
+			v = coerce(in.eval(fr, g.Init), g.Type)
+		}
+		gv := v
+		in.globals[g.Name] = &gv
+	}
+	in.call(in.m.prog.AST.Func("main"), nil, minic.Pos{Line: 1, Col: 1})
+	return nil
+}
+
+// ---------- cost accounting ----------
+
+const flushThresholdNs = 5000
+
+func (in *interp) charge(cpu, mem float64) {
+	in.pendingCPU += cpu
+	in.pendingMem += mem
+	if in.pendingCPU+in.pendingMem >= flushThresholdNs {
+		in.flush()
+	}
+}
+
+// flush converts pending nominal work into virtual time.
+func (in *interp) flush() {
+	if in.pendingCPU == 0 && in.pendingMem == 0 {
+		return
+	}
+	before := in.proc.Now()
+	in.proc.Compute(in.pendingCPU, in.pendingMem)
+	in.compNs += in.proc.Now() - before
+	in.pendingCPU, in.pendingMem = 0, 0
+}
+
+func (in *interp) step(pos minic.Pos) {
+	in.steps++
+	if in.steps > in.cfg.MaxSteps {
+		panic(rtErr(in.proc.Rank, pos, "step limit exceeded (%d): possible runaway loop", in.cfg.MaxSteps))
+	}
+	in.pmu.AddInstructions(1)
+	in.charge(stmtCostNs, 0)
+}
+
+// ---------- probes (Tick/Tock) ----------
+
+func (in *interp) tick(sensor int) {
+	in.flush()
+	if in.cfg.ProbeCostNs > 0 {
+		in.charge(in.cfg.ProbeCostNs, 0)
+		in.flush()
+	}
+	in.probes = append(in.probes, probeFrame{
+		sensor:  sensor,
+		start:   in.proc.Now(),
+		instrAt: in.pmu.Exact(),
+	})
+}
+
+func (in *interp) tock(sensor int) {
+	in.flush()
+	if len(in.probes) == 0 {
+		panic(rtErr(in.proc.Rank, minic.Pos{}, "vs_tock(%d) without matching vs_tick", sensor))
+	}
+	pf := in.probes[len(in.probes)-1]
+	in.probes = in.probes[:len(in.probes)-1]
+	if pf.sensor != sensor {
+		panic(rtErr(in.proc.Rank, minic.Pos{}, "vs_tock(%d) does not match vs_tick(%d)", sensor, pf.sensor))
+	}
+	if in.cfg.ProbeCostNs > 0 {
+		in.charge(in.cfg.ProbeCostNs, 0)
+		in.flush()
+	}
+	idx := in.execIdx[sensor]
+	in.execIdx[sensor] = idx + 1
+	var miss float64
+	if in.cfg.MissRate != nil {
+		miss = in.cfg.MissRate(in.proc.Rank, sensor, idx)
+	}
+	if in.sink != nil {
+		exact := in.pmu.Exact() - pf.instrAt
+		measured := in.jitterInstr(exact)
+		in.sink.OnRecord(Record{
+			Sensor:   sensor,
+			Rank:     in.proc.Rank,
+			Start:    pf.start,
+			End:      in.proc.Now(),
+			Instr:    measured,
+			MissRate: miss,
+		})
+		in.records++
+	}
+}
+
+// jitterInstr applies the PMU measurement error to a span count.
+func (in *interp) jitterInstr(v int64) int64 {
+	if in.cfg.PMUJitterPct == 0 || v == 0 {
+		return v
+	}
+	in.rng = in.rng*6364136223846793005 + 1442695040888963407
+	u := float64(in.rng>>11) / float64(1<<53)
+	out := int64(math.Round(float64(v) * (1 + in.cfg.PMUJitterPct*(2*u-1))))
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// ---------- statements ----------
+
+func (in *interp) execBlock(fr *frame, b *minic.BlockStmt, ret *Value) ctrl {
+	fr.push()
+	defer fr.pop()
+	for _, s := range b.Stmts {
+		if c := in.execStmt(fr, s, ret); c != ctrlNone {
+			return c
+		}
+	}
+	return ctrlNone
+}
+
+func (in *interp) execStmt(fr *frame, s minic.Stmt, ret *Value) ctrl {
+	in.step(s.Pos())
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		return in.execBlock(fr, st, ret)
+	case *minic.VarDecl:
+		arrLen := 0
+		if st.Len != nil {
+			arrLen = int(in.eval(fr, st.Len).AsInt())
+			if arrLen < 0 {
+				panic(rtErr(in.proc.Rank, st.Pos(), "negative array length %d for %s", arrLen, st.Name))
+			}
+		}
+		v := zeroValue(st.Type, arrLen)
+		if st.Init != nil {
+			v = coerce(in.eval(fr, st.Init), st.Type)
+		}
+		fr.declare(st.Name, v)
+	case *minic.AssignStmt:
+		in.assign(fr, st)
+	case *minic.IfStmt:
+		if truthy(in.eval(fr, st.Cond)) {
+			return in.execBlock(fr, st.Then, ret)
+		}
+		if st.Else != nil {
+			return in.execStmt(fr, st.Else, ret)
+		}
+	case *minic.ForStmt:
+		return in.execFor(fr, st, ret)
+	case *minic.WhileStmt:
+		return in.execWhile(fr, st, ret)
+	case *minic.ReturnStmt:
+		if st.Value != nil && ret != nil {
+			*ret = in.eval(fr, st.Value)
+		}
+		return ctrlReturn
+	case *minic.BreakStmt:
+		return ctrlBreak
+	case *minic.ContinueStmt:
+		return ctrlContinue
+	case *minic.ExprStmt:
+		in.eval(fr, st.X)
+	}
+	return ctrlNone
+}
+
+func (in *interp) execFor(fr *frame, st *minic.ForStmt, ret *Value) ctrl {
+	sensor := in.loopSensor(st.LoopID)
+	if sensor >= 0 {
+		in.tick(sensor)
+		defer in.tock(sensor)
+	}
+	fr.push() // scope for the init declaration
+	defer fr.pop()
+	if st.Init != nil {
+		in.execStmt(fr, st.Init, ret)
+	}
+	for {
+		if st.Cond != nil {
+			in.pmu.AddInstructions(1)
+			in.charge(exprCostNs, 0)
+			if !truthy(in.eval(fr, st.Cond)) {
+				break
+			}
+		}
+		c := in.execBlock(fr, st.Body, ret)
+		if c == ctrlBreak {
+			break
+		}
+		if c == ctrlReturn {
+			return ctrlReturn
+		}
+		if st.Post != nil {
+			in.execStmt(fr, st.Post, ret)
+		}
+	}
+	return ctrlNone
+}
+
+func (in *interp) execWhile(fr *frame, st *minic.WhileStmt, ret *Value) ctrl {
+	sensor := in.loopSensor(st.LoopID)
+	if sensor >= 0 {
+		in.tick(sensor)
+		defer in.tock(sensor)
+	}
+	for {
+		in.pmu.AddInstructions(1)
+		in.charge(exprCostNs, 0)
+		if !truthy(in.eval(fr, st.Cond)) {
+			return ctrlNone
+		}
+		c := in.execBlock(fr, st.Body, ret)
+		if c == ctrlBreak {
+			return ctrlNone
+		}
+		if c == ctrlReturn {
+			return ctrlReturn
+		}
+	}
+}
+
+// loopSensor returns the sensor ID instrumenting a loop, or -1.
+func (in *interp) loopSensor(loopID int) int {
+	if in.m.ins == nil {
+		return -1
+	}
+	if s, ok := in.m.ins.LoopSensor[loopID]; ok {
+		return s.ID
+	}
+	return -1
+}
+
+func (in *interp) assign(fr *frame, st *minic.AssignStmt) {
+	val := in.eval(fr, st.Value)
+	switch tgt := st.Target.(type) {
+	case *minic.Ident:
+		slot := in.lvalue(fr, tgt)
+		*slot = coerceLike(val, *slot)
+	case *minic.IndexExpr:
+		arr := in.lvalue(fr, tgt.Array)
+		idx := in.eval(fr, tgt.Index).AsInt()
+		in.pmu.AddMemOps(1)
+		in.charge(0, memCostNs)
+		switch arr.Kind {
+		case KIntArr:
+			in.boundCheck(tgt, idx, len(arr.AI))
+			arr.AI[idx] = val.AsInt()
+		case KFloatArr:
+			in.boundCheck(tgt, idx, len(arr.AF))
+			arr.AF[idx] = val.AsFloat()
+		default:
+			panic(rtErr(in.proc.Rank, tgt.Pos(), "indexing non-array %s", tgt.Array.Name))
+		}
+	}
+}
+
+func (in *interp) boundCheck(e minic.Expr, idx int64, n int) {
+	if idx < 0 || idx >= int64(n) {
+		panic(rtErr(in.proc.Rank, e.Pos(), "index %d out of range [0,%d)", idx, n))
+	}
+}
+
+// lvalue resolves a name to its storage slot (local shadows global).
+func (in *interp) lvalue(fr *frame, id *minic.Ident) *Value {
+	if v := fr.lookup(id.Name); v != nil {
+		return v
+	}
+	if v, ok := in.globals[id.Name]; ok {
+		return v
+	}
+	panic(rtErr(in.proc.Rank, id.Pos(), "undefined variable %q", id.Name))
+}
+
+// call executes a user-defined function.
+func (in *interp) call(fn *minic.FuncDecl, args []Value, pos minic.Pos) Value {
+	if len(args) != len(fn.Params) {
+		panic(rtErr(in.proc.Rank, pos, "%s expects %d args, got %d", fn.Name, len(fn.Params), len(args)))
+	}
+	fr := &frame{}
+	fr.push()
+	for i, p := range fn.Params {
+		fr.declare(p.Name, coerce(args[i], p.Type))
+	}
+	var ret Value
+	if fn.Ret == minic.TypeFloat {
+		ret = FloatVal(0)
+	}
+	in.execBlock(fr, fn.Body, &ret)
+	return coerce(ret, fn.Ret)
+}
+
+// ---------- helpers ----------
+
+func truthy(v Value) bool {
+	if v.Kind == KFloat {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// coerce converts a value to a declared type.
+func coerce(v Value, t minic.Type) Value {
+	switch t {
+	case minic.TypeInt:
+		return IntVal(v.AsInt())
+	case minic.TypeFloat:
+		return FloatVal(v.AsFloat())
+	}
+	return v
+}
+
+// coerceLike converts v to the kind of model (for assignments).
+func coerceLike(v Value, model Value) Value {
+	switch model.Kind {
+	case KInt:
+		return IntVal(v.AsInt())
+	case KFloat:
+		return FloatVal(v.AsFloat())
+	}
+	return v
+}
+
+func (in *interp) printf(args []Value, lits []string) {
+	if in.cfg.Stdout == nil {
+		return
+	}
+	out := ""
+	for i, a := range args {
+		if i > 0 {
+			out += " "
+		}
+		if lits[i] != "" {
+			out += lits[i]
+		} else {
+			out += a.String()
+		}
+	}
+	fmt.Fprintf(in.cfg.Stdout, "[rank %d] %s\n", in.proc.Rank, out)
+}

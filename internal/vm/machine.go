@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"vsensor/internal/cluster"
+	"vsensor/internal/instrument"
+	"vsensor/internal/ir"
+	"vsensor/internal/mpisim"
+	"vsensor/internal/pmu"
+)
+
+// Record is one sensor measurement: the virtual wall-time of one execution
+// of an instrumented v-sensor on one rank, with PMU readings.
+type Record struct {
+	Sensor   int
+	Rank     int
+	Start    int64 // virtual ns
+	End      int64
+	Instr    int64   // PMU instruction delta (jittered)
+	MissRate float64 // synthetic cache miss rate for this execution
+}
+
+// Duration returns the record's elapsed virtual time.
+func (r Record) Duration() int64 { return r.End - r.Start }
+
+// Sink consumes sensor records on the rank's own goroutine.
+type Sink interface {
+	OnRecord(Record)
+}
+
+// EventKind classifies runtime events for tracer/profiler baselines.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvComp EventKind = iota // a span of local computation
+	EvNet                   // an MPI operation
+	EvIO                    // an io_read/io_write
+)
+
+// Event is a runtime event for baseline tools (mpiP/ITAC equivalents).
+type Event struct {
+	Rank  int
+	Kind  EventKind
+	Op    string // operation name for Net/IO events
+	Start int64
+	End   int64
+	Bytes int64
+}
+
+// EventSink consumes events on the rank's own goroutine.
+type EventSink interface {
+	OnEvent(Event)
+}
+
+// Config controls a run.
+type Config struct {
+	Ranks   int
+	Cluster *cluster.Cluster
+
+	// SinkFactory builds the per-rank consumer of sensor records (the
+	// on-line detector). Nil discards records.
+	SinkFactory func(rank int) Sink
+
+	// EventFactory builds the per-rank consumer of runtime events
+	// (profiler/tracer baselines). Nil disables event generation.
+	EventFactory func(rank int) EventSink
+
+	// MissRate supplies the synthetic cache-miss-rate signal per sensor
+	// execution (paper §5.3 dynamic rules). Nil yields 0.
+	MissRate func(rank, sensor int, execIdx int64) float64
+
+	// PMUJitterPct bounds the PMU read error (paper §6.2 validation).
+	PMUJitterPct float64
+
+	// ProbeCostNs is the virtual cost charged for each Tick/Tock probe
+	// pair; this is what makes instrumentation overhead non-zero.
+	ProbeCostNs float64
+
+	// MaxSteps bounds interpreted statements per rank (runaway guard).
+	// Zero selects a large default.
+	MaxSteps int64
+
+	// Stdout receives print() output; nil discards it.
+	Stdout io.Writer
+
+	Seed int64
+}
+
+// Cost model: nominal nanoseconds charged per interpreted operation.
+const (
+	stmtCostNs      = 2.0 // per executed statement
+	exprCostNs      = 0.8 // per evaluated expression node
+	flopCostNs      = 0.5 // per unit of flops(n)
+	memCostNs       = 1.0 // per unit of mem(n), charged as memory time
+	defaultMaxSteps = int64(2_000_000_000)
+)
+
+// RankStats summarizes one rank's run.
+type RankStats struct {
+	Rank    int
+	Total   int64 // final virtual clock
+	CompNs  int64 // time in local computation
+	NetNs   int64 // time inside MPI operations
+	IONs    int64 // time inside IO operations
+	Instr   int64 // exact instructions retired
+	Records int   // sensor records emitted
+	Err     error
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	TotalNs int64 // job execution time (max over ranks)
+	Ranks   []RankStats
+}
+
+// Err returns the first rank error, if any.
+func (r *Result) Err() error {
+	for _, s := range r.Ranks {
+		if s.Err != nil {
+			return s.Err
+		}
+	}
+	return nil
+}
+
+// Machine executes a program (instrumented or not) on a simulated cluster.
+type Machine struct {
+	prog *ir.Program
+	ins  *instrument.Instrumented // nil when running uninstrumented
+	cfg  Config
+}
+
+// New creates a machine for an uninstrumented program.
+func New(prog *ir.Program, cfg Config) *Machine {
+	return &Machine{prog: prog, cfg: cfg}
+}
+
+// NewInstrumented creates a machine that fires Tick/Tock around the
+// instrumented sensors.
+func NewInstrumented(ins *instrument.Instrumented, cfg Config) *Machine {
+	return &Machine{prog: ins.Prog, ins: ins, cfg: cfg}
+}
+
+// Run executes main() on every rank and returns aggregate results.
+func (m *Machine) Run() *Result {
+	cfg := m.cfg
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	if cfg.Cluster == nil {
+		cfg.Cluster = cluster.New(cluster.Config{Nodes: 1, RanksPerNode: cfg.Ranks})
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	if m.prog.AST.Func("main") == nil {
+		res := &Result{Ranks: []RankStats{{Err: fmt.Errorf("vm: program has no main function")}}}
+		return res
+	}
+
+	if cfg.Stdout != nil {
+		cfg.Stdout = &lockedWriter{w: cfg.Stdout}
+	}
+
+	world := mpisim.NewWorld(cfg.Ranks, cfg.Cluster)
+	stats := make([]RankStats, cfg.Ranks)
+	var mu sync.Mutex
+
+	total := world.Run(func(p *mpisim.Proc) {
+		in := newInterp(m, p, cfg)
+		err := in.runMain()
+		in.flush()
+		st := RankStats{
+			Rank:    p.Rank,
+			Total:   p.Now(),
+			CompNs:  in.compNs,
+			NetNs:   in.netNs,
+			IONs:    in.ioNs,
+			Instr:   in.pmu.Exact(),
+			Records: in.records,
+			Err:     err,
+		}
+		mu.Lock()
+		stats[p.Rank] = st
+		mu.Unlock()
+	})
+	return &Result{TotalNs: total, Ranks: stats}
+}
+
+// newPMU builds the per-rank counter.
+func (m *Machine) newPMU(rank int) *pmu.Counter {
+	return pmu.New(rank, m.cfg.Seed, m.cfg.PMUJitterPct)
+}
+
+// lockedWriter serializes print() output across rank goroutines.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

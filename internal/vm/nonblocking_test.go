@@ -1,0 +1,84 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vsensor/internal/analysis"
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+func TestNonblockingExchange(t *testing.T) {
+	var buf bytes.Buffer
+	src := `
+func main() {
+    int rank = mpi_comm_rank();
+    int peer = 1 - rank;
+    int rreq = mpi_irecv(peer, 4096);
+    int sreq = mpi_isend(peer, 4096, 10.0 + rank);
+    flops(100000);
+    float got = mpi_wait(rreq);
+    mpi_wait(sreq);
+    print("got", got);
+}`
+	prog := mustProg(t, src)
+	if err := New(prog, Config{Ranks: 2, Stdout: &buf}).Run().Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[rank 0] got 11") || !strings.Contains(out, "[rank 1] got 10") {
+		t.Errorf("exchange values wrong:\n%s", out)
+	}
+}
+
+func TestWaitUnknownRequest(t *testing.T) {
+	prog := mustProg(t, `func main() { mpi_wait(42); }`)
+	err := New(prog, Config{Ranks: 1}).Run().Err()
+	if err == nil || !strings.Contains(err.Error(), "unknown request") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// mpi_wait is never-fixed (the matched request's size is not statically
+// known), so loops containing it are not sensors; isend/irecv posts with
+// fixed sizes are.
+func TestNonblockingAnalysis(t *testing.T) {
+	src := `
+func main() {
+    int rank = mpi_comm_rank();
+    int peer = 1 - rank;
+    for (int i = 0; i < 50; i++) {
+        int r = mpi_irecv(peer, 8192);
+        int s = mpi_isend(peer, 8192, 1.0);
+        flops(5000);
+        mpi_wait(r);
+        mpi_wait(s);
+    }
+}`
+	prog, err := ir.Build(minic.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Analyze(prog)
+	for _, s := range res.Funcs["main"].Snippets {
+		if s.Call == nil {
+			// The i-loop contains mpi_wait: never a sensor.
+			if len(s.SensorOf) != 0 {
+				t.Errorf("loop with mpi_wait must not be a sensor: %s", s.Deps)
+			}
+			continue
+		}
+		switch s.Call.Callee {
+		case "mpi_irecv", "mpi_isend":
+			if len(s.SensorOf) == 0 {
+				t.Errorf("%s post with fixed size should be a sensor: %s", s.Call.Callee, s.Deps)
+			}
+		case "mpi_wait":
+			if len(s.SensorOf) != 0 {
+				t.Errorf("mpi_wait must never be a sensor: %s", s.Deps)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vsensor/internal/analysis"
+	"vsensor/internal/cluster"
+	"vsensor/internal/instrument"
+)
+
+func TestWhileLoopSensor(t *testing.T) {
+	src := `
+func main() {
+    for (int n = 0; n < 10; n++) {
+        int x = 50;
+        while (x > 0) {
+            x--;
+            flops(100);
+        }
+    }
+}`
+	_, sink := runSrc(t, src, 1, Config{})
+	if len(sink.recs) != 10 {
+		t.Fatalf("while sensor records = %d, want 10", len(sink.recs))
+	}
+	first := sink.recs[0].Instr
+	for _, r := range sink.recs {
+		if r.Instr != first {
+			t.Errorf("while workload should be fixed: %d vs %d", r.Instr, first)
+		}
+	}
+}
+
+func TestNestedProbesWithKeepNested(t *testing.T) {
+	src := `
+func inner() {
+    for (int j = 0; j < 5; j++) {
+        flops(100);
+    }
+}
+func main() {
+    for (int n = 0; n < 10; n++) {
+        for (int k = 0; k < 3; k++) {
+            inner();
+        }
+    }
+}`
+	prog := mustProg(t, src)
+	ins := instrument.Apply(analysis.Analyze(prog), instrument.Config{KeepNested: true})
+	if len(ins.Sensors) < 3 {
+		t.Fatalf("expected nested sensors, got %d", len(ins.Sensors))
+	}
+	sink := &collectSink{}
+	m := NewInstrumented(ins, Config{Ranks: 1, SinkFactory: func(int) Sink { return sink }})
+	if err := m.Run().Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Every record well-formed despite nesting.
+	for _, r := range sink.recs {
+		if r.End < r.Start {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+	if len(sink.recs) < 40 {
+		t.Errorf("records = %d", len(sink.recs))
+	}
+}
+
+func TestMismatchedProbesError(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"tock-without-tick", `func main() { vs_tock(0); }`, "without matching"},
+		{"wrong-id", `func main() { vs_tick(0); vs_tock(1); }`, "does not match"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog := mustProg(t, c.src)
+			err := New(prog, Config{Ranks: 1}).Run().Err()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestMissRateWiring(t *testing.T) {
+	src := `
+func main() {
+    for (int n = 0; n < 10; n++) {
+        for (int k = 0; k < 5; k++) {
+            flops(100);
+        }
+    }
+}`
+	prog := mustProg(t, src)
+	ins := instrument.Apply(analysis.Analyze(prog), instrument.Config{})
+	sink := &collectSink{}
+	m := NewInstrumented(ins, Config{
+		Ranks:       1,
+		SinkFactory: func(int) Sink { return sink },
+		MissRate: func(rank, sensor int, execIdx int64) float64 {
+			if execIdx%2 == 1 {
+				return 0.5
+			}
+			return 0.05
+		},
+	})
+	if err := m.Run().Err(); err != nil {
+		t.Fatal(err)
+	}
+	var high, low int
+	for _, r := range sink.recs {
+		switch r.MissRate {
+		case 0.5:
+			high++
+		case 0.05:
+			low++
+		default:
+			t.Fatalf("unexpected miss rate %v", r.MissRate)
+		}
+	}
+	if high != 5 || low != 5 {
+		t.Errorf("high=%d low=%d", high, low)
+	}
+}
+
+func TestRemainingBuiltins(t *testing.T) {
+	var buf bytes.Buffer
+	src := `
+func main() {
+    int rank = mpi_comm_rank();
+    float r = mpi_reduce(0, 8, 2.0);
+    print("reduce", r);
+    print("minmax", min_i(3, 7), max_i(3, 7), abs_i(-5));
+    int x = rand_i(10);
+    if (x < 0 || x >= 10) {
+        print("rand-out-of-range");
+    }
+    int z = rand_i(0);
+    print("randzero", z);
+    float fm = 7.5 % 2.0;
+    print("fmod", fm);
+    mpi_alltoall(128);
+    io_read(64);
+}`
+	prog := mustProg(t, src)
+	m := New(prog, Config{Ranks: 2, Stdout: &buf})
+	if err := m.Run().Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reduce 4", "minmax 3 7 5", "randzero 0", "fmod 1.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rand-out-of-range") {
+		t.Error("rand_i out of range")
+	}
+}
+
+func TestEventGenerationKinds(t *testing.T) {
+	src := `
+func main() {
+    mpi_barrier();
+    io_write(1024);
+    flops(100);
+}`
+	prog := mustProg(t, src)
+	type evc struct{ evs []Event }
+	collected := &evc{}
+	m := New(prog, Config{
+		Ranks: 1,
+		EventFactory: func(rank int) EventSink {
+			return eventFunc(func(e Event) { collected.evs = append(collected.evs, e) })
+		},
+	})
+	if err := m.Run().Err(); err != nil {
+		t.Fatal(err)
+	}
+	var net, io int
+	for _, e := range collected.evs {
+		switch e.Kind {
+		case EvNet:
+			net++
+			if e.Op != "mpi_barrier" {
+				t.Errorf("net op = %q", e.Op)
+			}
+		case EvIO:
+			io++
+			if e.Bytes != 1024 {
+				t.Errorf("io bytes = %d", e.Bytes)
+			}
+		}
+	}
+	if net != 1 || io != 1 {
+		t.Errorf("net=%d io=%d", net, io)
+	}
+}
+
+type eventFunc func(Event)
+
+func (f eventFunc) OnEvent(e Event) { f(e) }
+
+func TestFloatCoercionOnAssign(t *testing.T) {
+	var buf bytes.Buffer
+	src := `
+func main() {
+    float f = 3;
+    int i = 2.9;
+    f = 7;
+    i = f;
+    print("fi", f, i);
+}`
+	prog := mustProg(t, src)
+	if err := New(prog, Config{Ranks: 1, Stdout: &buf}).Run().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fi 7 7") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestNegativeArrayLength(t *testing.T) {
+	prog := mustProg(t, `func main() { int n = 0 - 3; int a[n]; }`)
+	err := New(prog, Config{Ranks: 1}).Run().Err()
+	if err == nil || !strings.Contains(err.Error(), "negative array length") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNoMainError(t *testing.T) {
+	prog := mustProg(t, `func helper() { flops(1); }`)
+	err := New(prog, Config{Ranks: 1}).Run().Err()
+	if err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIOWindowSlowsIO(t *testing.T) {
+	src := `
+func main() {
+    for (int i = 0; i < 20; i++) {
+        io_write(100000);
+    }
+}`
+	run := func(storm bool) int64 {
+		cl := cluster.New(cluster.Config{Nodes: 1, RanksPerNode: 1})
+		if storm {
+			cl.AddIOWindow(0, 1<<62, 0.1)
+		}
+		prog := mustProg(t, src)
+		res := New(prog, Config{Ranks: 1, Cluster: cl}).Run()
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalNs
+	}
+	normal, slow := run(false), run(true)
+	if slow < normal*5 {
+		t.Errorf("IO storm should slow the run ~10x: %d vs %d", slow, normal)
+	}
+}

@@ -1,0 +1,382 @@
+// Package vsensor is a full reimplementation of the vSensor system from
+// "vSensor: Leveraging Fixed-Workload Snippets of Programs for Performance
+// Variance Detection" (PPoPP 2018) as a pure-Go library over a simulated
+// HPC substrate.
+//
+// The pipeline mirrors the paper's workflow (Fig. 2):
+//
+//	src → Compile → Identify v-sensors → Instrument → Run → Analyze → Visualize
+//
+// Programs are written in mini-C (internal/minic), a small C-like language
+// with MPI-style builtins, standing in for the paper's LLVM front end.
+// Execution happens on a virtual cluster with injectable performance
+// variance (internal/cluster + internal/mpisim), standing in for Tianhe-2.
+//
+// Quickstart:
+//
+//	report, err := vsensor.Run(src, vsensor.Options{Ranks: 64})
+//	...
+//	matrix := report.Matrices(200 * time.Millisecond)[ir.Computation]
+//	fmt.Print(matrix.ASCII(32, 80))
+package vsensor
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"vsensor/internal/analysis"
+	"vsensor/internal/cluster"
+	"vsensor/internal/detect"
+	"vsensor/internal/instrument"
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+	"vsensor/internal/profiler"
+	"vsensor/internal/rundata"
+	"vsensor/internal/server"
+	"vsensor/internal/stats"
+	"vsensor/internal/tracer"
+	"vsensor/internal/vis"
+	"vsensor/internal/vm"
+)
+
+// Options configures the full pipeline.
+type Options struct {
+	// Ranks is the number of simulated MPI processes (default 1).
+	Ranks int
+
+	// Cluster is the machine model; nil creates a uniform single-node
+	// cluster wide enough for Ranks.
+	Cluster *cluster.Cluster
+
+	// Analysis configures v-sensor identification (paper §3).
+	Analysis analysis.Config
+
+	// Instrument configures sensor selection (paper §4).
+	Instrument instrument.Config
+
+	// Detect configures the on-line runtime analysis (paper §5).
+	Detect detect.Config
+
+	// Uninstrumented skips instrumentation and detection entirely
+	// (baseline runs for overhead measurements).
+	Uninstrumented bool
+
+	// BatchSize is the analysis-server client batch (default 64; 1
+	// disables batching).
+	BatchSize int
+
+	// ProbeCostNs is the virtual cost of each Tick/Tock probe (what makes
+	// overhead non-zero). Default 25ns.
+	ProbeCostNs float64
+
+	// PMUJitterPct bounds simulated PMU read error (paper §6.2).
+	PMUJitterPct float64
+
+	// MissRate supplies the synthetic cache-miss-rate signal (paper §5.3).
+	MissRate func(rank, sensor int, execIdx int64) float64
+
+	// CollectRecords retains every raw sensor record for distribution
+	// statistics (Figs. 16-17). Costs memory on large runs.
+	CollectRecords bool
+
+	// Profile attaches the mpiP-style baseline profiler.
+	Profile bool
+
+	// Trace attaches the ITAC-style baseline tracer.
+	Trace bool
+
+	// Stdout receives program print() output.
+	Stdout io.Writer
+
+	// MaxSteps bounds interpreted statements per rank.
+	MaxSteps int64
+
+	Seed int64
+}
+
+// DefaultProbeCostNs is the Tick/Tock virtual cost when unset.
+const DefaultProbeCostNs = 25
+
+// Report is the outcome of a pipeline run.
+type Report struct {
+	Program      *ir.Program
+	Analysis     *analysis.Result
+	Instrumented *instrument.Instrumented // nil for uninstrumented runs
+	Result       *vm.Result
+	Server       *server.Server
+	Detectors    []*detect.Detector
+	Records      []vm.Record // raw sensor records if collected
+	Profiler     *profiler.Profile
+	Tracer       *tracer.Trace
+}
+
+// Compile parses, resolves, and semantically checks a mini-C program.
+func Compile(src string) (*ir.Program, error) {
+	ast, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.CheckStrict(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Analyze runs v-sensor identification on source text.
+func Analyze(src string, cfg analysis.Config) (*analysis.Result, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.AnalyzeWith(prog, cfg), nil
+}
+
+// InstrumentSource returns the instrumented mini-C source with vs_tick /
+// vs_tock probes — the paper's "map to source" output.
+func InstrumentSource(src string, acfg analysis.Config, icfg instrument.Config) (string, error) {
+	res, err := Analyze(src, acfg)
+	if err != nil {
+		return "", err
+	}
+	return instrument.Apply(res, icfg).EmitSource(), nil
+}
+
+// Run executes the full pipeline on source text.
+func Run(src string, opt Options) (*Report, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(prog, opt)
+}
+
+// RunProgram executes the full pipeline on a compiled program.
+func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
+	if opt.Ranks <= 0 {
+		opt.Ranks = 1
+	}
+	if opt.ProbeCostNs == 0 {
+		opt.ProbeCostNs = DefaultProbeCostNs
+	}
+	rep := &Report{Program: prog}
+
+	rep.Analysis = analysis.AnalyzeWith(prog, opt.Analysis)
+
+	var mach *vm.Machine
+	vcfg := vm.Config{
+		Ranks:        opt.Ranks,
+		Cluster:      opt.Cluster,
+		PMUJitterPct: opt.PMUJitterPct,
+		MissRate:     opt.MissRate,
+		Stdout:       opt.Stdout,
+		Seed:         opt.Seed,
+		MaxSteps:     opt.MaxSteps,
+	}
+
+	var collectors []*recordCollector
+	var mu sync.Mutex
+	if !opt.Uninstrumented {
+		rep.Instrumented = instrument.Apply(rep.Analysis, opt.Instrument)
+		rep.Server = server.New()
+		vcfg.ProbeCostNs = opt.ProbeCostNs
+
+		meta := make([]detect.Sensor, len(rep.Instrumented.Sensors))
+		for i, s := range rep.Instrumented.Sensors {
+			meta[i] = detect.Sensor{ID: s.ID, Type: s.Type, ProcessFixed: s.ProcessFixed, Name: s.Name}
+		}
+		rep.Detectors = make([]*detect.Detector, opt.Ranks)
+		clients := make([]*server.Client, opt.Ranks)
+		vcfg.SinkFactory = func(rank int) vm.Sink {
+			client := rep.Server.NewClient(opt.BatchSize)
+			d := detect.New(rank, meta, opt.Detect, client)
+			mu.Lock()
+			rep.Detectors[rank] = d
+			clients[rank] = client
+			mu.Unlock()
+			if !opt.CollectRecords {
+				return d
+			}
+			rc := &recordCollector{next: d}
+			mu.Lock()
+			collectors = append(collectors, rc)
+			mu.Unlock()
+			return rc
+		}
+		defer func() {
+			for _, d := range rep.Detectors {
+				if d != nil {
+					d.Finish()
+				}
+			}
+			for _, c := range clients {
+				if c != nil {
+					c.Flush()
+				}
+			}
+		}()
+		mach = vm.NewInstrumented(rep.Instrumented, vcfg)
+	} else {
+		mach = vm.New(prog, vcfg)
+	}
+
+	if opt.Profile || opt.Trace {
+		if opt.Profile {
+			rep.Profiler = profiler.New()
+		}
+		if opt.Trace {
+			rep.Tracer = tracer.New()
+		}
+		vcfg.EventFactory = func(rank int) vm.EventSink {
+			var sinks []vm.EventSink
+			if rep.Profiler != nil {
+				sinks = append(sinks, rep.Profiler.Collector(rank))
+			}
+			if rep.Tracer != nil {
+				sinks = append(sinks, rep.Tracer.Collector(rank))
+			}
+			if len(sinks) == 1 {
+				return sinks[0]
+			}
+			return multiEventSink(sinks)
+		}
+		// Recreate the machine with the event factory wired in.
+		if rep.Instrumented != nil {
+			mach = vm.NewInstrumented(rep.Instrumented, vcfg)
+		} else {
+			mach = vm.New(prog, vcfg)
+		}
+	}
+
+	rep.Result = mach.Run()
+	if err := rep.Result.Err(); err != nil {
+		return rep, fmt.Errorf("vsensor: run failed: %w", err)
+	}
+	if rep.Profiler != nil {
+		rep.Profiler.Finalize(rep.Result)
+	}
+	for _, rc := range collectors {
+		rep.Records = append(rep.Records, rc.recs...)
+	}
+	return rep, nil
+}
+
+// recordCollector tees raw records into a slice before the detector.
+type recordCollector struct {
+	next vm.Sink
+	recs []vm.Record
+}
+
+func (rc *recordCollector) OnRecord(r vm.Record) {
+	rc.recs = append(rc.recs, r)
+	rc.next.OnRecord(r)
+}
+
+type multiEventSink []vm.EventSink
+
+func (m multiEventSink) OnEvent(e vm.Event) {
+	for _, s := range m {
+		s.OnEvent(e)
+	}
+}
+
+// ---------- report helpers ----------
+
+// SensorTypes maps instrumented sensor IDs to component types.
+func (r *Report) SensorTypes() map[int]ir.SnippetType {
+	out := make(map[int]ir.SnippetType)
+	if r.Instrumented == nil {
+		return out
+	}
+	for _, s := range r.Instrumented.Sensors {
+		out[s.ID] = s.Type
+	}
+	return out
+}
+
+// Matrices builds the per-type performance matrices (paper §5.5) at the
+// given column resolution.
+func (r *Report) Matrices(col time.Duration) map[ir.SnippetType]*vis.Matrix {
+	if r.Server == nil {
+		return nil
+	}
+	ranks := len(r.Result.Ranks)
+	return vis.Build(r.Server.Records(), r.SensorTypes(), ranks, col.Nanoseconds())
+}
+
+// Distribution computes coverage / frequency / histograms (paper §6.3).
+// Requires Options.CollectRecords.
+func (r *Report) Distribution() *stats.Distribution {
+	return stats.Analyze(r.Records, r.Result.TotalNs)
+}
+
+// Events returns all per-process variance events across ranks.
+func (r *Report) Events() []detect.VarianceEvent {
+	var out []detect.VarianceEvent
+	for _, d := range r.Detectors {
+		if d != nil {
+			out = append(out, d.Events()...)
+		}
+	}
+	return out
+}
+
+// DataVolume returns the bytes shipped to the analysis server.
+func (r *Report) DataVolume() int64 {
+	if r.Server == nil {
+		return 0
+	}
+	return r.Server.BytesReceived()
+}
+
+// TotalSeconds returns the job's virtual execution time in seconds.
+func (r *Report) TotalSeconds() float64 {
+	return float64(r.Result.TotalNs) / 1e9
+}
+
+// Findings diagnoses variance structures from the per-type matrices at the
+// given column resolution (paper workflow step 8).
+func (r *Report) Findings(col time.Duration) []vis.Finding {
+	return vis.Diagnose(r.Matrices(col), vis.ReportConfig{})
+}
+
+// ReportText renders the user-facing variance report. ranksPerNode > 0
+// adds node attribution.
+func (r *Report) ReportText(col time.Duration, ranksPerNode int) string {
+	return vis.RenderReport(r.Findings(col), ranksPerNode)
+}
+
+// TraceEvents returns the baseline tracer's events (nil unless
+// Options.Trace was set).
+func (r *Report) TraceEvents() []vm.Event {
+	if r.Tracer == nil {
+		return nil
+	}
+	return r.Tracer.AllEvents()
+}
+
+// SaveData persists the run's performance data (sensor metadata and slice
+// records) so matrices and reports can be regenerated later without
+// re-running the job (the paper's "Performance Data" artifact).
+func (r *Report) SaveData(w io.Writer) error {
+	d := &rundata.RunData{
+		Ranks:   len(r.Result.Ranks),
+		TotalNs: r.Result.TotalNs,
+	}
+	if r.Instrumented != nil {
+		for _, s := range r.Instrumented.Sensors {
+			d.Sensors = append(d.Sensors, detect.Sensor{
+				ID: s.ID, Type: s.Type, ProcessFixed: s.ProcessFixed, Name: s.Name,
+			})
+		}
+	}
+	if r.Server != nil {
+		d.Records = r.Server.Records()
+	}
+	return rundata.Save(w, d)
+}
