@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet bench-obs check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Observability hot-path benchmarks; writes BENCH_obs.json for regression
+# tracking across PRs.
+bench-obs:
+	scripts/check.sh BENCH_obs.json
+
+# The full gate: build + vet + race tests + obs benchmarks.
+check:
+	scripts/check.sh
+
+clean:
+	rm -f BENCH_obs.json vsensor.test

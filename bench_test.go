@@ -16,6 +16,7 @@ import (
 	"vsensor/internal/detect"
 	"vsensor/internal/instrument"
 	"vsensor/internal/ir"
+	"vsensor/internal/obs"
 	"vsensor/internal/stats"
 	"vsensor/internal/vm"
 )
@@ -307,6 +308,30 @@ func BenchmarkOverheadScaling(b *testing.B) {
 			}
 			b.ReportMetric(overhead*100, "overhead-%")
 		})
+	}
+}
+
+// BenchmarkObsOverhead: wall-clock cost of attaching the observability
+// layer to a full instrumented run. Virtual time is identical by
+// construction (obs charges no simulated cost); this measures the real
+// host-time overhead of the counters, spans and per-record hooks, which
+// must stay within the paper's <4% envelope.
+func BenchmarkObsOverhead(b *testing.B) {
+	app := apps.MustGet("SP", apps.Scale{Iters: 15, Work: 40})
+	// Interleave plain and obs-attached runs within one loop so clock
+	// drift and frequency scaling hit both sides equally.
+	var plain, withObs time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		mustRun(b, app.Source, vsensor.Options{Ranks: 8})
+		plain += time.Since(start)
+
+		start = time.Now()
+		mustRun(b, app.Source, vsensor.Options{Ranks: 8, Obs: obs.New()})
+		withObs += time.Since(start)
+	}
+	if plain > 0 {
+		b.ReportMetric(float64(withObs-plain)/float64(plain)*100, "overhead-%")
 	}
 }
 

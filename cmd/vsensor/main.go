@@ -20,6 +20,7 @@ import (
 	"vsensor/internal/cluster"
 	"vsensor/internal/instrument"
 	"vsensor/internal/ir"
+	"vsensor/internal/obs"
 	"vsensor/internal/rundata"
 	"vsensor/internal/validate"
 	"vsensor/internal/vis"
@@ -56,7 +57,47 @@ var (
 	pngOut    = flag.String("png", "", "write per-type matrix heatmaps as PNG files with this prefix")
 	saveOut   = flag.String("save", "", "save the run's performance data for later 'vsensor report'")
 	quiet     = flag.Bool("q", false, "suppress program print() output")
+	httpAddr  = flag.String("http", "", "serve the live introspection endpoint on this address (/metrics, /status, /records)")
+	traceJSON = flag.String("trace-json", "", "write pipeline spans as Chrome trace_event JSON to this file")
 )
+
+// setupObs builds the observability bundle when -http or -trace-json is
+// set, starting the HTTP endpoint immediately so it is pollable while the
+// run executes. The returned finish func stops the endpoint and writes the
+// trace file.
+func setupObs() (*obs.Obs, func()) {
+	if *httpAddr == "" && *traceJSON == "" {
+		return nil, func() {}
+	}
+	o := obs.New()
+	var srv *obs.HTTPServer
+	if *httpAddr != "" {
+		var err error
+		srv, err = obs.Serve(*httpAddr, o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (/metrics /status /records)\n", srv.Addr())
+	}
+	return o, func() {
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := o.Tracer().WriteChrome(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d spans)\n", *traceJSON, o.Tracer().Len())
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -157,10 +198,12 @@ func doScenario(name string) {
 		}
 		return
 	}
-	rep, baseline, err := vsensor.RunScenario(name, vsensor.Options{})
+	o, finishObs := setupObs()
+	rep, baseline, err := vsensor.RunScenario(name, vsensor.Options{Obs: o})
 	if err != nil {
 		fatal(err)
 	}
+	defer finishObs()
 	if baseline != nil {
 		fmt.Printf("baseline: %.3f ms, injected: %.3f ms (%.2fx)\n",
 			baseline.TotalSeconds()*1e3, rep.TotalSeconds()*1e3,
@@ -242,6 +285,9 @@ func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
 		opts.Stdout = os.Stdout
 	}
 	opts.Detect.SliceNs = slice.Nanoseconds()
+	o, finishObs := setupObs()
+	defer finishObs()
+	opts.Obs = o
 
 	// Variance injection needs the expected run length: do a quick clean
 	// run first when a relative window was requested.

@@ -12,6 +12,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"vsensor/internal/obs"
 )
 
 // Config describes a cluster.
@@ -46,6 +48,26 @@ type Cluster struct {
 	netWindows []Window // network congestion factor over time
 	ioWindows  []Window // shared-filesystem speed factor over time
 	osNoise    *OSNoise
+
+	// Cost-model invocation counters (nil-safe no-ops when obs is off).
+	// The cost functions are called concurrently from rank goroutines, so
+	// these must stay lock-free.
+	obsCompute    *obs.Counter
+	obsP2P        *obs.Counter
+	obsCollective *obs.Counter
+	obsIO         *obs.Counter
+}
+
+// SetObs attaches cost-model metrics (cluster_cost_calls_total{kind=...}).
+// Call before the run starts; idempotent.
+func (c *Cluster) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	c.obsCompute = o.Counter("cluster_cost_calls_total", "kind", "compute")
+	c.obsP2P = o.Counter("cluster_cost_calls_total", "kind", "p2p")
+	c.obsCollective = o.Counter("cluster_cost_calls_total", "kind", "collective")
+	c.obsIO = o.Counter("cluster_cost_calls_total", "kind", "io")
 }
 
 // Node is one machine with its own speed profile and noise windows.
@@ -172,6 +194,7 @@ func (c *Cluster) IOFactor(t int64) float64 {
 
 // IOCost is the cost of reading or writing n bytes starting at t.
 func (c *Cluster) IOCost(t int64, bytes int64) int64 {
+	c.obsIO.Inc()
 	f := c.IOFactor(t)
 	cost := (DefaultIOLatencyNs + float64(bytes)/DefaultIOBytesPerNs) / f
 	return int64(math.Ceil(cost))
@@ -223,6 +246,7 @@ func (c *Cluster) NetFactor(t int64) float64 {
 // ComputeCost converts cpuNs of nominal CPU work and memNs of nominal
 // memory work done by rank starting at t into elapsed virtual nanoseconds.
 func (c *Cluster) ComputeCost(rank int, t int64, cpuNs, memNs float64) int64 {
+	c.obsCompute.Inc()
 	cf := c.CPUFactor(rank, t)
 	mf := c.MemFactor(rank, t)
 	total := cpuNs/cf + memNs/mf
@@ -237,6 +261,7 @@ func (c *Cluster) ComputeCost(rank int, t int64, cpuNs, memNs float64) int64 {
 
 // P2PCost is the cost of moving n bytes between two ranks starting at t.
 func (c *Cluster) P2PCost(t int64, bytes int64) int64 {
+	c.obsP2P.Inc()
 	nf := c.NetFactor(t)
 	cost := (float64(c.cfg.LatencyNs) + float64(bytes)/c.cfg.BytesPerNs) / nf
 	return int64(math.Ceil(cost))
@@ -246,6 +271,7 @@ func (c *Cluster) P2PCost(t int64, bytes int64) int64 {
 // bytes per rank, starting at t.
 // kind: "barrier", "bcast", "reduce", "allreduce", "alltoall".
 func (c *Cluster) CollectiveCost(kind string, p int, bytes int64, t int64) int64 {
+	c.obsCollective.Inc()
 	if p <= 1 {
 		return 1
 	}

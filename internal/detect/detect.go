@@ -7,8 +7,10 @@ package detect
 
 import (
 	"sort"
+	"strconv"
 
 	"vsensor/internal/ir"
+	"vsensor/internal/obs"
 	"vsensor/internal/vm"
 )
 
@@ -46,6 +48,11 @@ type Config struct {
 	// WarmupRecords is the number of records used to estimate a sensor's
 	// duration before the short-sensor rule fires (default 32).
 	WarmupRecords int
+
+	// Obs attaches detector metrics (detect_records_total,
+	// detect_slices_total{rank=...}, detect_variance_events_total,
+	// detect_dropped_total). Nil disables them.
+	Obs *obs.Obs
 }
 
 // Defaults.
@@ -115,6 +122,14 @@ type Detector struct {
 
 	analyses int64 // number of slice analyses triggered (overhead metric)
 	dropped  int64 // records skipped due to disabled sensors
+
+	// Per-rank counter handles (nil-safe no-ops when Config.Obs is nil).
+	// The slices/records counters carry a rank label so concurrent ranks
+	// increment distinct atomics instead of contending on one cache line.
+	obsRecords *obs.Counter
+	obsSlices  *obs.Counter
+	obsEvents  *obs.Counter
+	obsDropped *obs.Counter
 }
 
 type groupKey struct {
@@ -154,6 +169,13 @@ func New(rank int, sensors []Sensor, cfg Config, emitter Emitter) *Detector {
 		s := sensors[i]
 		d.sensors[s.ID] = &s
 	}
+	if o := d.cfg.Obs; o != nil {
+		rankLabel := strconv.Itoa(rank)
+		d.obsRecords = o.Counter("detect_records_total", "rank", rankLabel)
+		d.obsSlices = o.Counter("detect_slices_total", "rank", rankLabel)
+		d.obsEvents = o.Counter("detect_variance_events_total")
+		d.obsDropped = o.Counter("detect_dropped_total")
+	}
 	return d
 }
 
@@ -161,8 +183,10 @@ func New(rank int, sensors []Sensor, cfg Config, emitter Emitter) *Detector {
 func (d *Detector) OnRecord(r vm.Record) {
 	if d.disabled[r.Sensor] {
 		d.dropped++
+		d.obsDropped.Inc()
 		return
 	}
+	d.obsRecords.Inc()
 	dur := r.End - r.Start
 
 	// Short-sensor rule: estimate duration during warm-up, then disable.
@@ -233,6 +257,7 @@ func (d *Detector) closeSlice(key groupKey, st *groupState) {
 		AvgInstr: st.sumInstr / float64(st.count),
 	}
 	d.analyses++
+	d.obsSlices.Inc()
 
 	if st.bestAvg == 0 || avg < st.bestAvg {
 		st.bestAvg = avg
@@ -250,6 +275,7 @@ func (d *Detector) closeSlice(key groupKey, st *groupState) {
 			SliceNs: st.sliceStart,
 			Perf:    perf,
 		})
+		d.obsEvents.Inc()
 	}
 	if d.emitter != nil {
 		d.emitter.OnSlice(rec)

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the introspection mux:
+//
+//	GET /         — plain-text index of endpoints
+//	GET /metrics  — Prometheus text exposition of the registry
+//	GET /status   — JSON snapshot (uptime + whatever SetStatus provides)
+//	GET /records  — incremental slice records; ?cursor=N resumes, response
+//	                carries the next cursor so each record is seen once
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "vsensor introspection\n\n/metrics  Prometheus text format\n/status   JSON run snapshot\n/records  incremental slice records (?cursor=N)\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := o.Registry().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"uptime_seconds": o.UptimeSeconds(),
+			"running":        false,
+		}
+		if st, ok := o.statusSnapshot(); ok {
+			body["running"] = true
+			body["run"] = st
+		}
+		writeJSON(w, body)
+	})
+	mux.HandleFunc("/records", func(w http.ResponseWriter, r *http.Request) {
+		cursor := 0
+		if q := r.URL.Query().Get("cursor"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			cursor = n
+		}
+		recs, next, ok := o.recordsSince(cursor)
+		if !ok {
+			writeJSON(w, map[string]any{"cursor": cursor, "records": []any{}})
+			return
+		}
+		writeJSON(w, map[string]any{"cursor": next, "records": recs})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	// Marshal before touching the ResponseWriter: once body bytes flow the
+	// header is committed, and a mid-stream failure (e.g. the client hung
+	// up) must not trigger a second WriteHeader via http.Error.
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n')) //nolint:errcheck // client may be gone
+}
+
+// HTTPServer is a running introspection endpoint.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (e.g. "127.0.0.1:6060";
+// ":0" picks a free port — read it back with Addr). The server runs until
+// Close.
+func Serve(addr string, o *Obs) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return &HTTPServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (h *HTTPServer) Close() error { return h.srv.Close() }

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	o := New()
+	o.Counter("reqs_total", "rank", "3").Add(9)
+	o.Histogram("server_batch_bytes").Observe(128)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, `reqs_total{rank="3"} 9`) {
+		t.Errorf("metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "server_batch_bytes_count 1") {
+		t.Errorf("metrics missing histogram:\n%s", body)
+	}
+	// Line-by-line parseability.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("unparseable line %q", line)
+		}
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	o := New()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	// Before a run is wired in: running=false.
+	code, body := get(t, srv, "/status")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if st["running"] != false {
+		t.Errorf("running = %v before SetStatus", st["running"])
+	}
+
+	o.SetStatus(func() any {
+		return map[string]any{"ranks": 8, "records": 42}
+	})
+	_, body = get(t, srv, "/status")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if st["running"] != true {
+		t.Error("running should be true after SetStatus")
+	}
+	run, ok := st["run"].(map[string]any)
+	if !ok || run["ranks"] != float64(8) || run["records"] != float64(42) {
+		t.Errorf("run snapshot = %v", st["run"])
+	}
+}
+
+func TestRecordsEndpointCursorSemantics(t *testing.T) {
+	o := New()
+	// Backing store: an append-only list, like Server.RecordsSince.
+	store := []int{}
+	o.SetRecords(func(cursor int) (any, int) {
+		if cursor < 0 {
+			cursor = 0
+		}
+		if cursor > len(store) {
+			cursor = len(store)
+		}
+		out := append([]int{}, store[cursor:]...)
+		return out, len(store)
+	})
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	type resp struct {
+		Cursor  int   `json:"cursor"`
+		Records []int `json:"records"`
+	}
+	poll := func(cursor int) resp {
+		t.Helper()
+		code, body := get(t, srv, "/records?cursor="+itoa(cursor))
+		if code != http.StatusOK {
+			t.Fatalf("status = %d: %s", code, body)
+		}
+		var r resp
+		if err := json.Unmarshal([]byte(body), &r); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, body)
+		}
+		return r
+	}
+
+	store = append(store, 1, 2, 3)
+	r1 := poll(0)
+	if len(r1.Records) != 3 || r1.Cursor != 3 {
+		t.Fatalf("first poll = %+v", r1)
+	}
+	// Re-polling at the new cursor yields nothing: exactly-once.
+	r2 := poll(r1.Cursor)
+	if len(r2.Records) != 0 || r2.Cursor != 3 {
+		t.Fatalf("empty delta = %+v", r2)
+	}
+	store = append(store, 4, 5)
+	r3 := poll(r2.Cursor)
+	if len(r3.Records) != 2 || r3.Records[0] != 4 || r3.Cursor != 5 {
+		t.Fatalf("delta = %+v", r3)
+	}
+	// Union of all polls covers each record exactly once.
+	seen := append(append([]int{}, r1.Records...), r3.Records...)
+	if len(seen) != len(store) {
+		t.Fatalf("records seen %v vs store %v", seen, store)
+	}
+
+	// Bad cursor → 400.
+	code, _ := get(t, srv, "/records?cursor=bogus")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad cursor status = %d", code)
+	}
+	// No records fn → empty but valid.
+	o2 := New()
+	srv2 := httptest.NewServer(o2.Handler())
+	defer srv2.Close()
+	code, body := get(t, srv2, "/records")
+	if code != http.StatusOK || !strings.Contains(body, `"records":[]`) {
+		t.Errorf("unwired records = %d %s", code, body)
+	}
+}
+
+func TestServeRealListener(t *testing.T) {
+	o := New()
+	o.Counter("up").Inc()
+	h, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	resp, err := http.Get("http://" + h.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Errorf("metrics over real listener:\n%s", body)
+	}
+	if err := h.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	o := New()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path = %d", code)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

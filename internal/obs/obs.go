@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Obs bundles a metrics registry and a span tracer, plus the mutable status
+// and record providers that the facade wires in when a run starts. A nil
+// *Obs is a valid "observability off" value: every accessor returns a
+// nil handle whose methods are no-ops, so instrumentation sites never need
+// to branch on configuration.
+type Obs struct {
+	reg    *Registry
+	tracer *Tracer
+	start  time.Time
+
+	mu        sync.Mutex
+	statusFn  func() any
+	recordsFn func(cursor int) (any, int)
+}
+
+// New creates an observability bundle with the standard family descriptions
+// pre-registered.
+func New() *Obs {
+	o := &Obs{reg: NewRegistry(), tracer: NewTracer(), start: time.Now()}
+	describeStandard(o.reg)
+	return o
+}
+
+// Registry returns the underlying metrics registry (nil when o is nil).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the underlying span tracer (nil when o is nil).
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Counter resolves a counter handle; nil-safe.
+func (o *Obs) Counter(name string, labels ...string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(name, labels...)
+}
+
+// Gauge resolves a gauge handle; nil-safe.
+func (o *Obs) Gauge(name string, labels ...string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Gauge(name, labels...)
+}
+
+// Histogram resolves a histogram handle with default buckets; nil-safe.
+func (o *Obs) Histogram(name string, labels ...string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Histogram(name, labels...)
+}
+
+// HistogramWith resolves a histogram handle with explicit bounds; nil-safe.
+func (o *Obs) HistogramWith(name string, bounds []float64, labels ...string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.reg.HistogramWith(name, bounds, labels...)
+}
+
+// Span opens a span on tid; nil-safe (returns a nil *Span whose End is a
+// no-op).
+func (o *Obs) Span(tid int, name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Start(tid, name)
+}
+
+// NameThread names a trace tid; nil-safe.
+func (o *Obs) NameThread(tid int, name string) {
+	if o == nil {
+		return
+	}
+	o.tracer.NameThread(tid, name)
+}
+
+// SetStatus installs the function backing the /status endpoint. The facade
+// calls this when a run starts so live polls see the current job.
+func (o *Obs) SetStatus(fn func() any) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.statusFn = fn
+	o.mu.Unlock()
+}
+
+// SetRecords installs the function backing /records?cursor=N. It must
+// return the records after the cursor plus the new cursor (the facade wires
+// it to Server.RecordsSince).
+func (o *Obs) SetRecords(fn func(cursor int) (any, int)) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.recordsFn = fn
+	o.mu.Unlock()
+}
+
+func (o *Obs) statusSnapshot() (any, bool) {
+	o.mu.Lock()
+	fn := o.statusFn
+	o.mu.Unlock()
+	if fn == nil {
+		return nil, false
+	}
+	return fn(), true
+}
+
+func (o *Obs) recordsSince(cursor int) (any, int, bool) {
+	o.mu.Lock()
+	fn := o.recordsFn
+	o.mu.Unlock()
+	if fn == nil {
+		return nil, cursor, false
+	}
+	recs, next := fn(cursor)
+	return recs, next, true
+}
+
+// UptimeSeconds returns seconds since New.
+func (o *Obs) UptimeSeconds() float64 {
+	if o == nil {
+		return 0
+	}
+	return time.Since(o.start).Seconds()
+}
+
+// describeStandard registers HELP text for the metric families the pipeline
+// exports, so /metrics is self-documenting.
+func describeStandard(r *Registry) {
+	r.Describe("vm_records_total", "Raw sensor records emitted by Tick/Tock probes across ranks.")
+	r.Describe("vm_steps_total", "Interpreted mini-C statements executed across ranks.")
+	r.Describe("vm_probe_ns_total", "Virtual nanoseconds charged for Tick/Tock probe overhead (the paper's <4% budget).")
+	r.Describe("vm_events_total", "Runtime events seen by baseline sinks, by kind (comp/net/io).")
+	r.Describe("vm_time_ns_total", "Virtual nanoseconds per category (comp/net/io) summed across ranks.")
+	r.Describe("vm_active_ranks", "Rank goroutines currently executing.")
+	r.Describe("detect_records_total", "Raw records consumed by per-rank detectors.")
+	r.Describe("detect_slices_total", "Smoothed time-slice analyses completed (one per closed slice).")
+	r.Describe("detect_variance_events_total", "Per-process variance events flagged below the threshold.")
+	r.Describe("detect_dropped_total", "Records skipped because the short-sensor rule disabled their sensor.")
+	r.Describe("server_messages_total", "Batch messages ingested by the analysis server.")
+	r.Describe("server_bytes_total", "Encoded bytes ingested by the analysis server.")
+	r.Describe("server_records_total", "Slice records ingested by the analysis server.")
+	r.Describe("server_batch_bytes", "Size distribution of ingested batch messages.")
+	r.Describe("mpi_collectives_total", "Collective operations completed, by kind.")
+	r.Describe("mpi_p2p_messages_total", "Point-to-point messages sent.")
+	r.Describe("mpi_p2p_bytes_total", "Point-to-point payload bytes sent.")
+	r.Describe("cluster_cost_calls_total", "Cost-model evaluations, by kind (compute/p2p/collective/io).")
+	r.Describe("run_ranks", "Rank count of the current (or last) pipeline run.")
+}

@@ -1,0 +1,438 @@
+// Package obs is vSensor's self-observability layer: a stdlib-only metrics
+// registry (counters, gauges, exponential-bucket histograms with lock-free
+// atomic hot paths), a hierarchical span tracer exportable as Chrome
+// trace_event JSON, and an opt-in HTTP introspection endpoint serving
+// /metrics (Prometheus text exposition), /status (JSON snapshot), and
+// /records (incremental slice-record polling).
+//
+// The paper's whole argument is that performance tools must themselves be
+// cheap and always-on (§2: the report updates while the job runs; Table 1:
+// <4% overhead). This package applies the same discipline to the vSensor
+// pipeline itself: a counter increment is a single uncontended atomic add,
+// registration happens once at setup time, and everything degrades to a
+// no-op when observability is not requested (all hot-path methods are
+// nil-receiver safe).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric family types, mirroring the Prometheus exposition TYPE keywords.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry holds metric families. Registration (Counter/Gauge/Histogram) is
+// synchronized and idempotent — the same name+labels returns the same
+// handle — while the returned handles are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric family with zero or more labeled children.
+type family struct {
+	name string
+	typ  string
+	help string
+	// children maps the canonical rendered label string (no braces) to the
+	// child metric. Guarded by the registry mutex.
+	children map[string]*child
+}
+
+// child is one labeled instance inside a family.
+type child struct {
+	labels string // canonical "k=\"v\",k2=\"v2\"" (empty for no labels)
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Describe sets the HELP text for a family (shown in /metrics). It may be
+// called before or after the family's first registration.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, children: make(map[string]*child)}
+		r.families[name] = f
+	}
+	f.help = help
+}
+
+// family returns (creating if needed) the family, checking type consistency.
+func (r *Registry) getFamily(name, typ string) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, typ: typ, children: make(map[string]*child)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ == "" {
+		f.typ = typ // family pre-created by Describe
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter returns the counter for name with the given label key/value pairs,
+// registering it on first use. The returned handle's Inc/Add are single
+// atomic operations.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, typeCounter)
+	ch := f.children[key]
+	if ch == nil {
+		ch = &child{labels: key, c: &Counter{}}
+		f.children[key] = ch
+	}
+	return ch.c
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, typeGauge)
+	ch := f.children[key]
+	if ch == nil {
+		ch = &child{labels: key, g: &Gauge{}}
+		f.children[key] = ch
+	}
+	return ch.g
+}
+
+// DefaultHistogramBuckets: exponential base-4 bounds from 64 up — a good
+// fit for nanosecond durations and byte sizes, the two quantities the
+// pipeline observes.
+var defaultBuckets = expBuckets(64, 4, 16)
+
+// Histogram returns the histogram for name+labels using the default
+// exponential buckets, registering it on first use.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.HistogramWith(name, nil, labels...)
+}
+
+// HistogramWith is Histogram with explicit ascending upper bounds (+Inf is
+// implicit). Nil bounds selects the defaults. Bounds are fixed at first
+// registration; later calls reuse the existing child.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = defaultBuckets
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, typeHistogram)
+	ch := f.children[key]
+	if ch == nil {
+		ch = &child{labels: key, h: newHistogram(bounds)}
+		f.children[key] = ch
+	}
+	return ch.h
+}
+
+// ExpBuckets returns n exponential upper bounds start, start*factor, ... —
+// the standard shape for latency/size histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	return expBuckets(start, factor, n)
+}
+
+func expBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: exponential buckets need start>0, factor>1, n>0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// ---------- handles ----------
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; all methods are nil-receiver safe no-ops so uninstrumented runs pay
+// only a predicted branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be >= 0 for the value to stay monotonic; this is not
+// enforced on the hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop (still lock-free).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free
+// and allocation-free: one bucket scan plus three atomic operations.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveInt records one integer value (convenience for ns / byte counts).
+func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// ---------- exposition ----------
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot child lists under the lock; atomic values are read after.
+	type famSnap struct {
+		f    *family
+		keys []string
+	}
+	snaps := make([]famSnap, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		snaps = append(snaps, famSnap{f: f, keys: keys})
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, s := range snaps {
+		f := s.f
+		if len(s.keys) == 0 {
+			continue // Describe'd but never registered
+		}
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range s.keys {
+			ch := f.children[key]
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, wrapLabels(key), ch.c.Value())
+			case typeGauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, wrapLabels(key), formatFloat(ch.g.Value()))
+			case typeHistogram:
+				h := ch.h
+				var cum int64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n",
+						f.name, wrapLabels(joinLabels(key, fmt.Sprintf("le=%q", formatFloat(bound)))), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n",
+					f.name, wrapLabels(joinLabels(key, `le="+Inf"`)), cum)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, wrapLabels(key), formatFloat(h.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, wrapLabels(key), h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// renderLabels canonicalizes k/v pairs: sorted by key, values escaped.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func wrapLabels(inner string) string {
+	if inner == "" {
+		return ""
+	}
+	return "{" + inner + "}"
+}
+
+func joinLabels(inner, extra string) string {
+	if inner == "" {
+		return extra
+	}
+	return inner + "," + extra
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// formatFloat renders a float the way Prometheus clients expect: integral
+// values without an exponent where possible.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans — facade pipeline stages and per-rank
+// executions — and exports them in the Chrome trace_event format so a run
+// can be inspected in chrome://tracing or Perfetto. Spans on the same
+// thread id (tid) nest by time containment, which is exactly how the
+// Chrome viewer draws hierarchy.
+//
+// Unlike the rest of the simulator, span timestamps are real wall-clock
+// time: the tracer observes the reproduction itself (where does the
+// pipeline spend host time), not the virtual cluster.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []spanRecord
+	threads map[int]string
+}
+
+// spanRecord is one completed span.
+type spanRecord struct {
+	name    string
+	tid     int
+	startUs float64
+	durUs   float64
+	args    map[string]string
+}
+
+// Span is one in-flight span; End completes it. All methods are nil-safe.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int
+	begin time.Time
+	args  map[string]string
+}
+
+// NewTracer creates an empty tracer. The epoch (ts=0 in the export) is the
+// creation time.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), threads: make(map[int]string)}
+}
+
+// NameThread assigns a display name to a tid (e.g. 0 → "pipeline",
+// r+1 → "rank r"), emitted as trace metadata.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// Start opens a span on the given tid. Safe to call from any goroutine.
+func (t *Tracer) Start(tid int, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, begin: time.Now()}
+}
+
+// Arg attaches a key/value annotation; chainable.
+func (s *Span) Arg(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]string, 4)
+	}
+	s.args[k] = v
+	return s
+}
+
+// End completes the span, recording it in the tracer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	t := s.t
+	t.mu.Lock()
+	t.spans = append(t.spans, spanRecord{
+		name:    s.name,
+		tid:     s.tid,
+		startUs: float64(s.begin.Sub(t.epoch)) / float64(time.Microsecond),
+		durUs:   float64(end.Sub(s.begin)) / float64(time.Microsecond),
+		args:    s.args,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of completed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// SpanNames returns the distinct names of completed spans (sorted), for
+// tests and summaries.
+func (t *Tracer) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	set := make(map[string]bool, len(t.spans))
+	for _, s := range t.spans {
+		set[s.name] = true
+	}
+	t.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// chromeEvent is one entry of the trace_event JSON array.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the format ({"traceEvents": [...]});
+// both chrome://tracing and Perfetto load it.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports every completed span (and thread-name metadata) as
+// Chrome trace_event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := make([]chromeEvent, 0, len(t.spans)+len(t.threads))
+	tids := make([]int, 0, len(t.threads))
+	for tid := range t.threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]string{"name": t.threads[tid]},
+		})
+	}
+	for _, s := range t.spans {
+		dur := s.durUs
+		events = append(events, chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   s.startUs,
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  s.tid,
+			Args: s.args,
+		})
+	}
+	t.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -15,10 +15,20 @@ import (
 	"vsensor/internal/vm"
 )
 
-// Profile is the aggregated per-rank time breakdown.
+// Profile is the aggregated per-rank time breakdown. Event accumulation is
+// sharded: each rank's collector owns its own lock, so concurrent ranks
+// never contend with each other on the hot OnEvent path (the registry
+// mutex is only taken when a rank's slot is first created or when the
+// profile is read).
 type Profile struct {
-	mu    sync.Mutex
-	ranks map[int]*RankProfile
+	mu    sync.Mutex // guards the ranks map, not the per-rank data
+	ranks map[int]*rankState
+}
+
+// rankState is one rank's accumulated times behind its own lock.
+type rankState struct {
+	mu sync.Mutex
+	rp RankProfile
 }
 
 // RankProfile is one rank's accumulated times.
@@ -32,28 +42,35 @@ type RankProfile struct {
 
 // New creates an empty profile.
 func New() *Profile {
-	return &Profile{ranks: make(map[int]*RankProfile)}
+	return &Profile{ranks: make(map[int]*rankState)}
+}
+
+// slot returns (creating if needed) the rank's state.
+func (p *Profile) slot(rank int) *rankState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.ranks[rank]
+	if st == nil {
+		st = &rankState{rp: RankProfile{Rank: rank, Calls: make(map[string]int64)}}
+		p.ranks[rank] = st
+	}
+	return st
 }
 
 // Collector returns the per-rank event sink feeding this profile.
 func (p *Profile) Collector(rank int) vm.EventSink {
-	return &collector{p: p, rank: rank}
+	return &collector{st: p.slot(rank)}
 }
 
 type collector struct {
-	p    *Profile
-	rank int
+	st *rankState
 }
 
-// OnEvent accumulates one runtime event.
+// OnEvent accumulates one runtime event under the rank's own lock.
 func (c *collector) OnEvent(e vm.Event) {
-	c.p.mu.Lock()
-	defer c.p.mu.Unlock()
-	rp := c.p.ranks[c.rank]
-	if rp == nil {
-		rp = &RankProfile{Rank: c.rank, Calls: make(map[string]int64)}
-		c.p.ranks[c.rank] = rp
-	}
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	rp := &c.st.rp
 	dur := e.End - e.Start
 	switch e.Kind {
 	case vm.EvNet:
@@ -67,28 +84,36 @@ func (c *collector) OnEvent(e vm.Event) {
 
 // Finalize computes computation time per rank as total minus MPI/IO time.
 func (p *Profile) Finalize(result *vm.Result) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, st := range result.Ranks {
-		rp := p.ranks[st.Rank]
-		if rp == nil {
-			rp = &RankProfile{Rank: st.Rank, Calls: make(map[string]int64)}
-			p.ranks[st.Rank] = rp
+	for _, rs := range result.Ranks {
+		st := p.slot(rs.Rank)
+		st.mu.Lock()
+		st.rp.CompNs = rs.Total - st.rp.MPINs - st.rp.IONs
+		if st.rp.CompNs < 0 {
+			st.rp.CompNs = 0
 		}
-		rp.CompNs = st.Total - rp.MPINs - rp.IONs
-		if rp.CompNs < 0 {
-			rp.CompNs = 0
-		}
+		st.mu.Unlock()
 	}
 }
 
-// Ranks returns the per-rank profiles in rank order.
+// Ranks returns copies of the per-rank profiles in rank order. Copies keep
+// readers safe even if a collector is still live.
 func (p *Profile) Ranks() []*RankProfile {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]*RankProfile, 0, len(p.ranks))
-	for _, rp := range p.ranks {
-		out = append(out, rp)
+	slots := make([]*rankState, 0, len(p.ranks))
+	for _, st := range p.ranks {
+		slots = append(slots, st)
+	}
+	p.mu.Unlock()
+	out := make([]*RankProfile, 0, len(slots))
+	for _, st := range slots {
+		st.mu.Lock()
+		cp := st.rp
+		cp.Calls = make(map[string]int64, len(st.rp.Calls))
+		for k, v := range st.rp.Calls {
+			cp.Calls[k] = v
+		}
+		st.mu.Unlock()
+		out = append(out, &cp)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
 	return out

@@ -2,6 +2,7 @@ package profiler
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"vsensor/internal/vm"
@@ -58,6 +59,51 @@ func TestReportFormat(t *testing.T) {
 	rep := p.Report()
 	if !strings.Contains(rep, "rank") || !strings.Contains(rep, "1.500") || !strings.Contains(rep, "0.500") {
 		t.Errorf("report:\n%s", rep)
+	}
+}
+
+// TestConcurrentCollectors exercises the per-rank sharded locking: many
+// rank collectors accumulate in parallel while a reader snapshots, which
+// the old global-mutex design serialized (and go test -race now verifies).
+func TestConcurrentCollectors(t *testing.T) {
+	p := New()
+	const ranks = 8
+	const events = 500
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := p.Collector(rank)
+			for i := 0; i < events; i++ {
+				c.OnEvent(vm.Event{Rank: rank, Kind: vm.EvNet, Op: "mpi_send", Start: int64(i), End: int64(i) + 2})
+			}
+		}(r)
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Ranks() // snapshot-while-writing must be safe
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	for _, rp := range p.Ranks() {
+		if rp.MPINs != 2*events {
+			t.Errorf("rank %d MPINs = %d, want %d", rp.Rank, rp.MPINs, 2*events)
+		}
+		if rp.Calls["mpi_send"] != 2*events {
+			t.Errorf("rank %d calls = %v", rp.Rank, rp.Calls)
+		}
 	}
 }
 

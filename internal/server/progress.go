@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sort"
+
 	"vsensor/internal/detect"
 )
 
@@ -34,19 +36,37 @@ type Progress struct {
 	LatestSliceNs int64
 }
 
-// Progress returns a snapshot of the server's ingest state.
+// Progress returns a snapshot of the server's ingest state. All fields are
+// maintained incrementally at ingest, so a poll is O(1) regardless of how
+// many records have accumulated.
 func (s *Server) Progress() Progress {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p := Progress{
-		Records:  len(s.records),
-		Messages: s.messages,
-		Bytes:    s.bytesReceived,
+	return Progress{
+		Records:       len(s.records),
+		Messages:      s.messages,
+		Bytes:         s.bytesReceived,
+		LatestSliceNs: s.latestSliceNs,
 	}
-	for _, r := range s.records {
-		if r.SliceNs > p.LatestSliceNs {
-			p.LatestSliceNs = r.SliceNs
-		}
+}
+
+// RankProgress is one rank's ingest state, for live per-rank dashboards.
+type RankProgress struct {
+	Rank          int
+	Records       int
+	LatestSliceNs int64
+}
+
+// PerRankProgress returns each rank's incremental ingest state in rank
+// order. Like Progress, it reads pre-aggregated state rather than
+// rescanning records.
+func (s *Server) PerRankProgress() []RankProgress {
+	s.mu.Lock()
+	out := make([]RankProgress, 0, len(s.perRank))
+	for _, rp := range s.perRank {
+		out = append(out, *rp)
 	}
-	return p
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"vsensor/internal/detect"
+	"vsensor/internal/obs"
 )
 
 // DefaultBatchSize is how many slice records a client buffers before
@@ -28,10 +29,33 @@ type Server struct {
 
 	bytesReceived int64
 	messages      int64
+
+	// Incremental progress state, maintained at ingest so Progress() and
+	// PerRankProgress() never rescan the record log.
+	latestSliceNs int64
+	perRank       map[int]*RankProgress
+
+	// Observability handles (nil-safe no-ops when obs is off).
+	obsMessages *obs.Counter
+	obsBytes    *obs.Counter
+	obsRecords  *obs.Counter
+	obsBatch    *obs.Histogram
 }
 
 // New creates an empty analysis server.
-func New() *Server { return &Server{} }
+func New() *Server { return &Server{perRank: make(map[int]*RankProgress)} }
+
+// SetObs attaches ingest metrics: message/byte/record counters plus the
+// batch-size histogram (server_batch_bytes). Call before the run starts.
+func (s *Server) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	s.obsMessages = o.Counter("server_messages_total")
+	s.obsBytes = o.Counter("server_bytes_total")
+	s.obsRecords = o.Counter("server_records_total")
+	s.obsBatch = o.Histogram("server_batch_bytes")
+}
 
 // receive ingests one encoded batch.
 func (s *Server) receive(encoded []byte) error {
@@ -43,7 +67,26 @@ func (s *Server) receive(encoded []byte) error {
 	s.records = append(s.records, recs...)
 	s.bytesReceived += int64(len(encoded))
 	s.messages++
+	for i := range recs {
+		r := &recs[i]
+		if r.SliceNs > s.latestSliceNs {
+			s.latestSliceNs = r.SliceNs
+		}
+		rp := s.perRank[r.Rank]
+		if rp == nil {
+			rp = &RankProgress{Rank: r.Rank}
+			s.perRank[r.Rank] = rp
+		}
+		rp.Records++
+		if r.SliceNs > rp.LatestSliceNs {
+			rp.LatestSliceNs = r.SliceNs
+		}
+	}
 	s.mu.Unlock()
+	s.obsMessages.Inc()
+	s.obsBytes.Add(int64(len(encoded)))
+	s.obsRecords.Add(int64(len(recs)))
+	s.obsBatch.ObserveInt(int64(len(encoded)))
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"sync"
 	"testing"
 
 	"vsensor/internal/analysis"
@@ -123,6 +124,7 @@ func TestNetSizes(t *testing.T) {
 func TestEndToEndValidation(t *testing.T) {
 	ins := buildIns(t, validSrc)
 	type collector struct {
+		mu   sync.Mutex
 		recs []vm.Record
 	}
 	col := &collector{}
@@ -130,7 +132,11 @@ func TestEndToEndValidation(t *testing.T) {
 		Ranks:        2,
 		PMUJitterPct: 0.005,
 		SinkFactory: func(int) vm.Sink {
-			return sinkFunc(func(r vm.Record) { col.recs = append(col.recs, r) })
+			return sinkFunc(func(r vm.Record) {
+				col.mu.Lock()
+				col.recs = append(col.recs, r)
+				col.mu.Unlock()
+			})
 		},
 	})
 	if err := m.Run().Err(); err != nil {

@@ -29,6 +29,9 @@ type interp struct {
 
 	// active sensor probes (nested probes form a stack).
 	probes []probeFrame
+	// probeNs accumulates the virtual cost charged for probes, flushed to
+	// vm_probe_ns_total once per rank (probe-overhead accounting).
+	probeNs float64
 	// per-sensor execution counters, for the miss-rate model.
 	execIdx map[int]int64
 	records int
@@ -174,6 +177,7 @@ func (in *interp) tick(sensor int) {
 	if in.cfg.ProbeCostNs > 0 {
 		in.charge(in.cfg.ProbeCostNs, 0)
 		in.flush()
+		in.probeNs += in.cfg.ProbeCostNs
 	}
 	in.probes = append(in.probes, probeFrame{
 		sensor:  sensor,
@@ -195,6 +199,7 @@ func (in *interp) tock(sensor int) {
 	if in.cfg.ProbeCostNs > 0 {
 		in.charge(in.cfg.ProbeCostNs, 0)
 		in.flush()
+		in.probeNs += in.cfg.ProbeCostNs
 	}
 	idx := in.execIdx[sensor]
 	in.execIdx[sensor] = idx + 1

@@ -9,6 +9,7 @@ import (
 	"vsensor/internal/instrument"
 	"vsensor/internal/ir"
 	"vsensor/internal/mpisim"
+	"vsensor/internal/obs"
 	"vsensor/internal/pmu"
 )
 
@@ -86,6 +87,12 @@ type Config struct {
 
 	// Stdout receives print() output; nil discards it.
 	Stdout io.Writer
+
+	// Obs attaches the self-observability layer: per-rank execution spans,
+	// record/step/probe counters, and event counts by kind. Nil (the
+	// default) disables all of it; the simulation's virtual time is
+	// identical either way.
+	Obs *obs.Obs
 
 	Seed int64
 }
@@ -166,11 +173,34 @@ func (m *Machine) Run() *Result {
 		cfg.Stdout = &lockedWriter{w: cfg.Stdout}
 	}
 
+	o := cfg.Obs
+	vmMetrics := newRankMetrics(o) // nil-safe: nil obs yields no-op handles
+	if o != nil {
+		cfg.Cluster.SetObs(o)
+		if cfg.EventFactory != nil {
+			inner := cfg.EventFactory
+			counts := [3]*obs.Counter{
+				EvComp: o.Counter("vm_events_total", "kind", "comp"),
+				EvNet:  o.Counter("vm_events_total", "kind", "net"),
+				EvIO:   o.Counter("vm_events_total", "kind", "io"),
+			}
+			cfg.EventFactory = func(rank int) EventSink {
+				return &countingEventSink{next: inner(rank), counts: counts}
+			}
+		}
+		for r := 0; r < cfg.Ranks; r++ {
+			o.NameThread(r+1, fmt.Sprintf("rank %d", r))
+		}
+	}
+
 	world := mpisim.NewWorld(cfg.Ranks, cfg.Cluster)
+	world.SetObs(o)
 	stats := make([]RankStats, cfg.Ranks)
 	var mu sync.Mutex
 
 	total := world.Run(func(p *mpisim.Proc) {
+		sp := o.Span(p.Rank+1, "rank").Arg("rank", itoa(p.Rank))
+		vmMetrics.active.Add(1)
 		in := newInterp(m, p, cfg)
 		err := in.runMain()
 		in.flush()
@@ -187,9 +217,64 @@ func (m *Machine) Run() *Result {
 		mu.Lock()
 		stats[p.Rank] = st
 		mu.Unlock()
+		vmMetrics.flushRank(&st, in)
+		vmMetrics.active.Add(-1)
+		sp.End()
 	})
 	return &Result{TotalNs: total, Ranks: stats}
 }
+
+// rankMetrics holds the vm-level counter handles, resolved once per run.
+// Per-statement quantities (steps, probe time) are accumulated locally in
+// each interp and flushed here once per rank, keeping the interpreter's
+// inner loop free of shared-cache-line traffic.
+type rankMetrics struct {
+	active  *obs.Gauge
+	records *obs.Counter
+	steps   *obs.Counter
+	probeNs *obs.Counter
+	timeNs  [3]*obs.Counter // by EventKind category
+}
+
+func newRankMetrics(o *obs.Obs) *rankMetrics {
+	return &rankMetrics{
+		active:  o.Gauge("vm_active_ranks"),
+		records: o.Counter("vm_records_total"),
+		steps:   o.Counter("vm_steps_total"),
+		probeNs: o.Counter("vm_probe_ns_total"),
+		timeNs: [3]*obs.Counter{
+			EvComp: o.Counter("vm_time_ns_total", "kind", "comp"),
+			EvNet:  o.Counter("vm_time_ns_total", "kind", "net"),
+			EvIO:   o.Counter("vm_time_ns_total", "kind", "io"),
+		},
+	}
+}
+
+// flushRank folds one finished rank's locally accumulated totals in.
+func (rm *rankMetrics) flushRank(st *RankStats, in *interp) {
+	rm.records.Add(int64(st.Records))
+	rm.steps.Add(in.steps)
+	rm.probeNs.Add(int64(in.probeNs))
+	rm.timeNs[EvComp].Add(st.CompNs)
+	rm.timeNs[EvNet].Add(st.NetNs)
+	rm.timeNs[EvIO].Add(st.IONs)
+}
+
+// countingEventSink tees event counts by kind into the registry before the
+// baseline sink (profiler/tracer) sees them.
+type countingEventSink struct {
+	next   EventSink
+	counts [3]*obs.Counter
+}
+
+func (c *countingEventSink) OnEvent(e Event) {
+	if int(e.Kind) < len(c.counts) {
+		c.counts[e.Kind].Inc()
+	}
+	c.next.OnEvent(e)
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
 
 // newPMU builds the per-rank counter.
 func (m *Machine) newPMU(rank int) *pmu.Counter {

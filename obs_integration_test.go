@@ -1,0 +1,241 @@
+package vsensor_test
+
+// End-to-end tests of the self-observability layer: a real pipeline run
+// with Options.Obs attached must populate the metric families, produce one
+// span per pipeline stage and per rank, serve /metrics//status//records
+// over HTTP, and — crucially — leave the simulated virtual time untouched.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	vsensor "vsensor"
+	"vsensor/internal/obs"
+)
+
+const obsTestSrc = `
+func main() {
+    float acc = 0.0;
+    for (int i = 0; i < 120; i++) {
+        for (int k = 0; k < 16; k++) {
+            flops(1500);
+        }
+        acc = mpi_allreduce(acc, 8);
+        mpi_barrier();
+    }
+}`
+
+func runWithObs(t *testing.T) (*vsensor.Report, *obs.Obs) {
+	t.Helper()
+	o := obs.New()
+	rep, err := vsensor.Run(obsTestSrc, vsensor.Options{Ranks: 4, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, o
+}
+
+func TestObsDoesNotPerturbVirtualTime(t *testing.T) {
+	plain, err := vsensor.Run(obsTestSrc, vsensor.Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, o := runWithObs(t)
+	if plain.Result.TotalNs != instrumented.Result.TotalNs {
+		t.Errorf("obs changed virtual time: %d vs %d ns",
+			plain.Result.TotalNs, instrumented.Result.TotalNs)
+	}
+	if o.Tracer().Len() == 0 {
+		t.Error("no spans recorded")
+	}
+}
+
+func TestObsMetricFamiliesPopulated(t *testing.T) {
+	rep, o := runWithObs(t)
+	var sb strings.Builder
+	if err := o.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fam := range []string{
+		"vm_records_total",
+		"vm_steps_total",
+		"vm_probe_ns_total",
+		"vm_time_ns_total{kind=\"comp\"}",
+		"detect_records_total{rank=\"0\"}",
+		"detect_slices_total{rank=\"0\"}",
+		"server_messages_total",
+		"server_bytes_total",
+		"server_batch_bytes_count",
+		"mpi_collectives_total{kind=\"allreduce\"}",
+		"mpi_collectives_total{kind=\"barrier\"}",
+		"cluster_cost_calls_total{kind=\"compute\"}",
+		"run_ranks 4",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("metrics missing %q", fam)
+		}
+	}
+	// Cross-check counters against the report's own accounting.
+	var totalRecords int
+	for _, rs := range rep.Result.Ranks {
+		totalRecords += rs.Records
+	}
+	if got := o.Registry().Counter("vm_records_total").Value(); got != int64(totalRecords) {
+		t.Errorf("vm_records_total = %d, want %d", got, totalRecords)
+	}
+	if got := o.Registry().Counter("server_bytes_total").Value(); got != rep.Server.BytesReceived() {
+		t.Errorf("server_bytes_total = %d, want %d", got, rep.Server.BytesReceived())
+	}
+	if got := o.Registry().Counter("server_messages_total").Value(); got != rep.Server.Messages() {
+		t.Errorf("server_messages_total = %d, want %d", got, rep.Server.Messages())
+	}
+}
+
+func TestObsPipelineSpans(t *testing.T) {
+	_, o := runWithObs(t)
+	names := o.Tracer().SpanNames()
+	for _, want := range []string{"compile", "identify", "instrument", "execute", "finalize", "rank"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing span %q (have %v)", want, names)
+		}
+	}
+	// 5 stage spans + one per rank.
+	if got := o.Tracer().Len(); got != 5+4 {
+		t.Errorf("span count = %d, want 9", got)
+	}
+	var buf bytes.Buffer
+	if err := o.Tracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid Chrome JSON: %v", err)
+	}
+}
+
+func TestObsLiveEndpointAgainstRun(t *testing.T) {
+	rep, o := runWithObs(t)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	fetch := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// /metrics: parseable line-by-line.
+	for _, line := range strings.Split(strings.TrimSpace(fetch("/metrics")), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric metric value in %q", line)
+		}
+	}
+
+	// /status: valid JSON including the server's Progress.
+	var st struct {
+		Running bool `json:"running"`
+		Run     struct {
+			Ranks    int `json:"ranks"`
+			Sensors  int `json:"sensors"`
+			Progress struct {
+				Records       int   `json:"Records"`
+				LatestSliceNs int64 `json:"LatestSliceNs"`
+			} `json:"progress"`
+			PerRank []struct {
+				Rank    int `json:"Rank"`
+				Records int `json:"Records"`
+			} `json:"per_rank"`
+		} `json:"run"`
+	}
+	if err := json.Unmarshal([]byte(fetch("/status")), &st); err != nil {
+		t.Fatalf("/status invalid JSON: %v", err)
+	}
+	if !st.Running || st.Run.Ranks != 4 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Run.Progress.Records != len(rep.Server.Records()) {
+		t.Errorf("status records = %d, want %d", st.Run.Progress.Records, len(rep.Server.Records()))
+	}
+	if len(st.Run.PerRank) == 0 {
+		t.Error("status missing per-rank progress")
+	}
+
+	// /records: incremental cursor returns each record exactly once.
+	type recResp struct {
+		Cursor  int               `json:"cursor"`
+		Records []json.RawMessage `json:"records"`
+	}
+	var r1 recResp
+	if err := json.Unmarshal([]byte(fetch("/records?cursor=0")), &r1); err != nil {
+		t.Fatal(err)
+	}
+	total := len(rep.Server.Records())
+	if len(r1.Records) != total || r1.Cursor != total {
+		t.Fatalf("first poll: %d records cursor %d, want %d", len(r1.Records), r1.Cursor, total)
+	}
+	var r2 recResp
+	if err := json.Unmarshal([]byte(fetch("/records?cursor="+strconv.Itoa(r1.Cursor))), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Records) != 0 || r2.Cursor != total {
+		t.Errorf("re-poll returned %d records (cursor %d): records must be delivered exactly once",
+			len(r2.Records), r2.Cursor)
+	}
+}
+
+// TestObsUninstrumentedRun: observability must work (and stay nil-safe)
+// on baseline runs that skip instrumentation and the analysis server.
+func TestObsUninstrumentedRun(t *testing.T) {
+	o := obs.New()
+	_, err := vsensor.Run(obsTestSrc, vsensor.Options{Ranks: 2, Uninstrumented: true, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Registry().Counter("vm_steps_total").Value() == 0 {
+		t.Error("vm_steps_total not populated on uninstrumented run")
+	}
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"records":[]`) {
+		t.Errorf("/records without a server = %d %s", resp.StatusCode, body)
+	}
+}

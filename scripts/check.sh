@@ -1,0 +1,40 @@
+#!/bin/sh
+# Full repository check: build, vet, race-enabled tests, then the
+# observability hot-path benchmarks. Benchmark results are written to
+# BENCH_obs.json so successive PRs can diff overhead numbers.
+#
+# Usage: scripts/check.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_obs.json}"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== obs hot-path benchmarks"
+bench_txt="$(mktemp)"
+trap 'rm -f "$bench_txt"' EXIT
+go test -run '^$' -bench 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkSpanStartEnd$' \
+    -benchmem -benchtime 2s ./internal/obs | tee "$bench_txt"
+
+# Render "BenchmarkX-N  iters  ns/op  B/op  allocs/op" lines as JSON.
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+}
+END { print "\n}" }
+' "$bench_txt" > "$out"
+
+echo "== wrote $out"
+cat "$out"

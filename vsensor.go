@@ -32,6 +32,7 @@ import (
 	"vsensor/internal/instrument"
 	"vsensor/internal/ir"
 	"vsensor/internal/minic"
+	"vsensor/internal/obs"
 	"vsensor/internal/profiler"
 	"vsensor/internal/rundata"
 	"vsensor/internal/server"
@@ -86,6 +87,14 @@ type Options struct {
 
 	// Trace attaches the ITAC-style baseline tracer.
 	Trace bool
+
+	// Obs attaches the self-observability layer (internal/obs): pipeline
+	// stage spans, per-rank execution spans, metric families across the
+	// vm/detect/server/mpisim/cluster packages, and — via obs.Serve — a
+	// live HTTP introspection endpoint whose /status and /records are
+	// wired to this run while it executes. Nil disables all of it; the
+	// simulated virtual time is identical either way.
+	Obs *obs.Obs
 
 	// Stdout receives program print() output.
 	Stdout io.Writer
@@ -149,7 +158,9 @@ func InstrumentSource(src string, acfg analysis.Config, icfg instrument.Config) 
 
 // Run executes the full pipeline on source text.
 func Run(src string, opt Options) (*Report, error) {
+	sp := opt.Obs.Span(0, "compile")
 	prog, err := Compile(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -164,9 +175,14 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 	if opt.ProbeCostNs == 0 {
 		opt.ProbeCostNs = DefaultProbeCostNs
 	}
+	o := opt.Obs
+	o.NameThread(0, "pipeline")
+	o.Gauge("run_ranks").Set(float64(opt.Ranks))
 	rep := &Report{Program: prog}
 
+	sp := o.Span(0, "identify")
 	rep.Analysis = analysis.AnalyzeWith(prog, opt.Analysis)
+	sp.End()
 
 	var mach *vm.Machine
 	vcfg := vm.Config{
@@ -179,11 +195,17 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		MaxSteps:     opt.MaxSteps,
 	}
 
+	vcfg.Obs = o
+
 	var collectors []*recordCollector
 	var mu sync.Mutex
 	if !opt.Uninstrumented {
+		isp := o.Span(0, "instrument")
 		rep.Instrumented = instrument.Apply(rep.Analysis, opt.Instrument)
+		isp.End()
 		rep.Server = server.New()
+		rep.Server.SetObs(o)
+		opt.Detect.Obs = o
 		vcfg.ProbeCostNs = opt.ProbeCostNs
 
 		meta := make([]detect.Sensor, len(rep.Instrumented.Sensors))
@@ -253,16 +275,55 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		}
 	}
 
+	if o != nil {
+		// Wire the live introspection providers to this run so /status and
+		// /records polls observe the job while it executes (paper §2:
+		// on-line reporting without waiting for the program to finish).
+		srv := rep.Server
+		sensorCount := 0
+		if rep.Instrumented != nil {
+			sensorCount = len(rep.Instrumented.Sensors)
+		}
+		ranks := opt.Ranks
+		uninstrumented := opt.Uninstrumented
+		batch := opt.BatchSize
+		probeCost := opt.ProbeCostNs
+		o.SetStatus(func() any {
+			st := map[string]any{
+				"ranks":          ranks,
+				"uninstrumented": uninstrumented,
+				"batch_size":     batch,
+				"probe_cost_ns":  probeCost,
+				"sensors":        sensorCount,
+			}
+			if srv != nil {
+				st["progress"] = srv.Progress()
+				st["per_rank"] = srv.PerRankProgress()
+			}
+			return st
+		})
+		if srv != nil {
+			o.SetRecords(func(cursor int) (any, int) {
+				recs, next := srv.RecordsSince(cursor)
+				return recs, next
+			})
+		}
+	}
+
+	esp := o.Span(0, "execute")
 	rep.Result = mach.Run()
+	esp.End()
 	if err := rep.Result.Err(); err != nil {
 		return rep, fmt.Errorf("vsensor: run failed: %w", err)
 	}
+	fsp := o.Span(0, "finalize")
 	if rep.Profiler != nil {
 		rep.Profiler.Finalize(rep.Result)
 	}
 	for _, rc := range collectors {
 		rep.Records = append(rep.Records, rc.recs...)
 	}
+	fsp.End()
 	return rep, nil
 }
 
