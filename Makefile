@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-obs check clean
+.PHONY: build test race vet bench-obs bench-vm check clean
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,20 @@ vet:
 # Observability hot-path benchmarks; writes BENCH_obs.json for regression
 # tracking across PRs.
 bench-obs:
-	scripts/check.sh BENCH_obs.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCounterInc$$|BenchmarkHistogramObserve$$|BenchmarkSpanStartEnd$$' \
+	    -benchmem -benchtime 2s ./internal/obs
 
-# The full gate: build + vet + race tests + obs benchmarks.
+# VM execution-engine benchmarks (variable access, interpreter hot loop,
+# end-to-end instrumented rank run); scripts/check.sh writes the same set
+# to BENCH_vm.json for regression tracking across PRs.
+bench-vm:
+	$(GO) test -run '^$$' -bench 'BenchmarkVarAccess$$|BenchmarkInterpHotLoop$$|BenchmarkRankRunE2E$$' \
+	    -benchmem -benchtime 2s ./internal/vm
+
+# The full gate: build + vet + race tests + race bench smoke + obs/vm
+# benchmarks (writes BENCH_obs.json and BENCH_vm.json).
 check:
 	scripts/check.sh
 
 clean:
-	rm -f BENCH_obs.json vsensor.test
+	rm -f BENCH_obs.json BENCH_vm.json vsensor.test

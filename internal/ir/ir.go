@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"vsensor/internal/minic"
+	"vsensor/internal/resolve"
 )
 
 // Program is an analyzed compilation unit.
@@ -150,6 +151,9 @@ func BuildWithExterns(ast *minic.Program, ext *ExternRegistry) (*Program, error)
 		// Unknown extern: permitted, treated conservatively (never-fixed),
 		// like an undescribed external function in the paper.
 	}
+	// Slot-resolution pass: address every identifier to a frame/global slot
+	// and pre-bind call dispatch, so the VM runs over flat frames.
+	resolve.Resolve(ast)
 	return p, nil
 }
 

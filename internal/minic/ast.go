@@ -48,6 +48,21 @@ type Node interface {
 	Pos() Pos
 }
 
+// Scope classifies where a resolved identifier binds at runtime. The
+// resolver pass (internal/resolve) assigns it at compile time; the VM
+// executes identifier accesses as direct slot loads without any name
+// lookup. ScopeUnresolved marks names with no visible declaration — they
+// fault only if the referencing statement actually executes, matching the
+// dynamic behaviour of a scope-map interpreter.
+type Scope uint8
+
+// Identifier binding scopes.
+const (
+	ScopeUnresolved Scope = iota
+	ScopeLocal            // slot in the enclosing function's frame
+	ScopeGlobal           // slot in the per-rank global array
+)
+
 // ---------- Top level ----------
 
 // Program is a parsed compilation unit.
@@ -55,6 +70,10 @@ type Program struct {
 	Globals []*GlobalDecl
 	Funcs   []*FuncDecl
 	Source  string // original source text, for diagnostics and mapping
+
+	// Resolved reports whether the slot-resolution pass has annotated this
+	// AST (set by internal/resolve; ir.Build always runs it).
+	Resolved bool
 }
 
 // Func returns the function with the given name, or nil.
@@ -85,6 +104,10 @@ type GlobalDecl struct {
 	Type    Type
 	Len     Expr // array length for array globals, else nil
 	Init    Expr // scalar initializer, may be nil (zero value)
+
+	// Slot is the global's index in the per-rank global array, assigned by
+	// the resolver pass (declaration order).
+	Slot int32
 }
 
 // Pos returns the declaration position.
@@ -104,6 +127,11 @@ type FuncDecl struct {
 	Params  []Param
 	Ret     Type
 	Body    *BlockStmt
+
+	// NumSlots is the function's flat frame size — parameters plus every
+	// local declaration, each with a distinct slot — assigned by the
+	// resolver pass. Parameters occupy slots 0..len(Params)-1.
+	NumSlots int32
 }
 
 // Pos returns the position of the func keyword.
@@ -130,6 +158,11 @@ type VarDecl struct {
 	Type    Type
 	Len     Expr // array length, else nil
 	Init    Expr // may be nil
+
+	// Slot is the declaration's frame index, assigned by the resolver pass.
+	// Distinct declarations always get distinct slots, so shadowing and
+	// same-name declarations in sibling blocks cannot collide.
+	Slot int32
 }
 
 // AssignStmt assigns to a variable or array element. Compound assignments
@@ -220,6 +253,12 @@ type Expr interface {
 type Ident struct {
 	NamePos Pos
 	Name    string
+
+	// Scope/Slot are the identifier's compile-time binding, assigned by the
+	// resolver pass: ScopeLocal indexes the enclosing function's frame,
+	// ScopeGlobal the per-rank global array.
+	Scope Scope
+	Slot  int32
 }
 
 // IntLit is an integer literal.
@@ -261,6 +300,14 @@ type CallExpr struct {
 
 	// CallID is assigned during IR construction; unique per program.
 	CallID int
+
+	// Target is the called user-defined function, pre-bound by the resolver
+	// pass; nil for builtins and unknown names.
+	Target *FuncDecl
+
+	// Builtin is the dense builtin-dispatch index (a resolve.Builtin value;
+	// 0 = none), assigned by the resolver pass when Target is nil.
+	Builtin int16
 }
 
 // IndexExpr is an array element access a[i].

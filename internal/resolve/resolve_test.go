@@ -1,0 +1,153 @@
+package resolve
+
+import (
+	"testing"
+
+	"vsensor/internal/minic"
+)
+
+// goldenSrc exercises every binding rule the interpreter depends on:
+// globals (with an initializer reading an earlier global), parameters,
+// block shadowing, same-scope redeclaration, a for-init declaration with a
+// body-level shadow whose initializer must bind the OUTER name, and an
+// unresolved identifier that may only fault at run time.
+const goldenSrc = `
+global int N = 8;
+global float BIAS = 1.5;
+func scale(int k, float v) float {
+    float r = v * BIAS;
+    for (int i = 0; i < k; i++) {
+        float r = r + i;
+        BIAS = BIAS + r;
+    }
+    return r + missing;
+}
+func main() {
+    int a = N;
+    {
+        int a = a + 1;
+        scale(a, 2.0);
+    }
+    int a = 0;
+    print("a", a);
+}`
+
+const goldenDescribe = `global N -> g0
+global BIAS -> g1
+func main frame=3
+  var a@13:9 -> s0
+  var a@15:13 -> s1
+  var a@18:9 -> s2
+  use N@13:13 -> g0
+  use a@15:17 -> s0
+  use a@16:15 -> s1
+  use a@19:16 -> s2
+func scale frame=5
+  param k -> s0
+  param v -> s1
+  var r@5:11 -> s2
+  var i@6:14 -> s3
+  var r@7:15 -> s4
+  use v@5:15 -> s1
+  use BIAS@5:19 -> g1
+  use i@6:21 -> s3
+  use k@6:25 -> s0
+  use i@6:28 -> s3
+  use i@6:28 -> s3
+  use r@7:19 -> s2
+  use i@7:23 -> s3
+  use BIAS@8:9 -> g1
+  use BIAS@8:16 -> g1
+  use r@8:23 -> s4
+  use r@10:12 -> s2
+  use missing@10:16 -> unresolved
+`
+
+// TestDescribeGolden pins the slot model: every declaration's slot and
+// every use's binding for a program covering shadowing, redeclaration,
+// for-init scopes, globals, and unresolved names.
+func TestDescribeGolden(t *testing.T) {
+	ast := minic.MustParse(goldenSrc)
+	info := Resolve(ast)
+	if got := Describe(ast); got != goldenDescribe {
+		t.Errorf("Describe mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenDescribe)
+	}
+	if info.Unresolved != 1 {
+		t.Errorf("Unresolved = %d, want 1 (only `missing`)", info.Unresolved)
+	}
+	if info.NumGlobals != 2 {
+		t.Errorf("NumGlobals = %d, want 2", info.NumGlobals)
+	}
+	if got := info.Frames["scale"]; got != 5 {
+		t.Errorf("Frames[scale] = %d, want 5", got)
+	}
+	if got := info.Frames["main"]; got != 3 {
+		t.Errorf("Frames[main] = %d, want 3", got)
+	}
+}
+
+// TestResolveIdempotent re-runs the pass and requires identical output;
+// ir.Build may be applied to an already-resolved AST.
+func TestResolveIdempotent(t *testing.T) {
+	ast := minic.MustParse(goldenSrc)
+	Resolve(ast)
+	first := Describe(ast)
+	Resolve(ast)
+	if second := Describe(ast); second != first {
+		t.Errorf("Resolve is not idempotent:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if !ast.Resolved {
+		t.Error("ast.Resolved not set")
+	}
+}
+
+// TestCallBinding checks call pre-binding: user functions get a direct
+// *FuncDecl target, builtins a dense dispatch index, and unknown names
+// neither (they fault only if executed).
+func TestCallBinding(t *testing.T) {
+	ast := minic.MustParse(`
+func helper(int x) int { return x; }
+func main() {
+    helper(1);
+    flops(10);
+    mystery(2);
+}`)
+	Resolve(ast)
+	var calls []*minic.CallExpr
+	minic.WalkStmts(ast.Func("main").Body, func(s minic.Stmt) {
+		if es, ok := s.(*minic.ExprStmt); ok {
+			calls = append(calls, es.X.(*minic.CallExpr))
+		}
+	})
+	if len(calls) != 3 {
+		t.Fatalf("found %d calls, want 3", len(calls))
+	}
+	if calls[0].Target != ast.Func("helper") || calls[0].Builtin != int16(BuiltinNone) {
+		t.Errorf("helper(): Target=%v Builtin=%d, want direct target", calls[0].Target, calls[0].Builtin)
+	}
+	if calls[1].Target != nil || Builtin(calls[1].Builtin) != BuiltinFlops {
+		t.Errorf("flops(): Target=%v Builtin=%d, want BuiltinFlops", calls[1].Target, calls[1].Builtin)
+	}
+	if calls[2].Target != nil || Builtin(calls[2].Builtin) != BuiltinNone {
+		t.Errorf("mystery(): Target=%v Builtin=%d, want unbound", calls[2].Target, calls[2].Builtin)
+	}
+}
+
+// TestBuiltinOfCoversRegistry spot-checks the name table.
+func TestBuiltinOfCoversRegistry(t *testing.T) {
+	cases := map[string]Builtin{
+		"print":         BuiltinPrint,
+		"vs_tick":       BuiltinVsTick,
+		"mpi_allreduce": BuiltinMPIAllreduce,
+		"rand_i":        BuiltinRandI,
+		"nope":          BuiltinNone,
+	}
+	for name, want := range cases {
+		if got := BuiltinOf(name); got != want {
+			t.Errorf("BuiltinOf(%q) = %d, want %d", name, got, want)
+		}
+	}
+	if int(NumBuiltins) != len(builtinByName)+1 {
+		t.Errorf("NumBuiltins = %d, registry has %d names", NumBuiltins, len(builtinByName))
+	}
+}

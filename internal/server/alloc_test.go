@@ -1,0 +1,39 @@
+package server
+
+import (
+	"testing"
+
+	"vsensor/internal/detect"
+)
+
+// TestFlushSteadyStateAllocs pins the client transfer path's allocation
+// behaviour: once the wire buffer and the server's rank-progress entries
+// are warm, shipping a batch allocates nothing beyond the server record
+// log's own (amortized, pre-sized here) growth.
+func TestFlushSteadyStateAllocs(t *testing.T) {
+	s := New()
+	c := s.NewClient(8)
+	batch := make([]detect.SliceRecord, 8)
+	for i := range batch {
+		batch[i] = detect.SliceRecord{
+			Sensor: i, Group: i % 2, Rank: 3,
+			SliceNs: int64(i) * 1000, Count: 4,
+			AvgNs: 12.5, AvgInstr: 99,
+		}
+	}
+	// Pre-size the record log so its growth doesn't count against the
+	// per-flush path, and warm the client's buffers with one round.
+	s.records = make([]detect.SliceRecord, 0, 16<<10)
+	for _, r := range batch {
+		c.OnSlice(r)
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		for _, r := range batch {
+			c.OnSlice(r)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state OnSlice+Flush allocates %.1f objects per batch, want 0", avg)
+	}
+}

@@ -7,7 +7,6 @@
 package server
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -57,14 +56,17 @@ func (s *Server) SetObs(o *obs.Obs) {
 	s.obsBatch = o.Histogram("server_batch_bytes")
 }
 
-// receive ingests one encoded batch.
+// receive ingests one encoded batch, decoding records straight into the
+// server's log (no per-message temporary slice).
 func (s *Server) receive(encoded []byte) error {
-	recs, err := decodeBatch(encoded)
+	n, err := checkBatch(encoded)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.records = append(s.records, recs...)
+	start := len(s.records)
+	s.records = appendDecoded(s.records, encoded, n)
+	recs := s.records[start:]
 	s.bytesReceived += int64(len(encoded))
 	s.messages++
 	for i := range recs {
@@ -122,6 +124,7 @@ type Client struct {
 	server    *Server
 	batchSize int
 	buf       []detect.SliceRecord
+	enc       []byte // reusable wire buffer; one allocation per client
 
 	sent      int64
 	bytesSent int64
@@ -144,17 +147,18 @@ func (c *Client) OnSlice(r detect.SliceRecord) {
 	}
 }
 
-// Flush transfers the buffered records.
+// Flush transfers the buffered records. The wire buffer is reused across
+// flushes, so a warm client allocates nothing per batch.
 func (c *Client) Flush() {
 	if len(c.buf) == 0 {
 		return
 	}
-	enc := encodeBatch(c.buf)
-	if err := c.server.receive(enc); err != nil {
+	c.enc = appendEncoded(c.enc[:0], c.buf)
+	if err := c.server.receive(c.enc); err != nil {
 		panic(fmt.Sprintf("server: self-encoded batch failed to decode: %v", err))
 	}
 	c.sent += int64(len(c.buf))
-	c.bytesSent += int64(len(enc))
+	c.bytesSent += int64(len(c.enc))
 	c.buf = c.buf[:0]
 }
 
@@ -170,66 +174,74 @@ func (c *Client) RecordsSent() int64 { return c.sent }
 // u32 sensor, u32 group, u32 rank, i64 slice, i32 count, f64 avgNs, f64 avgInstr.
 const recordWireSize = 4 + 4 + 4 + 8 + 4 + 8 + 8
 
-func encodeBatch(recs []detect.SliceRecord) []byte {
-	var b bytes.Buffer
-	b.Grow(4 + len(recs)*recordWireSize)
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(recs)))
-	b.Write(hdr[:])
-	var scratch [8]byte
-	putU32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		b.Write(scratch[:4])
+// appendEncoded serializes a batch onto dst (usually a reused buffer with
+// len 0) and returns the extended slice.
+func appendEncoded(dst []byte, recs []detect.SliceRecord) []byte {
+	start := len(dst)
+	need := 4 + len(recs)*recordWireSize
+	if cap(dst)-start < need {
+		grown := make([]byte, start, start+need)
+		copy(grown, dst)
+		dst = grown
 	}
-	putU64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(scratch[:], v)
-		b.Write(scratch[:])
-	}
+	dst = dst[:start+need]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(recs)))
+	off := start + 4
 	for _, r := range recs {
-		putU32(uint32(r.Sensor))
-		putU32(uint32(r.Group))
-		putU32(uint32(r.Rank))
-		putU64(uint64(r.SliceNs))
-		putU32(uint32(r.Count))
-		putU64(math.Float64bits(r.AvgNs))
-		putU64(math.Float64bits(r.AvgInstr))
+		binary.LittleEndian.PutUint32(dst[off:], uint32(r.Sensor))
+		binary.LittleEndian.PutUint32(dst[off+4:], uint32(r.Group))
+		binary.LittleEndian.PutUint32(dst[off+8:], uint32(r.Rank))
+		binary.LittleEndian.PutUint64(dst[off+12:], uint64(r.SliceNs))
+		binary.LittleEndian.PutUint32(dst[off+20:], uint32(r.Count))
+		binary.LittleEndian.PutUint64(dst[off+24:], math.Float64bits(r.AvgNs))
+		binary.LittleEndian.PutUint64(dst[off+32:], math.Float64bits(r.AvgInstr))
+		off += recordWireSize
 	}
-	return b.Bytes()
+	return dst
 }
 
-func decodeBatch(data []byte) ([]detect.SliceRecord, error) {
+func encodeBatch(recs []detect.SliceRecord) []byte {
+	return appendEncoded(nil, recs)
+}
+
+// checkBatch validates a batch's header and framing, returning its record
+// count.
+func checkBatch(data []byte) (int, error) {
 	if len(data) < 4 {
-		return nil, fmt.Errorf("server: short batch header")
+		return 0, fmt.Errorf("server: short batch header")
 	}
 	n := int(binary.LittleEndian.Uint32(data[:4]))
 	want := 4 + n*recordWireSize
 	if len(data) != want {
-		return nil, fmt.Errorf("server: batch length %d, want %d for %d records", len(data), want, n)
+		return 0, fmt.Errorf("server: batch length %d, want %d for %d records", len(data), want, n)
 	}
-	out := make([]detect.SliceRecord, 0, n)
+	return n, nil
+}
+
+// appendDecoded deserializes a checked batch of n records onto out.
+func appendDecoded(out []detect.SliceRecord, data []byte, n int) []detect.SliceRecord {
 	off := 4
-	u32 := func() uint32 {
-		v := binary.LittleEndian.Uint32(data[off : off+4])
-		off += 4
-		return v
-	}
-	u64 := func() uint64 {
-		v := binary.LittleEndian.Uint64(data[off : off+8])
-		off += 8
-		return v
-	}
 	for i := 0; i < n; i++ {
 		out = append(out, detect.SliceRecord{
-			Sensor:   int(u32()),
-			Group:    int(u32()),
-			Rank:     int(u32()),
-			SliceNs:  int64(u64()),
-			Count:    int32(u32()),
-			AvgNs:    math.Float64frombits(u64()),
-			AvgInstr: math.Float64frombits(u64()),
+			Sensor:   int(binary.LittleEndian.Uint32(data[off:])),
+			Group:    int(binary.LittleEndian.Uint32(data[off+4:])),
+			Rank:     int(binary.LittleEndian.Uint32(data[off+8:])),
+			SliceNs:  int64(binary.LittleEndian.Uint64(data[off+12:])),
+			Count:    int32(binary.LittleEndian.Uint32(data[off+20:])),
+			AvgNs:    math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+			AvgInstr: math.Float64frombits(binary.LittleEndian.Uint64(data[off+32:])),
 		})
+		off += recordWireSize
 	}
-	return out, nil
+	return out
+}
+
+func decodeBatch(data []byte) ([]detect.SliceRecord, error) {
+	n, err := checkBatch(data)
+	if err != nil {
+		return nil, err
+	}
+	return appendDecoded(make([]detect.SliceRecord, 0, n), data, n), nil
 }
 
 // ---------- inter-process analysis ----------

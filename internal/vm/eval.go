@@ -4,21 +4,26 @@ import (
 	"math"
 
 	"vsensor/internal/minic"
+	"vsensor/internal/resolve"
 )
 
-func (in *interp) eval(fr *frame, e minic.Expr) Value {
+func (in *interp) eval(base int, e minic.Expr) Value {
+	// Cases ordered by dynamic frequency: identifier loads and binary
+	// arithmetic dominate interpreted expression traffic.
 	switch x := e.(type) {
+	case *minic.Ident:
+		return *in.slotOf(base, x)
+	case *minic.BinaryExpr:
+		return in.evalBinary(base, x)
 	case *minic.IntLit:
 		return IntVal(x.Value)
 	case *minic.FloatLit:
 		return FloatVal(x.Value)
 	case *minic.StringLit:
 		return IntVal(0) // strings only reach print(), handled there
-	case *minic.Ident:
-		return *in.lvalue(fr, x)
 	case *minic.IndexExpr:
-		arr := in.lvalue(fr, x.Array)
-		idx := in.eval(fr, x.Index).AsInt()
+		arr := in.slotOf(base, x.Array)
+		idx := in.eval(base, x.Index).AsInt()
 		in.pmu.AddMemOps(1)
 		in.charge(exprCostNs, memCostNs)
 		switch arr.Kind {
@@ -31,7 +36,7 @@ func (in *interp) eval(fr *frame, e minic.Expr) Value {
 		}
 		panic(rtErr(in.proc.Rank, x.Pos(), "indexing non-array %q", x.Array.Name))
 	case *minic.UnaryExpr:
-		v := in.eval(fr, x.X)
+		v := in.eval(base, x.X)
 		in.pmu.AddInstructions(1)
 		in.charge(exprCostNs, 0)
 		switch x.Op {
@@ -46,35 +51,33 @@ func (in *interp) eval(fr *frame, e minic.Expr) Value {
 			}
 			return IntVal(1)
 		}
-	case *minic.BinaryExpr:
-		return in.evalBinary(fr, x)
 	case *minic.CallExpr:
-		return in.evalCall(fr, x)
+		return in.evalCall(base, x)
 	}
 	panic(rtErr(in.proc.Rank, e.Pos(), "cannot evaluate expression"))
 }
 
-func (in *interp) evalBinary(fr *frame, x *minic.BinaryExpr) Value {
+func (in *interp) evalBinary(base int, x *minic.BinaryExpr) Value {
 	// Short-circuit logicals.
 	switch x.Op {
 	case minic.AndAnd:
 		in.pmu.AddInstructions(1)
 		in.charge(exprCostNs, 0)
-		if !truthy(in.eval(fr, x.X)) {
+		if !truthy(in.eval(base, x.X)) {
 			return IntVal(0)
 		}
-		return boolVal(truthy(in.eval(fr, x.Y)))
+		return boolVal(truthy(in.eval(base, x.Y)))
 	case minic.OrOr:
 		in.pmu.AddInstructions(1)
 		in.charge(exprCostNs, 0)
-		if truthy(in.eval(fr, x.X)) {
+		if truthy(in.eval(base, x.X)) {
 			return IntVal(1)
 		}
-		return boolVal(truthy(in.eval(fr, x.Y)))
+		return boolVal(truthy(in.eval(base, x.Y)))
 	}
 
-	a := in.eval(fr, x.X)
-	b := in.eval(fr, x.Y)
+	a := in.eval(base, x.X)
+	b := in.eval(base, x.Y)
 	in.pmu.AddInstructions(1)
 	in.charge(exprCostNs, 0)
 
@@ -154,13 +157,17 @@ func boolVal(b bool) Value {
 
 // ---------- calls ----------
 
-func (in *interp) evalCall(fr *frame, call *minic.CallExpr) Value {
-	// User-defined functions.
-	if fn := in.m.prog.AST.Func(call.Name); fn != nil {
-		sensor := in.callSensor(call.CallID)
-		args := make([]Value, len(call.Args))
-		for i, a := range call.Args {
-			args[i] = in.eval(fr, a)
+// evalCall dispatches a call through its resolver pre-binding: user-defined
+// targets are direct *FuncDecl pointers (no name lookup), everything else
+// goes to the dense builtin switch. Arguments for user calls are evaluated
+// into the reusable argBuf scratch (stack discipline via mark), so a
+// steady-state call allocates nothing.
+func (in *interp) evalCall(base int, call *minic.CallExpr) Value {
+	if fn := call.Target; fn != nil {
+		sensor := in.m.sensorOfCall(call.CallID)
+		mark := len(in.argBuf)
+		for _, a := range call.Args {
+			in.argBuf = append(in.argBuf, in.eval(base, a))
 		}
 		if sensor >= 0 {
 			in.tick(sensor)
@@ -168,19 +175,11 @@ func (in *interp) evalCall(fr *frame, call *minic.CallExpr) Value {
 		}
 		in.pmu.AddInstructions(1)
 		in.charge(stmtCostNs, 0)
-		return in.call(fn, args, call.Pos())
+		ret := in.callFn(fn, in.argBuf[mark:], call.Pos())
+		in.argBuf = in.argBuf[:mark]
+		return ret
 	}
-	return in.evalBuiltin(fr, call)
-}
-
-func (in *interp) callSensor(callID int) int {
-	if in.m.ins == nil {
-		return -1
-	}
-	if s, ok := in.m.ins.CallSensor[callID]; ok {
-		return s.ID
-	}
-	return -1
+	return in.evalBuiltin(base, call)
 }
 
 // netOp wraps an MPI operation: flushes pending work, runs op, accounts the
@@ -196,19 +195,19 @@ func (in *interp) netOp(name string, bytes int64, op func()) {
 	}
 }
 
-func (in *interp) evalBuiltin(fr *frame, call *minic.CallExpr) Value {
-	name := call.Name
-	sensor := in.callSensor(call.CallID)
+func (in *interp) evalBuiltin(base int, call *minic.CallExpr) Value {
+	bi := resolve.Builtin(call.Builtin)
 
 	// Evaluate arguments (print handles string literals specially).
 	argOf := func(i int) Value {
 		if i < len(call.Args) {
-			return in.eval(fr, call.Args[i])
+			return in.eval(base, call.Args[i])
 		}
 		return IntVal(0)
 	}
 
-	if name == "print" {
+	switch bi {
+	case resolve.BuiltinPrint:
 		args := make([]Value, len(call.Args))
 		lits := make([]string, len(call.Args))
 		for i, a := range call.Args {
@@ -216,120 +215,115 @@ func (in *interp) evalBuiltin(fr *frame, call *minic.CallExpr) Value {
 				lits[i] = s.Value
 				continue
 			}
-			args[i] = in.eval(fr, a)
+			args[i] = in.eval(base, a)
 		}
 		in.pmu.AddInstructions(1)
 		in.charge(stmtCostNs, 0)
 		in.printf(args, lits)
 		return IntVal(0)
-	}
-
-	if name == "vs_tick" || name == "vs_tock" {
-		id := int(argOf(0).AsInt())
-		if name == "vs_tick" {
-			in.tick(id)
-		} else {
-			in.tock(id)
-		}
+	case resolve.BuiltinVsTick:
+		in.tick(int(argOf(0).AsInt()))
+		return IntVal(0)
+	case resolve.BuiltinVsTock:
+		in.tock(int(argOf(0).AsInt()))
 		return IntVal(0)
 	}
 
-	if sensor >= 0 {
+	if sensor := in.m.sensorOfCall(call.CallID); sensor >= 0 {
 		in.tick(sensor)
 		defer in.tock(sensor)
 	}
 	in.pmu.AddInstructions(1)
 	in.charge(exprCostNs, 0)
 
-	switch name {
-	case "mpi_comm_rank":
+	switch bi {
+	case resolve.BuiltinMPICommRank:
 		return IntVal(int64(in.proc.Rank))
-	case "mpi_comm_size":
+	case resolve.BuiltinMPICommSize:
 		return IntVal(int64(in.proc.World.P))
-	case "mpi_barrier":
-		in.netOp(name, 0, func() { in.proc.Barrier() })
+	case resolve.BuiltinMPIBarrier:
+		in.netOp(call.Name, 0, func() { in.proc.Barrier() })
 		return IntVal(0)
-	case "mpi_send":
+	case resolve.BuiltinMPISend:
 		dst := argOf(0).AsInt()
 		n := argOf(1).AsInt()
 		val := argOf(2).AsFloat()
 		in.checkRank(call, dst)
-		in.netOp(name, n, func() { in.proc.Send(int(dst), n, val) })
+		in.netOp(call.Name, n, func() { in.proc.Send(int(dst), n, val) })
 		return IntVal(0)
-	case "mpi_recv":
+	case resolve.BuiltinMPIRecv:
 		src := argOf(0).AsInt()
 		n := argOf(1).AsInt()
 		in.checkRank(call, src)
 		var v float64
-		in.netOp(name, n, func() { v = in.proc.Recv(int(src), n) })
+		in.netOp(call.Name, n, func() { v = in.proc.Recv(int(src), n) })
 		return FloatVal(v)
-	case "mpi_isend":
+	case resolve.BuiltinMPIISend:
 		dst := argOf(0).AsInt()
 		n := argOf(1).AsInt()
 		val := argOf(2).AsFloat()
 		in.checkRank(call, dst)
 		// Post eagerly; completion is instantaneous for the sender.
-		in.netOp(name, n, func() { in.proc.Send(int(dst), n, val) })
+		in.netOp(call.Name, n, func() { in.proc.Send(int(dst), n, val) })
 		in.nextReq++
-		in.requests[in.nextReq] = pendingReq{peer: int(dst), bytes: n}
+		in.postReq(in.nextReq, pendingReq{peer: int(dst), bytes: n})
 		return IntVal(in.nextReq)
-	case "mpi_irecv":
+	case resolve.BuiltinMPIIRecv:
 		src := argOf(0).AsInt()
 		n := argOf(1).AsInt()
 		in.checkRank(call, src)
 		// Posting a receive costs almost nothing; the transfer is charged
 		// at mpi_wait.
 		in.nextReq++
-		in.requests[in.nextReq] = pendingReq{isRecv: true, peer: int(src), bytes: n}
+		in.postReq(in.nextReq, pendingReq{isRecv: true, peer: int(src), bytes: n})
 		return IntVal(in.nextReq)
-	case "mpi_wait":
+	case resolve.BuiltinMPIWait:
 		id := argOf(0).AsInt()
-		req, ok := in.requests[id]
+		req, ok := in.takeReq(id)
 		if !ok {
 			panic(rtErr(in.proc.Rank, call.Pos(), "mpi_wait: unknown request %d", id))
 		}
-		delete(in.requests, id)
 		if !req.isRecv {
 			return FloatVal(0) // isend already completed at post time
 		}
 		var v float64
-		in.netOp(name, req.bytes, func() { v = in.proc.Recv(req.peer, req.bytes) })
+		in.netOp(call.Name, req.bytes, func() { v = in.proc.Recv(req.peer, req.bytes) })
 		return FloatVal(v)
-	case "mpi_sendrecv":
+	case resolve.BuiltinMPISendRecv:
 		peer := argOf(0).AsInt()
 		n := argOf(1).AsInt()
 		val := argOf(2).AsFloat()
 		in.checkRank(call, peer)
 		var v float64
-		in.netOp(name, n, func() { v = in.proc.SendRecv(int(peer), n, val) })
+		in.netOp(call.Name, n, func() { v = in.proc.SendRecv(int(peer), n, val) })
 		return FloatVal(v)
-	case "mpi_allreduce":
+	case resolve.BuiltinMPIAllreduce:
 		n := argOf(0).AsInt()
 		contrib := argOf(1).AsFloat()
 		var v float64
-		in.netOp(name, n, func() { v = in.proc.Allreduce(n, contrib) })
+		in.netOp(call.Name, n, func() { v = in.proc.Allreduce(n, contrib) })
 		return FloatVal(v)
-	case "mpi_alltoall":
+	case resolve.BuiltinMPIAlltoall:
 		n := argOf(0).AsInt()
-		in.netOp(name, n, func() { in.proc.Alltoall(n) })
+		in.netOp(call.Name, n, func() { in.proc.Alltoall(n) })
 		return IntVal(0)
-	case "mpi_bcast":
+	case resolve.BuiltinMPIBcast:
 		root := argOf(0).AsInt()
 		n := argOf(1).AsInt()
 		val := argOf(2).AsFloat()
 		in.checkRank(call, root)
 		var v float64
-		in.netOp(name, n, func() { v = in.proc.Bcast(int(root), n, val) })
+		in.netOp(call.Name, n, func() { v = in.proc.Bcast(int(root), n, val) })
 		return FloatVal(v)
-	case "mpi_reduce":
+	case resolve.BuiltinMPIReduce:
 		root := argOf(0).AsInt()
 		n := argOf(1).AsInt()
 		contrib := argOf(2).AsFloat()
 		in.checkRank(call, root)
 		var v float64
-		in.netOp(name, n, func() { v = in.proc.Reduce(int(root), n, contrib) })
+		in.netOp(call.Name, n, func() { v = in.proc.Reduce(int(root), n, contrib) })
 		return FloatVal(v)
-	case "io_read", "io_write":
+	case resolve.BuiltinIORead, resolve.BuiltinIOWrite:
 		n := argOf(0).AsInt()
 		in.flush()
 		start := in.proc.Now()
@@ -337,13 +331,13 @@ func (in *interp) evalBuiltin(fr *frame, call *minic.CallExpr) Value {
 		end := in.proc.Now()
 		in.ioNs += end - start
 		if in.events != nil {
-			in.events.OnEvent(Event{Rank: in.proc.Rank, Kind: EvIO, Op: name, Start: start, End: end, Bytes: n})
+			in.events.OnEvent(Event{Rank: in.proc.Rank, Kind: EvIO, Op: call.Name, Start: start, End: end, Bytes: n})
 		}
-		if name == "io_read" {
+		if bi == resolve.BuiltinIORead {
 			return IntVal(n)
 		}
 		return IntVal(0)
-	case "flops":
+	case resolve.BuiltinFlops:
 		n := argOf(0).AsInt()
 		if n < 0 {
 			n = 0
@@ -352,7 +346,7 @@ func (in *interp) evalBuiltin(fr *frame, call *minic.CallExpr) Value {
 		in.pmu.AddFlops(n)
 		in.charge(float64(n)*flopCostNs, 0)
 		return IntVal(0)
-	case "mem":
+	case resolve.BuiltinMem:
 		n := argOf(0).AsInt()
 		if n < 0 {
 			n = 0
@@ -360,27 +354,27 @@ func (in *interp) evalBuiltin(fr *frame, call *minic.CallExpr) Value {
 		in.pmu.AddMemOps(n)
 		in.charge(0, float64(n)*memCostNs)
 		return IntVal(0)
-	case "abs_i":
+	case resolve.BuiltinAbsI:
 		v := argOf(0).AsInt()
 		if v < 0 {
 			v = -v
 		}
 		return IntVal(v)
-	case "min_i":
+	case resolve.BuiltinMinI:
 		a, b := argOf(0).AsInt(), argOf(1).AsInt()
 		if a < b {
 			return IntVal(a)
 		}
 		return IntVal(b)
-	case "max_i":
+	case resolve.BuiltinMaxI:
 		a, b := argOf(0).AsInt(), argOf(1).AsInt()
 		if a > b {
 			return IntVal(a)
 		}
 		return IntVal(b)
-	case "sqrt_f":
+	case resolve.BuiltinSqrtF:
 		return FloatVal(math.Sqrt(argOf(0).AsFloat()))
-	case "rand_i":
+	case resolve.BuiltinRandI:
 		n := argOf(0).AsInt()
 		if n <= 0 {
 			return IntVal(0)
@@ -388,7 +382,29 @@ func (in *interp) evalBuiltin(fr *frame, call *minic.CallExpr) Value {
 		in.rng = in.rng*6364136223846793005 + 1442695040888963407
 		return IntVal(int64(in.rng>>33) % n)
 	}
-	panic(rtErr(in.proc.Rank, call.Pos(), "call to undefined function %q", name))
+	panic(rtErr(in.proc.Rank, call.Pos(), "call to undefined function %q", call.Name))
+}
+
+// postReq records an outstanding nonblocking request in the small-slice
+// table (appends reuse freed capacity, so steady-state posting is
+// allocation-free).
+func (in *interp) postReq(id int64, req pendingReq) {
+	in.requests = append(in.requests, reqEntry{id: id, req: req})
+}
+
+// takeReq removes and returns the request with the given id. Outstanding
+// requests are few, so linear scan + swap-remove beats a map.
+func (in *interp) takeReq(id int64) (pendingReq, bool) {
+	for i := range in.requests {
+		if in.requests[i].id == id {
+			req := in.requests[i].req
+			last := len(in.requests) - 1
+			in.requests[i] = in.requests[last]
+			in.requests = in.requests[:last]
+			return req, true
+		}
+	}
+	return pendingReq{}, false
 }
 
 func (in *interp) checkRank(call *minic.CallExpr, r int64) {

@@ -9,16 +9,36 @@ import (
 	"vsensor/internal/pmu"
 )
 
-// interp executes one rank.
+// interp executes one rank. It runs the slot-resolved program form: locals
+// live in flat frame windows carved out of a single growing value stack,
+// globals in a dense per-rank array, and every identifier access is a
+// direct index computed at compile time (internal/resolve) — no scope maps,
+// no string hashing, no per-block allocation.
 type interp struct {
 	m    *Machine
 	proc *mpisim.Proc
 	cfg  Config
 
-	globals map[string]*Value
-	pmu     *pmu.Counter
-	sink    Sink
-	events  EventSink
+	// globals is the per-rank global array, indexed by GlobalDecl.Slot.
+	// liveGlobals counts how many are initialized so far: during the global
+	// initialization phase a forward reference faults exactly like the
+	// scope-map interpreter's progressively filled table did.
+	globals     []Value
+	liveGlobals int
+
+	// stack backs all function frames; a frame is the window
+	// [base, base+NumSlots). It grows by appending, so *Value pointers into
+	// it are taken fresh after any evaluation that could call a function.
+	stack []Value
+	// argBuf is scratch for evaluating call arguments in the caller's frame
+	// before they are copied into the callee's; stack discipline (marks)
+	// makes nested calls in argument position safe, and the buffer is
+	// reused so steady-state calls allocate nothing.
+	argBuf []Value
+
+	pmu    *pmu.Counter
+	sink   Sink
+	events EventSink
 
 	// pending nominal costs not yet charged to the virtual clock.
 	pendingCPU float64
@@ -32,16 +52,23 @@ type interp struct {
 	// probeNs accumulates the virtual cost charged for probes, flushed to
 	// vm_probe_ns_total once per rank (probe-overhead accounting).
 	probeNs float64
-	// per-sensor execution counters, for the miss-rate model.
-	execIdx map[int]int64
-	records int
+	// execIdx holds the per-sensor execution counters for the miss-rate
+	// model, dense by sensor ID (sensor IDs are small contiguous ints from
+	// instrument; it grows on demand for raw vs_tick/vs_tock source).
+	// execIdxNeg backs the pathological negative-ID probes reachable only
+	// from hand-written vs_tick calls; allocated lazily.
+	execIdx    []int64
+	execIdxNeg map[int]int64
+	records    int
 
 	steps int64
 	rng   uint64
 
-	// Nonblocking point-to-point request table.
+	// Nonblocking point-to-point request table: outstanding requests are
+	// few, so a small slice with linear search beats a map — posting and
+	// completing a request allocates nothing once capacity is warm.
 	nextReq  int64
-	requests map[int64]pendingReq
+	requests []reqEntry
 }
 
 // pendingReq is an outstanding mpi_isend/mpi_irecv awaiting mpi_wait.
@@ -51,29 +78,16 @@ type pendingReq struct {
 	bytes  int64
 }
 
+// reqEntry is one outstanding request in the small-slice table.
+type reqEntry struct {
+	id  int64
+	req pendingReq
+}
+
 type probeFrame struct {
 	sensor  int
 	start   int64
 	instrAt int64
-}
-
-// frame is one function activation; scopes is a stack of name->value maps.
-type frame struct {
-	scopes []map[string]*Value
-}
-
-func (f *frame) push() { f.scopes = append(f.scopes, make(map[string]*Value, 8)) }
-func (f *frame) pop()  { f.scopes = f.scopes[:len(f.scopes)-1] }
-func (f *frame) declare(name string, v Value) {
-	f.scopes[len(f.scopes)-1][name] = &v
-}
-func (f *frame) lookup(name string) *Value {
-	for i := len(f.scopes) - 1; i >= 0; i-- {
-		if v, ok := f.scopes[i][name]; ok {
-			return v
-		}
-	}
-	return nil
 }
 
 // ctrl signals non-linear control flow during statement execution.
@@ -88,14 +102,12 @@ const (
 
 func newInterp(m *Machine, proc *mpisim.Proc, cfg Config) *interp {
 	in := &interp{
-		m:        m,
-		proc:     proc,
-		cfg:      cfg,
-		globals:  make(map[string]*Value),
-		pmu:      m.newPMU(proc.Rank),
-		execIdx:  make(map[int]int64),
-		requests: make(map[int64]pendingReq),
-		rng:      uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(proc.Rank) + 0x632be59bd9b4e019,
+		m:       m,
+		proc:    proc,
+		cfg:     cfg,
+		pmu:     m.newPMU(proc.Rank),
+		execIdx: make([]int64, m.numSensors),
+		rng:     uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(proc.Rank) + 0x632be59bd9b4e019,
 	}
 	if cfg.SinkFactory != nil {
 		in.sink = cfg.SinkFactory(proc.Rank)
@@ -117,24 +129,25 @@ func (in *interp) runMain() (err error) {
 			panic(r)
 		}
 	}()
-	fr := &frame{}
-	fr.push()
-	for _, g := range in.m.prog.AST.Globals {
+	ast := in.m.prog.AST
+	in.globals = make([]Value, len(ast.Globals))
+	for i, g := range ast.Globals {
+		in.liveGlobals = i
 		arrLen := 0
 		if g.Len != nil {
-			arrLen = int(in.eval(fr, g.Len).AsInt())
+			arrLen = int(in.eval(0, g.Len).AsInt())
 			if arrLen < 0 {
 				panic(rtErr(in.proc.Rank, g.Pos(), "negative array length %d for global %s", arrLen, g.Name))
 			}
 		}
 		v := zeroValue(g.Type, arrLen)
 		if g.Init != nil {
-			v = coerce(in.eval(fr, g.Init), g.Type)
+			v = coerce(in.eval(0, g.Init), g.Type)
 		}
-		gv := v
-		in.globals[g.Name] = &gv
+		in.globals[i] = v
 	}
-	in.call(in.m.prog.AST.Func("main"), nil, minic.Pos{Line: 1, Col: 1})
+	in.liveGlobals = len(ast.Globals)
+	in.callFn(in.m.mainFn, nil, minic.Pos{Line: 1, Col: 1})
 	return nil
 }
 
@@ -161,10 +174,12 @@ func (in *interp) flush() {
 	in.pendingCPU, in.pendingMem = 0, 0
 }
 
-func (in *interp) step(pos minic.Pos) {
+// step charges one statement; s.Pos() is only consulted on the (cold)
+// step-limit fault, keeping the dynamic Pos dispatch off the hot path.
+func (in *interp) step(s minic.Stmt) {
 	in.steps++
 	if in.steps > in.cfg.MaxSteps {
-		panic(rtErr(in.proc.Rank, pos, "step limit exceeded (%d): possible runaway loop", in.cfg.MaxSteps))
+		panic(rtErr(in.proc.Rank, s.Pos(), "step limit exceeded (%d): possible runaway loop", in.cfg.MaxSteps))
 	}
 	in.pmu.AddInstructions(1)
 	in.charge(stmtCostNs, 0)
@@ -201,8 +216,7 @@ func (in *interp) tock(sensor int) {
 		in.flush()
 		in.probeNs += in.cfg.ProbeCostNs
 	}
-	idx := in.execIdx[sensor]
-	in.execIdx[sensor] = idx + 1
+	idx := in.bumpExecIdx(sensor)
 	var miss float64
 	if in.cfg.MissRate != nil {
 		miss = in.cfg.MissRate(in.proc.Rank, sensor, idx)
@@ -222,6 +236,28 @@ func (in *interp) tock(sensor int) {
 	}
 }
 
+// bumpExecIdx post-increments the sensor's execution counter. Instrumented
+// runs hit the pre-sized dense slice; raw vs_tick source with larger IDs
+// grows it on demand, and negative IDs fall back to a lazy map.
+func (in *interp) bumpExecIdx(sensor int) int64 {
+	if sensor < 0 {
+		if in.execIdxNeg == nil {
+			in.execIdxNeg = make(map[int]int64)
+		}
+		idx := in.execIdxNeg[sensor]
+		in.execIdxNeg[sensor] = idx + 1
+		return idx
+	}
+	if sensor >= len(in.execIdx) {
+		grown := make([]int64, sensor+1)
+		copy(grown, in.execIdx)
+		in.execIdx = grown
+	}
+	idx := in.execIdx[sensor]
+	in.execIdx[sensor] = idx + 1
+	return idx
+}
+
 // jitterInstr applies the PMU measurement error to a span count.
 func (in *interp) jitterInstr(v int64) int64 {
 	if in.cfg.PMUJitterPct == 0 || v == 0 {
@@ -238,51 +274,51 @@ func (in *interp) jitterInstr(v int64) int64 {
 
 // ---------- statements ----------
 
-func (in *interp) execBlock(fr *frame, b *minic.BlockStmt, ret *Value) ctrl {
-	fr.push()
-	defer fr.pop()
+// execBlock runs a block's statements. Scope entry/exit is free: slot
+// layout was fixed at resolve time, so blocks need no runtime bookkeeping.
+func (in *interp) execBlock(base int, b *minic.BlockStmt, ret *Value) ctrl {
 	for _, s := range b.Stmts {
-		if c := in.execStmt(fr, s, ret); c != ctrlNone {
+		if c := in.execStmt(base, s, ret); c != ctrlNone {
 			return c
 		}
 	}
 	return ctrlNone
 }
 
-func (in *interp) execStmt(fr *frame, s minic.Stmt, ret *Value) ctrl {
-	in.step(s.Pos())
+func (in *interp) execStmt(base int, s minic.Stmt, ret *Value) ctrl {
+	in.step(s)
 	switch st := s.(type) {
 	case *minic.BlockStmt:
-		return in.execBlock(fr, st, ret)
+		return in.execBlock(base, st, ret)
 	case *minic.VarDecl:
 		arrLen := 0
 		if st.Len != nil {
-			arrLen = int(in.eval(fr, st.Len).AsInt())
+			arrLen = int(in.eval(base, st.Len).AsInt())
 			if arrLen < 0 {
 				panic(rtErr(in.proc.Rank, st.Pos(), "negative array length %d for %s", arrLen, st.Name))
 			}
 		}
 		v := zeroValue(st.Type, arrLen)
 		if st.Init != nil {
-			v = coerce(in.eval(fr, st.Init), st.Type)
+			v = coerce(in.eval(base, st.Init), st.Type)
 		}
-		fr.declare(st.Name, v)
+		in.stack[base+int(st.Slot)] = v
 	case *minic.AssignStmt:
-		in.assign(fr, st)
+		in.assign(base, st)
 	case *minic.IfStmt:
-		if truthy(in.eval(fr, st.Cond)) {
-			return in.execBlock(fr, st.Then, ret)
+		if truthy(in.eval(base, st.Cond)) {
+			return in.execBlock(base, st.Then, ret)
 		}
 		if st.Else != nil {
-			return in.execStmt(fr, st.Else, ret)
+			return in.execStmt(base, st.Else, ret)
 		}
 	case *minic.ForStmt:
-		return in.execFor(fr, st, ret)
+		return in.execFor(base, st, ret)
 	case *minic.WhileStmt:
-		return in.execWhile(fr, st, ret)
+		return in.execWhile(base, st, ret)
 	case *minic.ReturnStmt:
 		if st.Value != nil && ret != nil {
-			*ret = in.eval(fr, st.Value)
+			*ret = in.eval(base, st.Value)
 		}
 		return ctrlReturn
 	case *minic.BreakStmt:
@@ -290,31 +326,29 @@ func (in *interp) execStmt(fr *frame, s minic.Stmt, ret *Value) ctrl {
 	case *minic.ContinueStmt:
 		return ctrlContinue
 	case *minic.ExprStmt:
-		in.eval(fr, st.X)
+		in.eval(base, st.X)
 	}
 	return ctrlNone
 }
 
-func (in *interp) execFor(fr *frame, st *minic.ForStmt, ret *Value) ctrl {
-	sensor := in.loopSensor(st.LoopID)
+func (in *interp) execFor(base int, st *minic.ForStmt, ret *Value) ctrl {
+	sensor := in.m.sensorOfLoop(st.LoopID)
 	if sensor >= 0 {
 		in.tick(sensor)
 		defer in.tock(sensor)
 	}
-	fr.push() // scope for the init declaration
-	defer fr.pop()
 	if st.Init != nil {
-		in.execStmt(fr, st.Init, ret)
+		in.execStmt(base, st.Init, ret)
 	}
 	for {
 		if st.Cond != nil {
 			in.pmu.AddInstructions(1)
 			in.charge(exprCostNs, 0)
-			if !truthy(in.eval(fr, st.Cond)) {
+			if !truthy(in.eval(base, st.Cond)) {
 				break
 			}
 		}
-		c := in.execBlock(fr, st.Body, ret)
+		c := in.execBlock(base, st.Body, ret)
 		if c == ctrlBreak {
 			break
 		}
@@ -322,14 +356,14 @@ func (in *interp) execFor(fr *frame, st *minic.ForStmt, ret *Value) ctrl {
 			return ctrlReturn
 		}
 		if st.Post != nil {
-			in.execStmt(fr, st.Post, ret)
+			in.execStmt(base, st.Post, ret)
 		}
 	}
 	return ctrlNone
 }
 
-func (in *interp) execWhile(fr *frame, st *minic.WhileStmt, ret *Value) ctrl {
-	sensor := in.loopSensor(st.LoopID)
+func (in *interp) execWhile(base int, st *minic.WhileStmt, ret *Value) ctrl {
+	sensor := in.m.sensorOfLoop(st.LoopID)
 	if sensor >= 0 {
 		in.tick(sensor)
 		defer in.tock(sensor)
@@ -337,10 +371,10 @@ func (in *interp) execWhile(fr *frame, st *minic.WhileStmt, ret *Value) ctrl {
 	for {
 		in.pmu.AddInstructions(1)
 		in.charge(exprCostNs, 0)
-		if !truthy(in.eval(fr, st.Cond)) {
+		if !truthy(in.eval(base, st.Cond)) {
 			return ctrlNone
 		}
-		c := in.execBlock(fr, st.Body, ret)
+		c := in.execBlock(base, st.Body, ret)
 		if c == ctrlBreak {
 			return ctrlNone
 		}
@@ -350,26 +384,15 @@ func (in *interp) execWhile(fr *frame, st *minic.WhileStmt, ret *Value) ctrl {
 	}
 }
 
-// loopSensor returns the sensor ID instrumenting a loop, or -1.
-func (in *interp) loopSensor(loopID int) int {
-	if in.m.ins == nil {
-		return -1
-	}
-	if s, ok := in.m.ins.LoopSensor[loopID]; ok {
-		return s.ID
-	}
-	return -1
-}
-
-func (in *interp) assign(fr *frame, st *minic.AssignStmt) {
-	val := in.eval(fr, st.Value)
+func (in *interp) assign(base int, st *minic.AssignStmt) {
+	val := in.eval(base, st.Value)
 	switch tgt := st.Target.(type) {
 	case *minic.Ident:
-		slot := in.lvalue(fr, tgt)
+		slot := in.slotOf(base, tgt)
 		*slot = coerceLike(val, *slot)
 	case *minic.IndexExpr:
-		arr := in.lvalue(fr, tgt.Array)
-		idx := in.eval(fr, tgt.Index).AsInt()
+		arr := in.slotOf(base, tgt.Array)
+		idx := in.eval(base, tgt.Index).AsInt()
 		in.pmu.AddMemOps(1)
 		in.charge(0, memCostNs)
 		switch arr.Kind {
@@ -391,32 +414,48 @@ func (in *interp) boundCheck(e minic.Expr, idx int64, n int) {
 	}
 }
 
-// lvalue resolves a name to its storage slot (local shadows global).
-func (in *interp) lvalue(fr *frame, id *minic.Ident) *Value {
-	if v := fr.lookup(id.Name); v != nil {
-		return v
-	}
-	if v, ok := in.globals[id.Name]; ok {
-		return v
+// slotOf returns the storage slot of a resolved identifier: a direct frame
+// or global index. Unresolved names fault here, preserving the lazy
+// undefined-variable semantics of the scope-map interpreter.
+func (in *interp) slotOf(base int, id *minic.Ident) *Value {
+	switch id.Scope {
+	case minic.ScopeLocal:
+		return &in.stack[base+int(id.Slot)]
+	case minic.ScopeGlobal:
+		if int(id.Slot) < in.liveGlobals {
+			return &in.globals[id.Slot]
+		}
 	}
 	panic(rtErr(in.proc.Rank, id.Pos(), "undefined variable %q", id.Name))
 }
 
-// call executes a user-defined function.
-func (in *interp) call(fn *minic.FuncDecl, args []Value, pos minic.Pos) Value {
+// callFn executes a user-defined function over a frame window pushed onto
+// the value stack. args may alias in.argBuf; they are copied (with
+// coercion) into the frame before evaluation continues.
+func (in *interp) callFn(fn *minic.FuncDecl, args []Value, pos minic.Pos) Value {
 	if len(args) != len(fn.Params) {
 		panic(rtErr(in.proc.Rank, pos, "%s expects %d args, got %d", fn.Name, len(fn.Params), len(args)))
 	}
-	fr := &frame{}
-	fr.push()
+	nb := len(in.stack)
+	top := nb + int(fn.NumSlots)
+	if top <= cap(in.stack) {
+		in.stack = in.stack[:top]
+	} else {
+		in.stack = append(in.stack, make([]Value, top-nb)...)
+	}
 	for i, p := range fn.Params {
-		fr.declare(p.Name, coerce(args[i], p.Type))
+		in.stack[nb+i] = coerce(args[i], p.Type)
 	}
 	var ret Value
 	if fn.Ret == minic.TypeFloat {
 		ret = FloatVal(0)
 	}
-	in.execBlock(fr, fn.Body, &ret)
+	in.execBlock(nb, fn.Body, &ret)
+	// Clear the frame before popping so array values don't outlive the
+	// activation in the reused stack memory. Slots are never read before
+	// their declaration re-executes, so this is purely for the GC.
+	clear(in.stack[nb:])
+	in.stack = in.stack[:nb]
 	return coerce(ret, fn.Ret)
 }
 

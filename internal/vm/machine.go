@@ -8,9 +8,11 @@ import (
 	"vsensor/internal/cluster"
 	"vsensor/internal/instrument"
 	"vsensor/internal/ir"
+	"vsensor/internal/minic"
 	"vsensor/internal/mpisim"
 	"vsensor/internal/obs"
 	"vsensor/internal/pmu"
+	"vsensor/internal/resolve"
 )
 
 // Record is one sensor measurement: the virtual wall-time of one execution
@@ -139,17 +141,81 @@ type Machine struct {
 	prog *ir.Program
 	ins  *instrument.Instrumented // nil when running uninstrumented
 	cfg  Config
+
+	// Per-program dispatch tables, computed once at construction so the
+	// per-rank interpreters share them read-only:
+	mainFn     *minic.FuncDecl
+	loopSensor []int32 // sensor ID by LoopID, -1 = uninstrumented
+	callSensor []int32 // sensor ID by CallID, -1 = uninstrumented
+	numSensors int
 }
 
 // New creates a machine for an uninstrumented program.
 func New(prog *ir.Program, cfg Config) *Machine {
-	return &Machine{prog: prog, cfg: cfg}
+	return newMachine(prog, nil, cfg)
 }
 
 // NewInstrumented creates a machine that fires Tick/Tock around the
 // instrumented sensors.
 func NewInstrumented(ins *instrument.Instrumented, cfg Config) *Machine {
-	return &Machine{prog: ins.Prog, ins: ins, cfg: cfg}
+	return newMachine(ins.Prog, ins, cfg)
+}
+
+func newMachine(prog *ir.Program, ins *instrument.Instrumented, cfg Config) *Machine {
+	// ir.Build resolves slots; ASTs constructed some other way get the pass
+	// here so the interpreter can assume a resolved program.
+	if !prog.AST.Resolved {
+		resolve.Resolve(prog.AST)
+	}
+	m := &Machine{
+		prog:       prog,
+		ins:        ins,
+		cfg:        cfg,
+		mainFn:     prog.AST.Func("main"),
+		loopSensor: denseSensors(len(prog.Loops), nil),
+		callSensor: denseSensors(len(prog.Calls), nil),
+	}
+	if ins != nil {
+		m.numSensors = len(ins.Sensors)
+		m.loopSensor = denseSensors(len(prog.Loops), ins.LoopSensor)
+		m.callSensor = denseSensors(len(prog.Calls), ins.CallSensor)
+	}
+	return m
+}
+
+// denseSensors flattens an instrumentation site->sensor map into an
+// ID-indexed table (-1 = no sensor), the form the interpreter's loop and
+// call paths index without hashing.
+func denseSensors(n int, m map[int]*instrument.Sensor) []int32 {
+	t := make([]int32, n)
+	for i := range t {
+		t[i] = -1
+	}
+	for id, s := range m {
+		if id >= 0 && id < n {
+			t[id] = int32(s.ID)
+		}
+	}
+	return t
+}
+
+// sensorOfLoop returns the sensor ID instrumenting a loop, or -1.
+func (m *Machine) sensorOfLoop(loopID int) int {
+	if loopID < 0 || loopID >= len(m.loopSensor) {
+		return -1
+	}
+	return int(m.loopSensor[loopID])
+}
+
+// sensorOfCall returns the sensor ID instrumenting a call site, or -1.
+// Call expressions outside any function body (global initializers) carry
+// the zero CallID; they are never instrumented, and the bounds check keeps
+// them (and unindexed programs) off the table.
+func (m *Machine) sensorOfCall(callID int) int {
+	if m.ins == nil || callID < 0 || callID >= len(m.callSensor) {
+		return -1
+	}
+	return int(m.callSensor[callID])
 }
 
 // Run executes main() on every rank and returns aggregate results.

@@ -1,0 +1,165 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"vsensor/internal/ir"
+	"vsensor/internal/minic"
+)
+
+// These goldens were captured on the scope-map interpreter the slot engine
+// replaced; total virtual time, retired instructions, and printed output
+// must all be bit-identical. Together the programs pin the scoping rules
+// the resolver must reproduce: block shadowing, same-scope redeclaration,
+// for-init scopes with continue/break, parameter shadowing of globals,
+// global-initializer ordering, read-before-declare binding to the outer
+// scope, recursion depth, and per-iteration redeclaration in while bodies.
+var semanticsGoldens = []struct {
+	name  string
+	src   string
+	total int64 // virtual ns of the whole run
+	instr int64 // exact instructions retired on rank 0
+	out   []string
+}{
+	{
+		name: "shadowing",
+		src: `
+global int G = 10;
+func main() {
+    int x = 1;
+    {
+        int x = 2;
+        {
+            int x = x + G;
+            print("inner", x);
+        }
+        print("mid", x);
+    }
+    print("outer", x);
+    int x = 99;
+    print("redecl", x);
+}`,
+		total: 29,
+		instr: 15,
+		out:   []string{"inner 12", "mid 2", "outer 1", "redecl 99"},
+	},
+	{
+		name: "forinit",
+		src: `
+func main() {
+    int s = 0;
+    for (int i = 0; i < 5; i++) {
+        int d = i * 2;
+        if (d == 4) { continue; }
+        if (d > 6) { break; }
+        s += d;
+    }
+    for (int i = 10; i < 12; i++) {
+        s += i;
+    }
+    print("s", s);
+}`,
+		total: 101,
+		instr: 75,
+		out:   []string{"s 29"},
+	},
+	{
+		name: "globals-locals",
+		src: `
+global int A = 3;
+global int B = A + 4;
+global float F[3];
+func touch(int A) int {
+    B = B + A;
+    return A * 2;
+}
+func main() {
+    F[1] = 2.5;
+    int B = 100;
+    print("t", touch(5), "B", B, "gB", A + F[1]);
+}`,
+		total: 21,
+		instr: 11,
+		out:   []string{"t 10 B 100 gB 5.5"},
+	},
+	{
+		name: "recursion",
+		src: `
+func fib(int n) int {
+    if (n <= 1) { return n; }
+    int a = fib(n - 1);
+    int b = fib(n - 2);
+    return a + b;
+}
+func main() { print("fib12", fib(12)); }`,
+		total: 4651,
+		instr: 3022,
+		out:   []string{"fib12 144"},
+	},
+	{
+		name: "readbeforedecl",
+		src: `
+global int V = 7;
+func main() {
+    for (int i = 0; i < 3; i++) {
+        print("pre", V);
+        int V = i;
+        print("post", V);
+    }
+    print("end", V);
+}`,
+		total: 53,
+		instr: 33,
+		out:   []string{"pre 7", "post 0", "pre 7", "post 1", "pre 7", "post 2", "end 7"},
+	},
+	{
+		name: "whiledecl",
+		src: `
+func main() {
+    int n = 3;
+    int acc = 0;
+    while (n > 0) {
+        int sq = n * n;
+        acc += sq;
+        n--;
+    }
+    print("acc", acc, "n", n);
+}`,
+		total: 42,
+		instr: 31,
+		out:   []string{"acc 14 n 0"},
+	},
+}
+
+// TestScopingSemanticsGoldens runs each program on a single rank and
+// asserts output, final virtual clock, and instruction count all match the
+// pre-slot-engine interpreter exactly.
+func TestScopingSemanticsGoldens(t *testing.T) {
+	for _, tc := range semanticsGoldens {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := ir.Build(minic.MustParse(tc.src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			res := New(prog, Config{Ranks: 1, Stdout: &buf}).Run()
+			if err := res.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalNs != tc.total {
+				t.Errorf("TotalNs = %d, want %d (virtual time drifted)", res.TotalNs, tc.total)
+			}
+			if got := res.Ranks[0].Instr; got != tc.instr {
+				t.Errorf("Instr = %d, want %d", got, tc.instr)
+			}
+			want := ""
+			for _, line := range tc.out {
+				want += "[rank 0] " + line + "\n"
+			}
+			if got := buf.String(); got != want {
+				t.Errorf("output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

@@ -1,13 +1,16 @@
 #!/bin/sh
-# Full repository check: build, vet, race-enabled tests, then the
-# observability hot-path benchmarks. Benchmark results are written to
-# BENCH_obs.json so successive PRs can diff overhead numbers.
+# Full repository check: build, vet, race-enabled tests, a race-enabled
+# benchmark smoke (one iteration through the interpreter hot loop), then
+# the observability and VM hot-path benchmarks. Benchmark results are
+# written to BENCH_obs.json and BENCH_vm.json so successive PRs can diff
+# overhead and interpreter-speed numbers.
 #
-# Usage: scripts/check.sh [output.json]
+# Usage: scripts/check.sh [obs-output.json] [vm-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_obs.json}"
+obs_out="${1:-BENCH_obs.json}"
+vm_out="${2:-BENCH_vm.json}"
 
 echo "== go build ./..."
 go build ./...
@@ -18,23 +21,34 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== obs hot-path benchmarks"
-bench_txt="$(mktemp)"
-trap 'rm -f "$bench_txt"' EXIT
-go test -run '^$' -bench 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkSpanStartEnd$' \
-    -benchmem -benchtime 2s ./internal/obs | tee "$bench_txt"
+echo "== race-enabled benchmark smoke"
+go test -race -run '^$' -bench 'BenchmarkInterpHotLoop$' -benchtime 1x ./internal/vm
 
-# Render "BenchmarkX-N  iters  ns/op  B/op  allocs/op" lines as JSON.
-awk '
-BEGIN { print "{"; first = 1 }
-/^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    if (!first) printf ",\n"
-    first = 0
-    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+# bench_json PATTERN PKG OUT runs the benchmarks and renders each
+# "BenchmarkX-N  iters  ns/op  B/op  allocs/op" line as a JSON entry.
+bench_json() {
+    pattern="$1"; pkg="$2"; out="$3"
+    bench_txt="$(mktemp)"
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime 2s "$pkg" | tee "$bench_txt"
+    awk '
+    BEGIN { print "{"; first = 1 }
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (!first) printf ",\n"
+        first = 0
+        printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+    }
+    END { print "\n}" }
+    ' "$bench_txt" > "$out"
+    rm -f "$bench_txt"
+    echo "== wrote $out"
+    cat "$out"
 }
-END { print "\n}" }
-' "$bench_txt" > "$out"
 
-echo "== wrote $out"
-cat "$out"
+echo "== obs hot-path benchmarks"
+bench_json 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkSpanStartEnd$' \
+    ./internal/obs "$obs_out"
+
+echo "== vm execution-engine benchmarks"
+bench_json 'BenchmarkVarAccess$|BenchmarkInterpHotLoop$|BenchmarkRankRunE2E$' \
+    ./internal/vm "$vm_out"

@@ -122,6 +122,9 @@ type Report struct {
 }
 
 // Compile parses, resolves, and semantically checks a mini-C program.
+// Building the IR also runs the slot-resolution pass (internal/resolve),
+// so the returned program's AST carries the frame/global addressing the
+// VM's flat-frame interpreter executes over.
 func Compile(src string) (*ir.Program, error) {
 	ast, err := minic.Parse(src)
 	if err != nil {
