@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench-obs bench-vm check clean
+.PHONY: build test race vet fuzz chaos bench-obs bench-vm bench-transport check clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +14,20 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Coverage-guided fuzz smoke over every fuzz target (wire codec, server
+# ingest, mini-C parser and lexer), FUZZTIME each. `go test -fuzz` takes one
+# target per invocation, so they run sequentially.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzBatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz 'FuzzCheckBatch$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/minic
+	$(GO) test -run '^$$' -fuzz 'FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/minic
+
+# The transport chaos test (drops+dups+reorder+corruption+crash-restart,
+# concurrent ranks) under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaosExactlyOnce$$' -count 1 ./internal/transport
 
 # Observability hot-path benchmarks; writes BENCH_obs.json for regression
 # tracking across PRs.
@@ -27,10 +42,16 @@ bench-vm:
 	$(GO) test -run '^$$' -bench 'BenchmarkVarAccess$$|BenchmarkInterpHotLoop$$|BenchmarkRankRunE2E$$' \
 	    -benchmem -benchtime 2s ./internal/vm
 
-# The full gate: build + vet + race tests + race bench smoke + obs/vm
-# benchmarks (writes BENCH_obs.json and BENCH_vm.json).
+# Record-transport benchmarks (frame codec, fault-free and faulty flush
+# paths); scripts/check.sh writes the same set to BENCH_transport.json.
+bench-transport:
+	$(GO) test -run '^$$' -bench 'BenchmarkFrameRoundTrip$$|BenchmarkConnFlush$$|BenchmarkConnFlushFaulty$$' \
+	    -benchmem -benchtime 2s ./internal/transport
+
+# The full gate: build + vet + race tests + race chaos + fuzz smoke + bench
+# suites (writes BENCH_obs.json, BENCH_vm.json, BENCH_transport.json).
 check:
 	scripts/check.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_vm.json vsensor.test
+	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json vsensor.test

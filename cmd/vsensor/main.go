@@ -22,6 +22,7 @@ import (
 	"vsensor/internal/ir"
 	"vsensor/internal/obs"
 	"vsensor/internal/rundata"
+	"vsensor/internal/transport"
 	"vsensor/internal/validate"
 	"vsensor/internal/vis"
 	"vsensor/internal/vm"
@@ -59,7 +60,44 @@ var (
 	quiet     = flag.Bool("q", false, "suppress program print() output")
 	httpAddr  = flag.String("http", "", "serve the live introspection endpoint on this address (/metrics, /status, /records)")
 	traceJSON = flag.String("trace-json", "", "write pipeline spans as Chrome trace_event JSON to this file")
+
+	faults = flag.String("faults", "", "inject record-transport faults, e.g. "+
+		"drop=0.2,dup=0.05,reorder=0.1,corrupt=0.02,delay=20us,seed=7,crashafter=100,crashdown=20")
+	retryMax     = flag.Int("retry-max", 0, "transport delivery retries per batch before it parks in the retransmit buffer (0 = default 8)")
+	retryTimeout = flag.Duration("retry-timeout", 0, "virtual ack timeout charged per failed transport attempt (0 = default 50µs)")
+	retryBackoff = flag.Duration("retry-backoff", 0, "initial transport retry backoff, doubling per retry (0 = default 20µs)")
+	bufferCap    = flag.Int("buffer-cap", 0, "transport retransmit-buffer cap per rank; oldest frame dropped beyond it (0 = default 64)")
 )
+
+// applyTransport maps the -faults / retry knobs onto the run options.
+func applyTransport(opts *vsensor.Options) {
+	if *faults != "" {
+		plan, err := transport.ParsePlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = &plan
+	}
+	if *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0 {
+		opts.Transport = &transport.Config{
+			MaxRetries:    *retryMax,
+			TimeoutNs:     retryTimeout.Nanoseconds(),
+			BackoffBaseNs: retryBackoff.Nanoseconds(),
+			BufferCap:     *bufferCap,
+		}
+	}
+}
+
+// printCoverage reports delivery coverage after a transport-routed run.
+func printCoverage(rep *vsensor.Report) {
+	if rep.Link == nil {
+		return
+	}
+	cov := rep.Coverage()
+	fmt.Printf("transport: plan [%s], coverage %.1f%% (%d/%d records, %d dup frames, %d checksum rejects)\n",
+		rep.Link.Plan(), cov.Fraction()*100, cov.IngestedRecords, cov.ExpectedRecords,
+		cov.DupFrames, cov.ChecksumErrors)
+}
 
 // setupObs builds the observability bundle when -http or -trace-json is
 // set, starting the HTTP endpoint immediately so it is pollable while the
@@ -199,11 +237,14 @@ func doScenario(name string) {
 		return
 	}
 	o, finishObs := setupObs()
-	rep, baseline, err := vsensor.RunScenario(name, vsensor.Options{Obs: o})
+	opts := vsensor.Options{Obs: o}
+	applyTransport(&opts)
+	rep, baseline, err := vsensor.RunScenario(name, opts)
 	if err != nil {
 		fatal(err)
 	}
 	defer finishObs()
+	printCoverage(rep)
 	if baseline != nil {
 		fmt.Printf("baseline: %.3f ms, injected: %.3f ms (%.2fx)\n",
 			baseline.TotalSeconds()*1e3, rep.TotalSeconds()*1e3,
@@ -288,6 +329,7 @@ func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
 	o, finishObs := setupObs()
 	defer finishObs()
 	opts.Obs = o
+	applyTransport(&opts)
 
 	// Variance injection needs the expected run length: do a quick clean
 	// run first when a relative window was requested.
@@ -323,6 +365,7 @@ func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
 	fmt.Printf("execution time: %.3f ms over %d ranks\n", rep.TotalSeconds()*1e3, *ranks)
 	fmt.Printf("sensors: %s, server data: %d bytes in %d messages\n",
 		rep.Instrumented.TypeSummary(), rep.DataVolume(), rep.Server.Messages())
+	printCoverage(rep)
 	events := rep.Events()
 	fmt.Printf("per-process variance events: %d\n", len(events))
 	fmt.Print(rep.ReportText(*col, rpn))

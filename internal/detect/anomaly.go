@@ -88,10 +88,11 @@ func NewAnomalyDetector(cfg AnomalyConfig) *AnomalyDetector {
 	}
 }
 
-// OnSlice classifies one smoothed record.
-func (a *AnomalyDetector) OnSlice(r SliceRecord) {
+// OnSlice classifies one smoothed record. It never fails; the error return
+// satisfies the Emitter contract.
+func (a *AnomalyDetector) OnSlice(r SliceRecord) error {
 	if r.AvgNs <= 0 {
-		return
+		return nil
 	}
 	k := groupKey{sensor: r.Sensor, group: r.Group}
 
@@ -108,7 +109,7 @@ func (a *AnomalyDetector) OnSlice(r SliceRecord) {
 					Kind: WorkloadAnomaly, Sensor: r.Sensor, Group: r.Group,
 					SliceNs: r.SliceNs, InstrRatio: ratio,
 				})
-				return
+				return nil
 			}
 		}
 	}
@@ -125,6 +126,7 @@ func (a *AnomalyDetector) OnSlice(r SliceRecord) {
 			SliceNs: r.SliceNs, Perf: perf, InstrRatio: 1,
 		})
 	}
+	return nil
 }
 
 // Anomalies returns the classified deviations in arrival order.

@@ -70,11 +70,12 @@ func NewComponentTracker(sensors []Sensor, subSliceNs int64, threshold float64) 
 }
 
 // OnSlice merges one smoothed sensor record into its component stream.
-// It can be chained after a Detector by a fan-out Emitter.
-func (t *ComponentTracker) OnSlice(r SliceRecord) {
+// It can be chained after a Detector by a fan-out Emitter. It never fails;
+// the error return satisfies the Emitter contract.
+func (t *ComponentTracker) OnSlice(r SliceRecord) error {
 	s := t.sensors[r.Sensor]
 	if s == nil || r.AvgNs <= 0 {
-		return
+		return nil
 	}
 	if b, ok := t.best[r.Sensor]; !ok || r.AvgNs < b {
 		t.best[r.Sensor] = r.AvgNs
@@ -88,6 +89,7 @@ func (t *ComponentTracker) OnSlice(r SliceRecord) {
 	}
 	a.sum += perf
 	a.n++
+	return nil
 }
 
 // Finish evaluates all merged sub-slices and returns the component events,
@@ -120,9 +122,14 @@ func (t *ComponentTracker) Finish() []ComponentEvent {
 // server client plus a ComponentTracker).
 type Fanout []Emitter
 
-// OnSlice forwards to every emitter.
-func (f Fanout) OnSlice(r SliceRecord) {
+// OnSlice forwards to every emitter. Every emitter sees the record even
+// when an earlier one fails; the first error is returned.
+func (f Fanout) OnSlice(r SliceRecord) error {
+	var first error
 	for _, e := range f {
-		e.OnSlice(r)
+		if err := e.OnSlice(r); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }

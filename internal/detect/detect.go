@@ -89,9 +89,12 @@ type SliceRecord struct {
 }
 
 // Emitter consumes completed slice records (e.g. the analysis-server
-// client). Calls arrive on the rank's own goroutine.
+// client). Calls arrive on the rank's own goroutine. A non-nil error means
+// the record could not be delivered; the detector counts it
+// (detect_emit_errors_total) and keeps analyzing — delivery failures must
+// degrade coverage, not crash the rank.
 type Emitter interface {
-	OnSlice(SliceRecord)
+	OnSlice(SliceRecord) error
 }
 
 // VarianceEvent is a locally detected performance variance: a slice whose
@@ -123,13 +126,17 @@ type Detector struct {
 	analyses int64 // number of slice analyses triggered (overhead metric)
 	dropped  int64 // records skipped due to disabled sensors
 
+	emitErrs    int64 // slice records the emitter failed to deliver
+	lastEmitErr error
+
 	// Per-rank counter handles (nil-safe no-ops when Config.Obs is nil).
 	// The slices/records counters carry a rank label so concurrent ranks
 	// increment distinct atomics instead of contending on one cache line.
-	obsRecords *obs.Counter
-	obsSlices  *obs.Counter
-	obsEvents  *obs.Counter
-	obsDropped *obs.Counter
+	obsRecords  *obs.Counter
+	obsSlices   *obs.Counter
+	obsEvents   *obs.Counter
+	obsDropped  *obs.Counter
+	obsEmitErrs *obs.Counter
 }
 
 type groupKey struct {
@@ -175,8 +182,19 @@ func New(rank int, sensors []Sensor, cfg Config, emitter Emitter) *Detector {
 		d.obsSlices = o.Counter("detect_slices_total", "rank", rankLabel)
 		d.obsEvents = o.Counter("detect_variance_events_total")
 		d.obsDropped = o.Counter("detect_dropped_total")
+		d.obsEmitErrs = o.Counter("detect_emit_errors_total")
 	}
 	return d
+}
+
+// BindClock forwards the rank's virtual clock down the emitter chain (the
+// VM calls this once per rank before execution), so an emitter that models
+// a real link — internal/transport — can charge retry and backoff delays
+// to the rank it serves. Emitters that don't need a clock are unaffected.
+func (d *Detector) BindClock(c vm.Clock) {
+	if b, ok := d.emitter.(vm.ClockBinder); ok {
+		b.BindClock(c)
+	}
 }
 
 // OnRecord consumes one raw sensor measurement (vm.Sink).
@@ -278,7 +296,11 @@ func (d *Detector) closeSlice(key groupKey, st *groupState) {
 		d.obsEvents.Inc()
 	}
 	if d.emitter != nil {
-		d.emitter.OnSlice(rec)
+		if err := d.emitter.OnSlice(rec); err != nil {
+			d.emitErrs++
+			d.lastEmitErr = err
+			d.obsEmitErrs.Inc()
+		}
 	}
 	st.count = 0
 	st.sumNs = 0
@@ -320,6 +342,12 @@ func (d *Detector) Analyses() int64 { return d.analyses }
 
 // Dropped returns how many records were skipped for disabled sensors.
 func (d *Detector) Dropped() int64 { return d.dropped }
+
+// EmitErrors returns how many slice records the emitter failed to deliver.
+func (d *Detector) EmitErrors() int64 { return d.emitErrs }
+
+// LastEmitError returns the most recent emitter delivery error, nil if none.
+func (d *Detector) LastEmitError() error { return d.lastEmitErr }
 
 // Disabled reports whether the short-sensor rule turned a sensor off.
 func (d *Detector) Disabled(sensor int) bool { return d.disabled[sensor] }

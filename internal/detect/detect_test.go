@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -12,7 +13,7 @@ type sliceCollector struct {
 	recs []SliceRecord
 }
 
-func (c *sliceCollector) OnSlice(r SliceRecord) { c.recs = append(c.recs, r) }
+func (c *sliceCollector) OnSlice(r SliceRecord) error { c.recs = append(c.recs, r); return nil }
 
 func mkSensors() []Sensor {
 	return []Sensor{
@@ -233,3 +234,41 @@ func TestSliceKeying(t *testing.T) {
 		t.Errorf("counts = %d,%d", col.recs[0].Count, col.recs[1].Count)
 	}
 }
+
+// failingEmitter rejects every delivery after the first n.
+type failingEmitter struct {
+	ok   int
+	recs []SliceRecord
+	err  error
+}
+
+func (e *failingEmitter) OnSlice(r SliceRecord) error {
+	if len(e.recs) >= e.ok {
+		return e.err
+	}
+	e.recs = append(e.recs, r)
+	return nil
+}
+
+// An emitter delivery failure must not panic or stop the detector: the
+// error is counted, the last one is retained, and analysis continues.
+func TestEmitterErrorsCounted(t *testing.T) {
+	em := &failingEmitter{ok: 3, err: errEmit}
+	d := New(0, mkSensors(), Config{SliceNs: 1_000_000}, em)
+	feed(d, 0, 0, 100_000, 10_000, 100, 0)
+	d.Finish()
+	if d.EmitErrors() != 7 {
+		t.Errorf("emit errors = %d, want 7 (10 slices, 3 delivered)", d.EmitErrors())
+	}
+	if d.LastEmitError() != errEmit {
+		t.Errorf("last emit error = %v", d.LastEmitError())
+	}
+	if len(em.recs) != 3 {
+		t.Errorf("delivered = %d", len(em.recs))
+	}
+	if d.Analyses() != 10 {
+		t.Errorf("analyses = %d; emit failures must not stop analysis", d.Analyses())
+	}
+}
+
+var errEmit = errors.New("link down")

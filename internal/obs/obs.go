@@ -158,10 +158,26 @@ func describeStandard(r *Registry) {
 	r.Describe("detect_slices_total", "Smoothed time-slice analyses completed (one per closed slice).")
 	r.Describe("detect_variance_events_total", "Per-process variance events flagged below the threshold.")
 	r.Describe("detect_dropped_total", "Records skipped because the short-sensor rule disabled their sensor.")
-	r.Describe("server_messages_total", "Batch messages ingested by the analysis server.")
+	r.Describe("detect_emit_errors_total", "Slice records the emitter failed to deliver (transport backpressure loss or decode rejects).")
+	r.Describe("server_messages_total", "Batch frames ingested by the analysis server (duplicates excluded).")
 	r.Describe("server_bytes_total", "Encoded bytes ingested by the analysis server.")
 	r.Describe("server_records_total", "Slice records ingested by the analysis server.")
-	r.Describe("server_batch_bytes", "Size distribution of ingested batch messages.")
+	r.Describe("server_batch_bytes", "Size distribution of ingested batch frames.")
+	r.Describe("server_dup_frames_total", "Retransmitted frames absorbed by per-rank sequence dedup.")
+	r.Describe("server_checksum_errors_total", "Frames rejected because their CRC did not match (bit corruption).")
+	r.Describe("server_rejected_frames_total", "Frames rejected for framing/header errors (not checksum).")
+	r.Describe("server_records_expected", "Records the ranks claim to have sent (from frame headers), summed over ranks.")
+	r.Describe("server_records_ingested", "Records actually decoded into the server log; expected-ingested is the coverage gap.")
+	r.Describe("transport_frames_total", "Fresh frames handed to the lossy link by rank conns.")
+	r.Describe("transport_acked_total", "Frame deliveries acknowledged by the link (incl. parked retries).")
+	r.Describe("transport_retries_total", "Failed delivery attempts that were retried with backoff.")
+	r.Describe("transport_dropped_total", "Delivery attempts lost to the fault plan's drop rate.")
+	r.Describe("transport_corrupted_total", "Delivery attempts that arrived bit-corrupted and were rejected by CRC.")
+	r.Describe("transport_duplicated_total", "Deliveries duplicated by the fault plan (ack-loss model).")
+	r.Describe("transport_reordered_total", "Frames held in flight and delivered after a newer frame.")
+	r.Describe("transport_server_down_rejects_total", "Delivery attempts rejected while the server was crashed/stalled.")
+	r.Describe("transport_parked_total", "Frames parked in a retransmit buffer after exhausting retries.")
+	r.Describe("transport_records_lost_total", "Records lost to drop-oldest backpressure or abandoned at close.")
 	r.Describe("mpi_collectives_total", "Collective operations completed, by kind.")
 	r.Describe("mpi_p2p_messages_total", "Point-to-point messages sent.")
 	r.Describe("mpi_p2p_bytes_total", "Point-to-point payload bytes sent.")

@@ -12,6 +12,7 @@ import (
 
 	"vsensor/internal/apps"
 	"vsensor/internal/cluster"
+	"vsensor/internal/transport"
 )
 
 // Injection plans variance relative to the expected run length: fractions
@@ -82,6 +83,12 @@ type Scenario struct {
 	Ranks        int
 	RanksPerNode int
 	Injections   []Injection
+
+	// Faults, when non-nil, routes the record path through the lossy
+	// transport link (internal/transport) with this plan — variance
+	// injection on the *monitoring pipeline itself* rather than the
+	// application's compute or network. The detection must survive it.
+	Faults *transport.FaultPlan
 }
 
 // Cluster builds the scenario's cluster with injections applied.
@@ -218,6 +225,20 @@ var registry = map[string]*Scenario{
 		Ranks: 32, RanksPerNode: 8,
 		Injections: []Injection{{Kind: IOWindow, Factor: 0.15, StartFrac: 0.3, EndFrac: 0.7}},
 	},
+	"lossylink-cg": {
+		Name: "lossylink-cg",
+		Description: "CG with one slow-memory node *and* a lossy record link " +
+			"(drops, duplicates, reordering, corruption, one server crash-restart): " +
+			"detection must still localize the bad node on a flaky monitoring path",
+		App:   "CG",
+		Scale: apps.Scale{Iters: 60, Work: 80},
+		Ranks: 64, RanksPerNode: 8,
+		Injections: []Injection{{Kind: BadNodeMemory, Node: 3, Factor: 0.55}},
+		Faults: &transport.FaultPlan{
+			Seed: 7, Drop: 0.2, Dup: 0.08, Reorder: 0.1, Corrupt: 0.03,
+			DelayNs: 5_000, CrashAfterFrames: 40, CrashDownFrames: 15,
+		},
+	},
 }
 
 // Names lists registered scenarios.
@@ -238,5 +259,9 @@ func Get(name string) (*Scenario, error) {
 	}
 	cp := *s
 	cp.Injections = append([]Injection(nil), s.Injections...)
+	if s.Faults != nil {
+		f := *s.Faults
+		cp.Faults = &f
+	}
 	return &cp, nil
 }

@@ -12,7 +12,7 @@ import (
 // log's own (amortized, pre-sized here) growth.
 func TestFlushSteadyStateAllocs(t *testing.T) {
 	s := New()
-	c := s.NewClient(8)
+	c := s.NewClient(3, 8)
 	batch := make([]detect.SliceRecord, 8)
 	for i := range batch {
 		batch[i] = detect.SliceRecord{

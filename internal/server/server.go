@@ -1,15 +1,21 @@
 // Package server implements the dedicated analysis-server process of paper
 // §5.4. Each rank buffers its smoothed slice records locally and ships them
-// in network-friendly batches; the server aggregates them, detects
+// in network-friendly framed batches; the server aggregates them, detects
 // inter-process variance by comparing the performance of the same v-sensor
 // across processes, and accounts the transferred data volume (the paper's
 // 8.8 MB vs 501.5 MB tracing comparison).
+//
+// Frames carry a per-rank sequence number, a cumulative record count, and a
+// CRC (see wire.go), so the server tolerates the failure modes of a real,
+// lossy link (internal/transport): it deduplicates retransmissions, accepts
+// frames out of order, rejects corrupted frames, and tracks per-rank
+// delivery coverage so downstream analysis can report confidence on partial
+// data instead of silently degrading.
 package server
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 
@@ -18,8 +24,23 @@ import (
 )
 
 // DefaultBatchSize is how many slice records a client buffers before
-// transferring them in one message.
+// transferring them in one frame.
 const DefaultBatchSize = 64
+
+// rankFlow is the per-sender delivery-tracking state: dedup window and
+// coverage counters, keyed by the frame header's rank field.
+type rankFlow struct {
+	// contig is the highest sequence with all of 1..contig ingested.
+	contig uint64
+	// ahead holds ingested sequences beyond contig+1 (only populated when
+	// frames arrive out of order; nil on the reliable in-process path).
+	ahead map[uint64]struct{}
+
+	maxSeq          uint64 // highest sequence observed
+	maxCum          uint64 // highest cumulative record count observed
+	ingestedFrames  int64
+	ingestedRecords int64
+}
 
 // Server aggregates slice records from every rank.
 type Server struct {
@@ -34,18 +55,38 @@ type Server struct {
 	latestSliceNs int64
 	perRank       map[int]*RankProgress
 
+	// Delivery tracking (dedup + coverage), keyed by frame sender rank.
+	flows           map[int]*rankFlow
+	dupFrames       int64
+	checksumErrors  int64
+	rejectedFrames  int64
+	expectedRecords int64 // sum over ranks of maxCum, maintained at ingest
+	ingestedRecords int64
+
 	// Observability handles (nil-safe no-ops when obs is off).
 	obsMessages *obs.Counter
 	obsBytes    *obs.Counter
 	obsRecords  *obs.Counter
 	obsBatch    *obs.Histogram
+	obsDup      *obs.Counter
+	obsCRC      *obs.Counter
+	obsRejected *obs.Counter
+	obsExpected *obs.Gauge
+	obsIngested *obs.Gauge
 }
 
 // New creates an empty analysis server.
-func New() *Server { return &Server{perRank: make(map[int]*RankProgress)} }
+func New() *Server {
+	return &Server{
+		perRank: make(map[int]*RankProgress),
+		flows:   make(map[int]*rankFlow),
+	}
+}
 
-// SetObs attaches ingest metrics: message/byte/record counters plus the
-// batch-size histogram (server_batch_bytes). Call before the run starts.
+// SetObs attaches ingest metrics: message/byte/record counters, the
+// batch-size histogram (server_batch_bytes), dedup/corruption counters, and
+// the coverage gauges (server_records_expected / server_records_ingested).
+// Call before the run starts.
 func (s *Server) SetObs(o *obs.Obs) {
 	if o == nil {
 		return
@@ -54,18 +95,62 @@ func (s *Server) SetObs(o *obs.Obs) {
 	s.obsBytes = o.Counter("server_bytes_total")
 	s.obsRecords = o.Counter("server_records_total")
 	s.obsBatch = o.Histogram("server_batch_bytes")
+	s.obsDup = o.Counter("server_dup_frames_total")
+	s.obsCRC = o.Counter("server_checksum_errors_total")
+	s.obsRejected = o.Counter("server_rejected_frames_total")
+	s.obsExpected = o.Gauge("server_records_expected")
+	s.obsIngested = o.Gauge("server_records_ingested")
 }
 
-// receive ingests one encoded batch, decoding records straight into the
-// server's log (no per-message temporary slice).
-func (s *Server) receive(encoded []byte) error {
-	n, err := checkBatch(encoded)
+// Receive ingests one encoded frame: validate (length, magic, bounded
+// count, CRC), deduplicate by (sender rank, sequence), then decode records
+// straight into the server's log (no per-message temporary slice).
+// Duplicate frames are acknowledged (nil error) but not re-ingested;
+// corrupted or malformed frames return an error without touching the log.
+func (s *Server) Receive(encoded []byte) error {
+	h, err := ParseFrame(encoded)
 	if err != nil {
+		s.mu.Lock()
+		if errors.Is(err, ErrChecksum) {
+			s.checksumErrors++
+			s.mu.Unlock()
+			s.obsCRC.Inc()
+		} else {
+			s.rejectedFrames++
+			s.mu.Unlock()
+			s.obsRejected.Inc()
+		}
 		return err
 	}
 	s.mu.Lock()
+	fl := s.flows[h.Rank]
+	if fl == nil {
+		fl = &rankFlow{}
+		s.flows[h.Rank] = fl
+	}
+	if h.Seq > fl.maxSeq {
+		fl.maxSeq = h.Seq
+	}
+	if h.CumRecords > fl.maxCum {
+		s.expectedRecords += int64(h.CumRecords - fl.maxCum)
+		fl.maxCum = h.CumRecords
+	}
+	if s.seenLocked(fl, h.Seq) {
+		s.dupFrames++
+		expected, ingested := s.expectedRecords, s.ingestedRecords
+		s.mu.Unlock()
+		s.obsDup.Inc()
+		s.obsExpected.Set(float64(expected))
+		s.obsIngested.Set(float64(ingested))
+		return nil
+	}
+	s.markSeenLocked(fl, h.Seq)
+	fl.ingestedFrames++
+	fl.ingestedRecords += int64(h.Count)
+	s.ingestedRecords += int64(h.Count)
+
 	start := len(s.records)
-	s.records = appendDecoded(s.records, encoded, n)
+	s.records = appendDecoded(s.records, encoded, h.Count)
 	recs := s.records[start:]
 	s.bytesReceived += int64(len(encoded))
 	s.messages++
@@ -84,12 +169,49 @@ func (s *Server) receive(encoded []byte) error {
 			rp.LatestSliceNs = r.SliceNs
 		}
 	}
+	expected, ingested := s.expectedRecords, s.ingestedRecords
 	s.mu.Unlock()
 	s.obsMessages.Inc()
 	s.obsBytes.Add(int64(len(encoded)))
 	s.obsRecords.Add(int64(len(recs)))
 	s.obsBatch.ObserveInt(int64(len(encoded)))
+	s.obsExpected.Set(float64(expected))
+	s.obsIngested.Set(float64(ingested))
 	return nil
+}
+
+// seenLocked reports whether seq was already ingested from this flow.
+func (s *Server) seenLocked(fl *rankFlow, seq uint64) bool {
+	if seq <= fl.contig {
+		return true
+	}
+	if fl.ahead == nil {
+		return false
+	}
+	_, ok := fl.ahead[seq]
+	return ok
+}
+
+// markSeenLocked records seq as ingested, advancing the contiguous
+// high-water mark through any previously buffered out-of-order sequences.
+// On the reliable in-order path this is a single increment and never
+// allocates.
+func (s *Server) markSeenLocked(fl *rankFlow, seq uint64) {
+	if seq == fl.contig+1 {
+		fl.contig++
+		for fl.ahead != nil {
+			if _, ok := fl.ahead[fl.contig+1]; !ok {
+				break
+			}
+			fl.contig++
+			delete(fl.ahead, fl.contig)
+		}
+		return
+	}
+	if fl.ahead == nil {
+		fl.ahead = make(map[uint64]struct{})
+	}
+	fl.ahead[seq] = struct{}{}
 }
 
 // BytesReceived returns the total encoded bytes shipped to the server.
@@ -99,7 +221,7 @@ func (s *Server) BytesReceived() int64 {
 	return s.bytesReceived
 }
 
-// Messages returns how many batch messages arrived.
+// Messages returns how many frames were ingested (duplicates excluded).
 func (s *Server) Messages() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,50 +238,65 @@ func (s *Server) Records() []detect.SliceRecord {
 }
 
 // Client is a per-rank connection to the analysis server. It implements
-// detect.Emitter, buffering records and transferring them in batches
+// detect.Emitter, buffering records and transferring them in framed batches
 // (paper: "each process buffers its data locally and periodically
-// transfers them in batch to analysis-server"). Not safe for concurrent
-// use; each rank owns one client.
+// transfers them in batch to analysis-server"). This client delivers
+// in-process and reliably; internal/transport wraps the same wire format in
+// a lossy, fault-injectable link. Not safe for concurrent use; each rank
+// owns one client.
 type Client struct {
 	server    *Server
+	rank      int
 	batchSize int
 	buf       []detect.SliceRecord
 	enc       []byte // reusable wire buffer; one allocation per client
 
+	seq       uint64
+	cum       uint64
 	sent      int64
 	bytesSent int64
 }
 
 // NewClient connects a rank to the server. batchSize <= 0 selects the
 // default; batchSize 1 effectively disables batching (ablation A4).
-func (s *Server) NewClient(batchSize int) *Client {
+func (s *Server) NewClient(rank, batchSize int) *Client {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	return &Client{server: s, batchSize: batchSize}
+	return &Client{server: s, rank: rank, batchSize: batchSize}
 }
 
 // OnSlice buffers one record, flushing when the batch is full.
-func (c *Client) OnSlice(r detect.SliceRecord) {
+func (c *Client) OnSlice(r detect.SliceRecord) error {
 	c.buf = append(c.buf, r)
 	if len(c.buf) >= c.batchSize {
-		c.Flush()
+		return c.Flush()
 	}
+	return nil
 }
 
-// Flush transfers the buffered records. The wire buffer is reused across
-// flushes, so a warm client allocates nothing per batch.
-func (c *Client) Flush() {
+// Flush transfers the buffered records as one sequenced frame. The wire
+// buffer is reused across flushes, so a warm client allocates nothing per
+// batch. A delivery error (impossible for a self-encoded frame, but the
+// emitter contract allows it) is returned instead of panicking; the frame's
+// records are dropped rather than retried — retry belongs to
+// internal/transport.
+func (c *Client) Flush() error {
 	if len(c.buf) == 0 {
-		return
+		return nil
 	}
-	c.enc = appendEncoded(c.enc[:0], c.buf)
-	if err := c.server.receive(c.enc); err != nil {
-		panic(fmt.Sprintf("server: self-encoded batch failed to decode: %v", err))
-	}
-	c.sent += int64(len(c.buf))
-	c.bytesSent += int64(len(c.enc))
+	c.seq++
+	c.cum += uint64(len(c.buf))
+	h := FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
+	c.enc = AppendFrame(c.enc[:0], h, c.buf)
+	n := len(c.buf)
 	c.buf = c.buf[:0]
+	if err := c.server.Receive(c.enc); err != nil {
+		return fmt.Errorf("server: frame %d from rank %d rejected: %w", c.seq, c.rank, err)
+	}
+	c.sent += int64(n)
+	c.bytesSent += int64(len(c.enc))
+	return nil
 }
 
 // BytesSent returns the client's total encoded payload bytes.
@@ -168,80 +305,51 @@ func (c *Client) BytesSent() int64 { return c.bytesSent }
 // RecordsSent returns how many slice records this client shipped.
 func (c *Client) RecordsSent() int64 { return c.sent }
 
-// ---------- wire format ----------
+// ---------- delivery coverage ----------
 
-// Batch layout: u32 count, then per record:
-// u32 sensor, u32 group, u32 rank, i64 slice, i32 count, f64 avgNs, f64 avgInstr.
-const recordWireSize = 4 + 4 + 4 + 8 + 4 + 8 + 8
-
-// appendEncoded serializes a batch onto dst (usually a reused buffer with
-// len 0) and returns the extended slice.
-func appendEncoded(dst []byte, recs []detect.SliceRecord) []byte {
-	start := len(dst)
-	need := 4 + len(recs)*recordWireSize
-	if cap(dst)-start < need {
-		grown := make([]byte, start, start+need)
-		copy(grown, dst)
-		dst = grown
-	}
-	dst = dst[:start+need]
-	binary.LittleEndian.PutUint32(dst[start:], uint32(len(recs)))
-	off := start + 4
-	for _, r := range recs {
-		binary.LittleEndian.PutUint32(dst[off:], uint32(r.Sensor))
-		binary.LittleEndian.PutUint32(dst[off+4:], uint32(r.Group))
-		binary.LittleEndian.PutUint32(dst[off+8:], uint32(r.Rank))
-		binary.LittleEndian.PutUint64(dst[off+12:], uint64(r.SliceNs))
-		binary.LittleEndian.PutUint32(dst[off+20:], uint32(r.Count))
-		binary.LittleEndian.PutUint64(dst[off+24:], math.Float64bits(r.AvgNs))
-		binary.LittleEndian.PutUint64(dst[off+32:], math.Float64bits(r.AvgInstr))
-		off += recordWireSize
-	}
-	return dst
+// Coverage summarizes how completely the server's record log reflects what
+// the ranks sent: expected counts come from the frame headers' sequence and
+// cumulative-record fields, so gaps from dropped or still-parked frames are
+// visible even though their contents never arrived.
+type Coverage struct {
+	ExpectedRecords int64 // highest cumulative count claimed, summed over ranks
+	IngestedRecords int64 // records actually decoded into the log
+	ExpectedFrames  int64 // highest sequence observed, summed over ranks
+	IngestedFrames  int64 // distinct frames ingested
+	DupFrames       int64 // retransmissions absorbed by dedup
+	ChecksumErrors  int64 // frames rejected by CRC (bit corruption)
+	RejectedFrames  int64 // frames rejected for framing/header errors
 }
 
-func encodeBatch(recs []detect.SliceRecord) []byte {
-	return appendEncoded(nil, recs)
+// Fraction returns ingested/expected records, 1.0 when nothing is missing
+// (including the no-data case).
+func (c Coverage) Fraction() float64 {
+	if c.ExpectedRecords <= 0 {
+		return 1
+	}
+	return float64(c.IngestedRecords) / float64(c.ExpectedRecords)
 }
 
-// checkBatch validates a batch's header and framing, returning its record
-// count.
-func checkBatch(data []byte) (int, error) {
-	if len(data) < 4 {
-		return 0, fmt.Errorf("server: short batch header")
-	}
-	n := int(binary.LittleEndian.Uint32(data[:4]))
-	want := 4 + n*recordWireSize
-	if len(data) != want {
-		return 0, fmt.Errorf("server: batch length %d, want %d for %d records", len(data), want, n)
-	}
-	return n, nil
-}
+// Complete reports whether every record any rank claims to have sent was
+// ingested.
+func (c Coverage) Complete() bool { return c.IngestedRecords >= c.ExpectedRecords }
 
-// appendDecoded deserializes a checked batch of n records onto out.
-func appendDecoded(out []detect.SliceRecord, data []byte, n int) []detect.SliceRecord {
-	off := 4
-	for i := 0; i < n; i++ {
-		out = append(out, detect.SliceRecord{
-			Sensor:   int(binary.LittleEndian.Uint32(data[off:])),
-			Group:    int(binary.LittleEndian.Uint32(data[off+4:])),
-			Rank:     int(binary.LittleEndian.Uint32(data[off+8:])),
-			SliceNs:  int64(binary.LittleEndian.Uint64(data[off+12:])),
-			Count:    int32(binary.LittleEndian.Uint32(data[off+20:])),
-			AvgNs:    math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
-			AvgInstr: math.Float64frombits(binary.LittleEndian.Uint64(data[off+32:])),
-		})
-		off += recordWireSize
+// Coverage returns the server's delivery-coverage snapshot.
+func (s *Server) Coverage() Coverage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cov := Coverage{
+		ExpectedRecords: s.expectedRecords,
+		IngestedRecords: s.ingestedRecords,
+		DupFrames:       s.dupFrames,
+		ChecksumErrors:  s.checksumErrors,
+		RejectedFrames:  s.rejectedFrames,
 	}
-	return out
-}
-
-func decodeBatch(data []byte) ([]detect.SliceRecord, error) {
-	n, err := checkBatch(data)
-	if err != nil {
-		return nil, err
+	for _, fl := range s.flows {
+		cov.ExpectedFrames += int64(fl.maxSeq)
+		cov.IngestedFrames += fl.ingestedFrames
 	}
-	return appendDecoded(make([]detect.SliceRecord, 0, n), data, n), nil
+	return cov
 }
 
 // ---------- inter-process analysis ----------
@@ -258,6 +366,9 @@ type Outlier struct {
 // InterProcessOutliers compares the same v-sensor across processes per
 // slice: a rank is an outlier when its average time exceeds the cross-rank
 // median by more than 1/threshold (e.g. threshold 0.8 → 25% slower).
+// The result is invariant under record arrival order: records are grouped
+// by (sensor, group, slice) and each group's median does not depend on
+// the order the transport delivered them in.
 func (s *Server) InterProcessOutliers(threshold float64) []Outlier {
 	recs := s.Records()
 	type key struct {
@@ -293,9 +404,36 @@ func (s *Server) InterProcessOutliers(threshold float64) []Outlier {
 		if out[i].Sensor != out[j].Sensor {
 			return out[i].Sensor < out[j].Sensor
 		}
-		return out[i].Rank < out[j].Rank
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		// Perf breaks the remaining tie (two records from one rank in the
+		// same keyed group) so the order never depends on arrival order.
+		return out[i].Perf < out[j].Perf
 	})
 	return out
+}
+
+// OutlierReport pairs the inter-process outliers with the delivery coverage
+// they were computed under, so a consumer of partial data sees "found these,
+// but 12% of records never arrived" instead of a silently thinner answer.
+type OutlierReport struct {
+	Outliers []Outlier
+	Coverage Coverage
+	// Confidence is the fraction of sent records the analysis saw
+	// (Coverage.Fraction): 1.0 means the log is complete.
+	Confidence float64
+}
+
+// InterProcessReport runs InterProcessOutliers and stamps the result with
+// the current coverage.
+func (s *Server) InterProcessReport(threshold float64) OutlierReport {
+	cov := s.Coverage()
+	return OutlierReport{
+		Outliers:   s.InterProcessOutliers(threshold),
+		Coverage:   cov,
+		Confidence: cov.Fraction(),
+	}
 }
 
 func medianAvg(recs []detect.SliceRecord) float64 {

@@ -1,21 +1,27 @@
 package server
 
 import (
+	"encoding/binary"
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"vsensor/internal/detect"
 )
 
-func TestBatchRoundTrip(t *testing.T) {
+func TestFrameRoundTrip(t *testing.T) {
 	recs := []detect.SliceRecord{
 		{Sensor: 1, Group: 0, Rank: 5, SliceNs: 3_000_000, Count: 12, AvgNs: 1234.5, AvgInstr: 99.25},
 		{Sensor: 2, Group: 3, Rank: 0, SliceNs: 0, Count: 1, AvgNs: 7, AvgInstr: 0},
 	}
-	enc := encodeBatch(recs)
-	got, err := decodeBatch(enc)
+	in := FrameHeader{Rank: 5, Seq: 3, CumRecords: 17}
+	enc := AppendFrame(nil, in, recs)
+	h, got, err := decodeFrame(enc)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if h.Rank != 5 || h.Seq != 3 || h.CumRecords != 17 || h.Count != len(recs) {
+		t.Fatalf("header = %+v", h)
 	}
 	if len(got) != len(recs) {
 		t.Fatalf("len = %d", len(got))
@@ -27,26 +33,86 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 }
 
-func TestDecodeErrors(t *testing.T) {
-	if _, err := decodeBatch([]byte{1}); err == nil {
+func TestParseFrameErrors(t *testing.T) {
+	if _, err := ParseFrame([]byte{1}); err == nil {
 		t.Error("short header accepted")
 	}
-	enc := encodeBatch([]detect.SliceRecord{{Sensor: 1}})
-	if _, err := decodeBatch(enc[:len(enc)-2]); err == nil {
-		t.Error("truncated batch accepted")
+	enc := AppendFrame(nil, FrameHeader{Rank: 0, Seq: 1, CumRecords: 1},
+		[]detect.SliceRecord{{Sensor: 1}})
+	if _, err := ParseFrame(enc[:len(enc)-2]); err == nil {
+		t.Error("truncated frame accepted")
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := ParseFrame(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Bit corruption anywhere must be caught by the CRC.
+	for _, bit := range []int{4 * 8, 9*8 + 3, 20 * 8, len(enc)*8 - 1} {
+		flip := append([]byte(nil), enc...)
+		flip[bit/8] ^= 1 << (bit % 8)
+		_, err := ParseFrame(flip)
+		if err == nil {
+			t.Errorf("bit %d flip accepted", bit)
+		}
+	}
+
+	// Zero sequence is reserved.
+	zseq := AppendFrame(nil, FrameHeader{Rank: 0, Seq: 0, CumRecords: 1},
+		[]detect.SliceRecord{{Sensor: 1}})
+	if _, err := ParseFrame(zseq); err == nil {
+		t.Error("seq 0 accepted")
+	}
+
+	// cumRecords must cover the frame's own records.
+	lowcum := AppendFrame(nil, FrameHeader{Rank: 0, Seq: 1, CumRecords: 0},
+		[]detect.SliceRecord{{Sensor: 1}})
+	if _, err := ParseFrame(lowcum); err == nil {
+		t.Error("cumRecords < count accepted")
+	}
+}
+
+// A hostile record count must be rejected before it can size an allocation,
+// and the error must not be misclassified as corruption.
+func TestParseFrameHostileCount(t *testing.T) {
+	enc := AppendFrame(nil, FrameHeader{Rank: 0, Seq: 1, CumRecords: 1},
+		[]detect.SliceRecord{{Sensor: 1}})
+	for _, n := range []uint32{MaxFrameRecords + 1, 1 << 31, 0xffffffff} {
+		hostile := append([]byte(nil), enc...)
+		binary.LittleEndian.PutUint32(hostile[24:], n)
+		_, err := ParseFrame(hostile)
+		if err == nil {
+			t.Fatalf("count %d accepted", n)
+		}
+		if errors.Is(err, ErrChecksum) {
+			t.Errorf("count %d reported as checksum error: %v", n, err)
+		}
+	}
+	// Same guard for the rank field (bounds the per-rank flow map).
+	hostile := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(hostile[4:], MaxFrameRank+1)
+	if _, err := ParseFrame(hostile); err == nil {
+		t.Error("hostile rank accepted")
 	}
 }
 
 func TestClientBatching(t *testing.T) {
 	s := New()
-	c := s.NewClient(10)
+	c := s.NewClient(1, 10)
 	for i := 0; i < 25; i++ {
-		c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: 1, SliceNs: int64(i), Count: 1, AvgNs: 5})
+		if err := c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: 1, SliceNs: int64(i), Count: 1, AvgNs: 5}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if s.Messages() != 2 {
 		t.Errorf("messages before flush = %d, want 2 full batches", s.Messages())
 	}
-	c.Flush()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if s.Messages() != 3 || c.RecordsSent() != 25 {
 		t.Errorf("messages=%d sent=%d", s.Messages(), c.RecordsSent())
 	}
@@ -56,12 +122,16 @@ func TestClientBatching(t *testing.T) {
 	if c.BytesSent() != s.BytesReceived() {
 		t.Errorf("byte accounting mismatch: %d vs %d", c.BytesSent(), s.BytesReceived())
 	}
+	cov := s.Coverage()
+	if !cov.Complete() || cov.ExpectedRecords != 25 || cov.IngestedFrames != 3 {
+		t.Errorf("coverage = %+v", cov)
+	}
 }
 
 func TestBatchingReducesMessages(t *testing.T) {
 	batched, unbatched := New(), New()
-	cb := batched.NewClient(64)
-	cu := unbatched.NewClient(1)
+	cb := batched.NewClient(0, 64)
+	cu := unbatched.NewClient(0, 1)
 	for i := 0; i < 640; i++ {
 		r := detect.SliceRecord{Sensor: 0, Rank: 0, SliceNs: int64(i), Count: 1, AvgNs: 1}
 		cb.OnSlice(r)
@@ -78,9 +148,88 @@ func TestBatchingReducesMessages(t *testing.T) {
 	}
 }
 
+// Retransmitted frames are acknowledged but ingested exactly once, in any
+// arrival order.
+func TestReceiveDedupAndReorder(t *testing.T) {
+	var frames [][]byte
+	var cum uint64
+	for seq := uint64(1); seq <= 5; seq++ {
+		recs := []detect.SliceRecord{
+			{Sensor: int(seq), Rank: 2, SliceNs: int64(seq), Count: 1, AvgNs: 1},
+		}
+		cum += uint64(len(recs))
+		frames = append(frames, AppendFrame(nil, FrameHeader{Rank: 2, Seq: seq, CumRecords: cum}, recs))
+	}
+	s := New()
+	// Deliver out of order with duplicates: 2, 2, 4, 1, 4, 3, 5, 1.
+	for _, i := range []int{1, 1, 3, 0, 3, 2, 4, 0} {
+		if err := s.Receive(frames[i]); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if got := len(s.Records()); got != 5 {
+		t.Fatalf("records = %d, want 5", got)
+	}
+	cov := s.Coverage()
+	if cov.DupFrames != 3 {
+		t.Errorf("dup frames = %d, want 3", cov.DupFrames)
+	}
+	if !cov.Complete() || cov.ExpectedRecords != 5 || cov.IngestedFrames != 5 {
+		t.Errorf("coverage = %+v", cov)
+	}
+}
+
+// A missing frame shows up as incomplete coverage: the later frame's
+// cumulative count reveals records the server never saw.
+func TestCoverageGap(t *testing.T) {
+	s := New()
+	rec := []detect.SliceRecord{{Sensor: 1, Rank: 0, Count: 1, AvgNs: 1}}
+	s.Receive(AppendFrame(nil, FrameHeader{Rank: 0, Seq: 1, CumRecords: 1}, rec))
+	// Seq 2 (one record) is lost; seq 3 arrives claiming 3 cumulative.
+	s.Receive(AppendFrame(nil, FrameHeader{Rank: 0, Seq: 3, CumRecords: 3}, rec))
+	cov := s.Coverage()
+	if cov.Complete() {
+		t.Fatalf("gap not detected: %+v", cov)
+	}
+	if cov.ExpectedRecords != 3 || cov.IngestedRecords != 2 {
+		t.Errorf("coverage = %+v", cov)
+	}
+	if f := cov.Fraction(); f < 0.66 || f > 0.67 {
+		t.Errorf("fraction = %v", f)
+	}
+	rep := s.InterProcessReport(0.8)
+	if rep.Confidence >= 1 {
+		t.Errorf("confidence = %v on partial data", rep.Confidence)
+	}
+}
+
+func TestReceiveChecksumReject(t *testing.T) {
+	s := New()
+	enc := AppendFrame(nil, FrameHeader{Rank: 0, Seq: 1, CumRecords: 1},
+		[]detect.SliceRecord{{Sensor: 1, AvgNs: 5}})
+	flip := append([]byte(nil), enc...)
+	flip[frameHeaderSize+2] ^= 0x10
+	if err := s.Receive(flip); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if len(s.Records()) != 0 {
+		t.Error("corrupted frame reached the log")
+	}
+	if cov := s.Coverage(); cov.ChecksumErrors != 1 {
+		t.Errorf("coverage = %+v", cov)
+	}
+	// The intact original is still accepted afterwards.
+	if err := s.Receive(enc); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records()) != 1 {
+		t.Errorf("records = %d", len(s.Records()))
+	}
+}
+
 func TestInterProcessOutliers(t *testing.T) {
 	s := New()
-	c := s.NewClient(0)
+	c := s.NewClient(0, 0)
 	// 8 ranks, same sensor & slice; rank 5 is 2x slower.
 	for rank := 0; rank < 8; rank++ {
 		avg := 100.0
@@ -102,7 +251,7 @@ func TestInterProcessOutliers(t *testing.T) {
 
 func TestOutliersRequireQuorum(t *testing.T) {
 	s := New()
-	c := s.NewClient(0)
+	c := s.NewClient(0, 0)
 	c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: 0, SliceNs: 0, Count: 1, AvgNs: 100})
 	c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: 1, SliceNs: 0, Count: 1, AvgNs: 500})
 	c.Flush()
@@ -117,7 +266,7 @@ func TestConcurrentClients(t *testing.T) {
 	for r := 0; r < 16; r++ {
 		go func(rank int) {
 			defer func() { done <- struct{}{} }()
-			c := s.NewClient(7)
+			c := s.NewClient(rank, 7)
 			for i := 0; i < 100; i++ {
 				c.OnSlice(detect.SliceRecord{Sensor: 0, Rank: rank, SliceNs: int64(i), Count: 1, AvgNs: 1})
 			}
@@ -130,11 +279,15 @@ func TestConcurrentClients(t *testing.T) {
 	if len(s.Records()) != 1600 {
 		t.Errorf("records = %d", len(s.Records()))
 	}
+	cov := s.Coverage()
+	if !cov.Complete() || cov.ExpectedRecords != 1600 {
+		t.Errorf("coverage = %+v", cov)
+	}
 }
 
 // Property: encode/decode is the identity for arbitrary record batches.
 func TestQuickWireFormat(t *testing.T) {
-	f := func(sensors []uint8, avg float64, slice int64) bool {
+	f := func(sensors []uint8, avg float64, slice int64, seq uint64) bool {
 		recs := make([]detect.SliceRecord, len(sensors))
 		for i, sn := range sensors {
 			recs[i] = detect.SliceRecord{
@@ -142,9 +295,14 @@ func TestQuickWireFormat(t *testing.T) {
 				SliceNs: slice, Count: int32(i + 1), AvgNs: avg, AvgInstr: avg / 2,
 			}
 		}
-		enc := encodeBatch(recs)
-		got, err := decodeBatch(enc)
-		if err != nil || len(got) != len(recs) {
+		if seq == 0 {
+			seq = 1
+		}
+		in := FrameHeader{Rank: 3, Seq: seq, CumRecords: uint64(len(recs)) + seq}
+		enc := AppendFrame(nil, in, recs)
+		h, got, err := decodeFrame(enc)
+		want := FrameHeader{Rank: 3, Seq: in.Seq, CumRecords: in.CumRecords, Count: len(recs)}
+		if err != nil || len(got) != len(recs) || h != want {
 			return false
 		}
 		for i := range recs {

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"vsensor/internal/detect"
+)
+
+// Wire format: one frame per transferred batch.
+//
+// Frame layout (little endian):
+//
+//	off  0: u32 magic       "vSF1"
+//	off  4: u32 rank        sending rank
+//	off  8: u64 seq         per-rank frame sequence number, 1-based
+//	off 16: u64 cumRecords  cumulative records sent by this rank, incl. frame
+//	off 24: u32 count       records in this frame
+//	off 28: u32 crc         IEEE CRC32 over header[0:28] + payload
+//	off 32: payload         count * recordWireSize bytes
+//
+// Per record: u32 sensor, u32 group, u32 rank, i64 slice, i32 count,
+// f64 avgNs, f64 avgInstr.
+//
+// The sequence number lets the server deduplicate retransmissions and track
+// per-rank delivery gaps; cumRecords lets it compute how many records it
+// *should* have seen from a rank even when frames are still missing; the CRC
+// rejects bit-corrupted frames before any of the header is trusted.
+const (
+	frameMagic      = 0x76534631 // "vSF1"
+	frameHeaderSize = 32
+	recordWireSize  = 4 + 4 + 4 + 8 + 4 + 8 + 8
+)
+
+// MaxFrameRecords bounds the record count a frame header may claim. It is a
+// huge-allocation guard: a hostile 32-bit count could otherwise demand a
+// multi-gigabyte decode before any payload byte is validated.
+const MaxFrameRecords = 1 << 20
+
+// MaxFrameRank bounds the sender rank a frame header may claim, so a
+// corrupted rank field cannot blow up per-rank tracking maps.
+const MaxFrameRank = 1 << 22
+
+// ErrChecksum marks a frame whose CRC did not match its contents — the
+// transport's bit-corruption failure mode, as opposed to a framing error.
+var ErrChecksum = errors.New("server: frame checksum mismatch")
+
+// FrameHeader is the decoded per-frame metadata.
+type FrameHeader struct {
+	Rank       int
+	Seq        uint64
+	CumRecords uint64
+	Count      int
+}
+
+// AppendFrame serializes a frame onto dst (usually a reused buffer with len
+// 0) and returns the extended slice. h.Count is taken from len(recs); the
+// CRC is computed here.
+func AppendFrame(dst []byte, h FrameHeader, recs []detect.SliceRecord) []byte {
+	start := len(dst)
+	need := frameHeaderSize + len(recs)*recordWireSize
+	if cap(dst)-start < need {
+		grown := make([]byte, start, start+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:start+need]
+	hdr := dst[start:]
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(h.Rank))
+	binary.LittleEndian.PutUint64(hdr[8:], h.Seq)
+	binary.LittleEndian.PutUint64(hdr[16:], h.CumRecords)
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(recs)))
+	off := start + frameHeaderSize
+	for _, r := range recs {
+		binary.LittleEndian.PutUint32(dst[off:], uint32(r.Sensor))
+		binary.LittleEndian.PutUint32(dst[off+4:], uint32(r.Group))
+		binary.LittleEndian.PutUint32(dst[off+8:], uint32(r.Rank))
+		binary.LittleEndian.PutUint64(dst[off+12:], uint64(r.SliceNs))
+		binary.LittleEndian.PutUint32(dst[off+20:], uint32(r.Count))
+		binary.LittleEndian.PutUint64(dst[off+24:], math.Float64bits(r.AvgNs))
+		binary.LittleEndian.PutUint64(dst[off+32:], math.Float64bits(r.AvgInstr))
+		off += recordWireSize
+	}
+	crc := crc32.ChecksumIEEE(dst[start : start+28])
+	crc = crc32.Update(crc, crc32.IEEETable, dst[start+frameHeaderSize:])
+	binary.LittleEndian.PutUint32(dst[start+28:], crc)
+	return dst
+}
+
+// ParseFrame validates a frame without trusting any header field: length,
+// magic, bounded record count (before the count is used to size anything),
+// exact framing, bounded rank, header consistency, and finally the CRC.
+// It is the hardened checkBatch: arbitrary bytes must never panic or force
+// a huge allocation.
+func ParseFrame(data []byte) (FrameHeader, error) {
+	var h FrameHeader
+	if len(data) < frameHeaderSize {
+		return h, fmt.Errorf("server: short frame (%d bytes, header is %d)", len(data), frameHeaderSize)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != frameMagic {
+		return h, fmt.Errorf("server: bad frame magic %#x", m)
+	}
+	n := binary.LittleEndian.Uint32(data[24:])
+	if n > MaxFrameRecords {
+		// Reject before computing n*recordWireSize or sizing a decode
+		// buffer from it.
+		return h, fmt.Errorf("server: frame claims %d records (max %d)", n, MaxFrameRecords)
+	}
+	want := frameHeaderSize + int(n)*recordWireSize
+	if len(data) != want {
+		return h, fmt.Errorf("server: frame length %d, want %d for %d records", len(data), want, n)
+	}
+	rank := binary.LittleEndian.Uint32(data[4:])
+	if rank > MaxFrameRank {
+		return h, fmt.Errorf("server: frame claims rank %d (max %d)", rank, MaxFrameRank)
+	}
+	h.Rank = int(rank)
+	h.Seq = binary.LittleEndian.Uint64(data[8:])
+	h.CumRecords = binary.LittleEndian.Uint64(data[16:])
+	h.Count = int(n)
+	if h.Seq == 0 {
+		return h, fmt.Errorf("server: frame sequence 0 (sequences are 1-based)")
+	}
+	if h.CumRecords < uint64(h.Count) {
+		return h, fmt.Errorf("server: frame cumRecords %d < count %d", h.CumRecords, h.Count)
+	}
+	crc := crc32.ChecksumIEEE(data[:28])
+	crc = crc32.Update(crc, crc32.IEEETable, data[frameHeaderSize:])
+	if got := binary.LittleEndian.Uint32(data[28:]); got != crc {
+		return h, fmt.Errorf("%w: header says %#x, computed %#x", ErrChecksum, got, crc)
+	}
+	return h, nil
+}
+
+// appendDecoded deserializes a parsed frame's n records onto out.
+func appendDecoded(out []detect.SliceRecord, data []byte, n int) []detect.SliceRecord {
+	off := frameHeaderSize
+	for i := 0; i < n; i++ {
+		out = append(out, detect.SliceRecord{
+			Sensor:   int(binary.LittleEndian.Uint32(data[off:])),
+			Group:    int(binary.LittleEndian.Uint32(data[off+4:])),
+			Rank:     int(binary.LittleEndian.Uint32(data[off+8:])),
+			SliceNs:  int64(binary.LittleEndian.Uint64(data[off+12:])),
+			Count:    int32(binary.LittleEndian.Uint32(data[off+20:])),
+			AvgNs:    math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+			AvgInstr: math.Float64frombits(binary.LittleEndian.Uint64(data[off+32:])),
+		})
+		off += recordWireSize
+	}
+	return out
+}
+
+// decodeFrame parses and deserializes a whole frame (test/tooling helper;
+// the ingest path decodes straight into the server's log instead).
+func decodeFrame(data []byte) (FrameHeader, []detect.SliceRecord, error) {
+	h, err := ParseFrame(data)
+	if err != nil {
+		return h, nil, err
+	}
+	return h, appendDecoded(make([]detect.SliceRecord, 0, h.Count), data, h.Count), nil
+}

@@ -1,0 +1,440 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/obs"
+	"vsensor/internal/server"
+	"vsensor/internal/vm"
+)
+
+// Config tunes the reliable client side of the link.
+type Config struct {
+	// BatchSize is how many records a Conn buffers per frame (default
+	// server.DefaultBatchSize; 1 disables batching).
+	BatchSize int
+
+	// MaxRetries bounds delivery attempts per frame beyond the first;
+	// after that the frame is parked in the retransmit buffer (default 8).
+	MaxRetries int
+
+	// TimeoutNs is the virtual time charged for each failed attempt — the
+	// ack timeout the sender waits out before concluding loss (default
+	// 50µs).
+	TimeoutNs int64
+
+	// BackoffBaseNs is the first retry backoff; it doubles per retry up to
+	// BackoffMaxNs (defaults 20µs and 1ms).
+	BackoffBaseNs int64
+	BackoffMaxNs  int64
+
+	// BufferCap caps the retransmit buffer (parked frames) per Conn. When
+	// a frame parks beyond the cap, the *oldest* parked frame is dropped
+	// and its records are counted as lost — explicit drop-oldest
+	// backpressure instead of unbounded memory (default 64).
+	BufferCap int
+
+	// CloseAttempts bounds per-frame delivery attempts during Close's
+	// final drain, when there is no later flush to retry from (default 64).
+	CloseAttempts int
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxRetries    = 8
+	DefaultTimeoutNs     = 50_000
+	DefaultBackoffBaseNs = 20_000
+	DefaultBackoffMaxNs  = 1_000_000
+	DefaultBufferCap     = 64
+	DefaultCloseAttempts = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = server.DefaultBatchSize
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.TimeoutNs <= 0 {
+		c.TimeoutNs = DefaultTimeoutNs
+	}
+	if c.BackoffBaseNs <= 0 {
+		c.BackoffBaseNs = DefaultBackoffBaseNs
+	}
+	if c.BackoffMaxNs <= 0 {
+		c.BackoffMaxNs = DefaultBackoffMaxNs
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = DefaultBufferCap
+	}
+	if c.CloseAttempts <= 0 {
+		c.CloseAttempts = DefaultCloseAttempts
+	}
+	return c
+}
+
+// Link is the shared lossy medium in front of one analysis server. Conns
+// from every rank send through it; the FaultPlan decides each attempt's
+// fate. Safe for concurrent use by all rank goroutines.
+type Link struct {
+	srv  *server.Server
+	plan FaultPlan
+
+	mu       sync.Mutex
+	attempts int64 // delivery attempts that reached the "network"
+
+	// Observability handles (nil-safe no-ops when obs is off).
+	obsFrames    *obs.Counter
+	obsAcked     *obs.Counter
+	obsRetries   *obs.Counter
+	obsDropped   *obs.Counter
+	obsCorrupted *obs.Counter
+	obsDuped     *obs.Counter
+	obsReordered *obs.Counter
+	obsRejects   *obs.Counter
+	obsParked    *obs.Counter
+	obsLost      *obs.Counter
+}
+
+// NewLink wraps srv behind plan. A zero plan is a perfect (but still
+// framed, sequenced, and deduplicated) link.
+func NewLink(srv *server.Server, plan FaultPlan) *Link {
+	return &Link{srv: srv, plan: plan}
+}
+
+// Plan returns the link's fault plan.
+func (l *Link) Plan() FaultPlan { return l.plan }
+
+// Attempts returns how many delivery attempts reached the link so far.
+func (l *Link) Attempts() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.attempts
+}
+
+// SetObs attaches transport metrics. Call before the run starts.
+func (l *Link) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	l.obsFrames = o.Counter("transport_frames_total")
+	l.obsAcked = o.Counter("transport_acked_total")
+	l.obsRetries = o.Counter("transport_retries_total")
+	l.obsDropped = o.Counter("transport_dropped_total")
+	l.obsCorrupted = o.Counter("transport_corrupted_total")
+	l.obsDuped = o.Counter("transport_duplicated_total")
+	l.obsReordered = o.Counter("transport_reordered_total")
+	l.obsRejects = o.Counter("transport_server_down_rejects_total")
+	l.obsParked = o.Counter("transport_parked_total")
+	l.obsLost = o.Counter("transport_records_lost_total")
+}
+
+// deliver is one attempt reaching the network: it applies the crash window
+// and hands the frame (and its reorder/duplicate fate) to the server.
+// Returns true when the sender gets an ack. corrupt, when non-nil, is the
+// bit-flipped copy that arrives instead of the frame.
+func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.attempts++
+	if l.plan.CrashAfterFrames > 0 &&
+		l.attempts > l.plan.CrashAfterFrames &&
+		l.attempts <= l.plan.CrashAfterFrames+l.plan.CrashDownFrames {
+		l.obsRejects.Inc()
+		return false
+	}
+	if corrupt != nil {
+		// The damaged copy reaches the server, which rejects it by CRC;
+		// the sender never gets an ack.
+		_ = l.srv.Receive(corrupt)
+		l.obsCorrupted.Inc()
+		return false
+	}
+	// An older held frame arrives after the newer one overtook it.
+	if c.held != nil && !reorder {
+		held := c.held
+		c.held = nil
+		_ = l.srv.Receive(held)
+	}
+	if reorder && c.held == nil {
+		// The frame lingers in flight; it will arrive after the rank's
+		// next frame (or at Close). The sender still gets its ack — from
+		// its view the frame was accepted by the network.
+		c.held = append([]byte(nil), frame...)
+		l.obsReordered.Inc()
+		return true
+	}
+	if err := l.srv.Receive(frame); err != nil {
+		return false
+	}
+	if dup {
+		// Ack lost → sender-side retransmit arrives too; the server's
+		// sequence dedup absorbs it.
+		_ = l.srv.Receive(frame)
+		l.obsDuped.Inc()
+	}
+	return true
+}
+
+// release flushes a Conn's held (reordered) frame at close time.
+func (l *Link) release(c *Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c.held != nil {
+		_ = l.srv.Receive(c.held)
+		c.held = nil
+	}
+}
+
+// Conn is one rank's reliable connection over the link. It implements
+// detect.Emitter and vm.ClockBinder. Not safe for concurrent use; each
+// rank owns one Conn and calls it from its own goroutine.
+type Conn struct {
+	link  *Link
+	rank  int
+	cfg   Config
+	clock vm.Clock
+	rng   *rand.Rand
+
+	buf []detect.SliceRecord
+	enc []byte // reusable wire buffer
+	seq uint64
+	cum uint64
+
+	// parked is the capped retransmit buffer: frames that exhausted their
+	// retries, oldest first.
+	parked [][]byte
+	// held is the in-flight reordered frame, owned by the link under its
+	// mutex.
+	held []byte
+
+	framesSent  int64
+	recordsSent int64
+	bytesSent   int64
+	retries     int64
+	waitNs      int64
+	lostFrames  int64
+	lostRecords int64
+}
+
+// NewConn creates the rank's connection. The fault stream is seeded by
+// (plan.Seed, rank), so each rank's fault schedule is deterministic and
+// independent of goroutine interleaving.
+func (l *Link) NewConn(rank int, cfg Config) *Conn {
+	seed := int64(uint64(l.plan.Seed)*0x9e3779b97f4a7c15 + uint64(rank)*0x100000001b3 + 0x632be5)
+	return &Conn{
+		link: l,
+		rank: rank,
+		cfg:  cfg.withDefaults(),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// BindClock attaches the rank's virtual clock (vm.ClockBinder); retry
+// timeouts, backoff, and injected delays are charged to it.
+func (c *Conn) BindClock(clk vm.Clock) { c.clock = clk }
+
+// charge advances the rank's virtual clock by ns.
+func (c *Conn) charge(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	c.waitNs += ns
+	if c.clock != nil {
+		c.clock.AdvanceTo(c.clock.Now() + ns)
+	}
+}
+
+// OnSlice buffers one record, flushing when the batch is full
+// (detect.Emitter).
+func (c *Conn) OnSlice(r detect.SliceRecord) error {
+	c.buf = append(c.buf, r)
+	if len(c.buf) >= c.cfg.BatchSize {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Flush first retries parked frames, then sends the buffered records as one
+// new sequenced frame. The returned error reports backpressure loss
+// (drop-oldest evictions), not transient failures — those are retried.
+func (c *Conn) Flush() error {
+	err := c.drainParked(c.cfg.MaxRetries)
+	if len(c.buf) == 0 {
+		return err
+	}
+	c.seq++
+	c.cum += uint64(len(c.buf))
+	h := server.FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
+	c.enc = server.AppendFrame(c.enc[:0], h, c.buf)
+	c.recordsSent += int64(len(c.buf))
+	c.buf = c.buf[:0]
+	c.link.obsFrames.Inc()
+	if terr := c.transmit(c.enc, c.cfg.MaxRetries); terr != nil && err == nil {
+		err = terr
+	}
+	return err
+}
+
+// transmit pushes one frame with bounded retry + exponential backoff. On
+// exhaustion the frame parks in the retransmit buffer; the returned error
+// is non-nil only when parking evicted an older frame (data loss).
+func (c *Conn) transmit(frame []byte, maxRetries int) error {
+	backoff := c.cfg.BackoffBaseNs
+	for try := 0; ; try++ {
+		if c.attempt(frame) {
+			c.framesSent++
+			c.bytesSent += int64(len(frame))
+			c.link.obsAcked.Inc()
+			return nil
+		}
+		if try >= maxRetries {
+			return c.park(frame)
+		}
+		c.retries++
+		c.link.obsRetries.Inc()
+		c.charge(c.cfg.TimeoutNs + backoff)
+		backoff *= 2
+		if backoff > c.cfg.BackoffMaxNs {
+			backoff = c.cfg.BackoffMaxNs
+		}
+	}
+}
+
+// attempt rolls the fault dice for one delivery attempt and hands the frame
+// to the link. Returns true on ack.
+func (c *Conn) attempt(frame []byte) bool {
+	p := &c.link.plan
+	if p.DelayNs > 0 {
+		c.charge(c.rng.Int63n(p.DelayNs + 1))
+	}
+	if p.Drop > 0 && c.rng.Float64() < p.Drop {
+		c.link.obsDropped.Inc()
+		return false
+	}
+	var corrupt []byte
+	if p.Corrupt > 0 && c.rng.Float64() < p.Corrupt {
+		corrupt = append([]byte(nil), frame...)
+		bit := c.rng.Intn(len(corrupt) * 8)
+		corrupt[bit/8] ^= 1 << (bit % 8)
+	}
+	dup := p.Dup > 0 && c.rng.Float64() < p.Dup
+	reorder := p.Reorder > 0 && c.rng.Float64() < p.Reorder
+	return c.link.deliver(c, frame, corrupt, dup, reorder)
+}
+
+// park appends a frame to the retransmit buffer, evicting the oldest frame
+// beyond the cap (drop-oldest backpressure). Evictions are counted as lost
+// records and reported as an error.
+func (c *Conn) park(frame []byte) error {
+	c.parked = append(c.parked, append([]byte(nil), frame...))
+	c.link.obsParked.Inc()
+	if len(c.parked) <= c.cfg.BufferCap {
+		return nil
+	}
+	oldest := c.parked[0]
+	copy(c.parked, c.parked[1:])
+	c.parked = c.parked[:len(c.parked)-1]
+	lost := int64(0)
+	if h, err := server.ParseFrame(oldest); err == nil {
+		lost = int64(h.Count)
+	}
+	c.lostFrames++
+	c.lostRecords += lost
+	c.link.obsLost.Add(lost)
+	return fmt.Errorf("transport: rank %d retransmit buffer full (cap %d), dropped oldest frame (%d records)",
+		c.rank, c.cfg.BufferCap, lost)
+}
+
+// drainParked retries parked frames oldest-first, stopping at the first
+// frame that still cannot be delivered (preserving order).
+func (c *Conn) drainParked(maxRetries int) error {
+	var err error
+	for len(c.parked) > 0 {
+		frame := c.parked[0]
+		backoff := c.cfg.BackoffBaseNs
+		ok := false
+		for try := 0; try <= maxRetries; try++ {
+			if c.attempt(frame) {
+				ok = true
+				break
+			}
+			c.retries++
+			c.link.obsRetries.Inc()
+			c.charge(c.cfg.TimeoutNs + backoff)
+			backoff *= 2
+			if backoff > c.cfg.BackoffMaxNs {
+				backoff = c.cfg.BackoffMaxNs
+			}
+		}
+		if !ok {
+			return err
+		}
+		c.framesSent++
+		c.bytesSent += int64(len(frame))
+		c.link.obsAcked.Inc()
+		copy(c.parked, c.parked[1:])
+		c.parked = c.parked[:len(c.parked)-1]
+	}
+	return err
+}
+
+// Close flushes buffered records, makes a final persistent attempt at every
+// parked frame (CloseAttempts each), releases any held reordered frame,
+// and reports frames that were abandoned as lost.
+func (c *Conn) Close() error {
+	err := c.Flush()
+	if derr := c.drainParked(c.cfg.CloseAttempts); derr != nil && err == nil {
+		err = derr
+	}
+	if n := len(c.parked); n > 0 {
+		for _, f := range c.parked {
+			lost := int64(0)
+			if h, perr := server.ParseFrame(f); perr == nil {
+				lost = int64(h.Count)
+			}
+			c.lostFrames++
+			c.lostRecords += lost
+			c.link.obsLost.Add(lost)
+		}
+		c.parked = nil
+		lossErr := fmt.Errorf("transport: rank %d abandoned %d undeliverable frames at close", c.rank, n)
+		if err == nil {
+			err = lossErr
+		}
+	}
+	c.link.release(c)
+	return err
+}
+
+// ConnStats is a snapshot of one connection's delivery accounting.
+type ConnStats struct {
+	Rank        int
+	FramesSent  int64 // frames acked by the link (incl. parked retries)
+	RecordsSent int64 // records handed to Flush
+	BytesSent   int64
+	Retries     int64 // failed attempts that were retried
+	Parked      int   // frames currently in the retransmit buffer
+	LostFrames  int64 // frames evicted or abandoned (records lost)
+	LostRecords int64
+	WaitNs      int64 // virtual time charged for delays/timeouts/backoff
+}
+
+// Stats returns the connection's delivery accounting.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		Rank:        c.rank,
+		FramesSent:  c.framesSent,
+		RecordsSent: c.recordsSent,
+		BytesSent:   c.bytesSent,
+		Retries:     c.retries,
+		Parked:      len(c.parked),
+		LostFrames:  c.lostFrames,
+		LostRecords: c.lostRecords,
+		WaitNs:      c.waitNs,
+	}
+}

@@ -1,0 +1,359 @@
+package transport
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/server"
+)
+
+// sortRecords orders a record log canonically so logs can be compared
+// independently of delivery order.
+func sortRecords(recs []detect.SliceRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.SliceNs != b.SliceNs {
+			return a.SliceNs < b.SliceNs
+		}
+		if a.Sensor != b.Sensor {
+			return a.Sensor < b.Sensor
+		}
+		return a.Group < b.Group
+	})
+}
+
+// fakeClock implements vm.Clock for charge accounting.
+type fakeClock struct{ now int64 }
+
+func (f *fakeClock) Now() int64        { return f.now }
+func (f *fakeClock) AdvanceTo(t int64) { f.now = t }
+
+func rec(rank, i int) detect.SliceRecord {
+	return detect.SliceRecord{
+		Sensor: i % 7, Group: i % 3, Rank: rank,
+		SliceNs: int64(i) * 1_000_000, Count: 1, AvgNs: float64(100 + i%13),
+	}
+}
+
+func TestPerfectLinkDelivery(t *testing.T) {
+	srv := server.New()
+	link := NewLink(srv, FaultPlan{})
+	conn := link.NewConn(0, Config{BatchSize: 8})
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := conn.OnSlice(rec(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Records()); got != n {
+		t.Fatalf("records = %d, want %d", got, n)
+	}
+	cov := srv.Coverage()
+	if !cov.Complete() || cov.ExpectedRecords != n {
+		t.Errorf("coverage = %+v", cov)
+	}
+	st := conn.Stats()
+	if st.RecordsSent != n || st.Retries != 0 || st.LostRecords != 0 || st.WaitNs != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// A dropping link forces retries; each failed attempt charges timeout plus
+// growing backoff to the bound virtual clock.
+func TestRetryChargesClock(t *testing.T) {
+	srv := server.New()
+	link := NewLink(srv, FaultPlan{Seed: 1, Drop: 0.5})
+	clk := &fakeClock{}
+	conn := link.NewConn(0, Config{BatchSize: 4, TimeoutNs: 1000, BackoffBaseNs: 100, BackoffMaxNs: 400})
+	conn.BindClock(clk)
+	for i := 0; i < 64; i++ {
+		conn.OnSlice(rec(0, i))
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := conn.Stats()
+	if st.Retries == 0 {
+		t.Fatal("50% drop produced no retries")
+	}
+	if st.WaitNs == 0 || clk.now != st.WaitNs {
+		t.Errorf("wait=%d clock=%d; retry time not charged to the clock", st.WaitNs, clk.now)
+	}
+	// Minimum charge: every retry waits out at least the ack timeout.
+	if st.WaitNs < st.Retries*1000 {
+		t.Errorf("wait %d < retries %d * timeout", st.WaitNs, st.Retries)
+	}
+	if got := len(srv.Records()); got != 64 {
+		t.Errorf("records = %d, want 64 (drops must be retried)", got)
+	}
+}
+
+// With the link permanently down, frames park; beyond the buffer cap the
+// oldest parked frame is evicted and reported as an explicit error.
+func TestBufferCapDropOldest(t *testing.T) {
+	srv := server.New()
+	link := NewLink(srv, FaultPlan{Seed: 2, Drop: 1})
+	conn := link.NewConn(3, Config{
+		BatchSize: 2, MaxRetries: 1, BufferCap: 3,
+		TimeoutNs: 1, BackoffBaseNs: 1, CloseAttempts: 1,
+	})
+	var evictErr error
+	for i := 0; i < 12; i++ {
+		if err := conn.OnSlice(rec(3, i)); err != nil && evictErr == nil {
+			evictErr = err
+		}
+	}
+	if evictErr == nil {
+		t.Fatal("no backpressure error after overfilling the retransmit buffer")
+	}
+	if !strings.Contains(evictErr.Error(), "retransmit buffer full") {
+		t.Errorf("err = %v", evictErr)
+	}
+	st := conn.Stats()
+	if st.Parked != 3 {
+		t.Errorf("parked = %d, want cap 3", st.Parked)
+	}
+	// 6 frames sent, 3 parked, 3 evicted (2 records each).
+	if st.LostFrames != 3 || st.LostRecords != 6 {
+		t.Errorf("lost frames=%d records=%d", st.LostFrames, st.LostRecords)
+	}
+	if err := conn.Close(); err == nil {
+		t.Error("close on a dead link should report abandoned frames")
+	}
+	if st := conn.Stats(); st.Parked != 0 {
+		t.Errorf("parked after close = %d", st.Parked)
+	}
+	if got := len(srv.Records()); got != 0 {
+		t.Errorf("dead link delivered %d records", got)
+	}
+}
+
+// Frames rejected during the server's crash window are retried and land
+// after the restart: nothing is lost across a crash-restart.
+func TestCrashRestartRecovery(t *testing.T) {
+	srv := server.New()
+	link := NewLink(srv, FaultPlan{CrashAfterFrames: 5, CrashDownFrames: 10})
+	conn := link.NewConn(0, Config{BatchSize: 2, TimeoutNs: 1, BackoffBaseNs: 1, MaxRetries: 20})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := conn.OnSlice(rec(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Records()); got != n {
+		t.Fatalf("records = %d, want %d", got, n)
+	}
+	st := conn.Stats()
+	if st.Retries == 0 {
+		t.Error("crash window produced no retries")
+	}
+	if cov := srv.Coverage(); !cov.Complete() {
+		t.Errorf("coverage = %+v", cov)
+	}
+}
+
+// An always-duplicating link delivers every frame twice; the server's
+// sequence dedup keeps the log exactly-once.
+func TestDuplicatesAbsorbed(t *testing.T) {
+	srv := server.New()
+	link := NewLink(srv, FaultPlan{Dup: 1})
+	conn := link.NewConn(0, Config{BatchSize: 4})
+	const n = 20
+	for i := 0; i < n; i++ {
+		conn.OnSlice(rec(0, i))
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Records()); got != n {
+		t.Fatalf("records = %d, want %d exactly-once", got, n)
+	}
+	cov := srv.Coverage()
+	if cov.DupFrames != 5 {
+		t.Errorf("dup frames = %d, want 5 (one per frame)", cov.DupFrames)
+	}
+}
+
+// An always-reordering link holds each frame until the next one passes it;
+// the log still ends up complete, with the server having seen sequences out
+// of order.
+func TestReorderEventuallyDelivers(t *testing.T) {
+	srv := server.New()
+	link := NewLink(srv, FaultPlan{Reorder: 1})
+	conn := link.NewConn(0, Config{BatchSize: 2})
+	const n = 10
+	for i := 0; i < n; i++ {
+		conn.OnSlice(rec(0, i))
+	}
+	// Frame 1 is still held in flight until close releases it.
+	if got := len(srv.Records()); got != n-2 {
+		t.Fatalf("records before close = %d, want %d (one frame in flight)", got, n-2)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Records()); got != n {
+		t.Fatalf("records = %d, want %d", got, n)
+	}
+	if cov := srv.Coverage(); !cov.Complete() {
+		t.Errorf("coverage = %+v", cov)
+	}
+}
+
+// Corrupted frames reach the server, fail the CRC, and are retried intact.
+func TestCorruptionRetried(t *testing.T) {
+	srv := server.New()
+	link := NewLink(srv, FaultPlan{Seed: 3, Corrupt: 0.5})
+	conn := link.NewConn(0, Config{BatchSize: 4, TimeoutNs: 1, BackoffBaseNs: 1})
+	const n = 40
+	for i := 0; i < n; i++ {
+		conn.OnSlice(rec(0, i))
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Records()); got != n {
+		t.Fatalf("records = %d, want %d", got, n)
+	}
+	if cov := srv.Coverage(); cov.ChecksumErrors == 0 {
+		t.Error("50% corruption produced no checksum rejects")
+	}
+}
+
+// chaosPlan is the kitchen-sink fault plan the acceptance criteria name:
+// heavy drop, duplication, reordering, corruption, and one crash-restart.
+var chaosPlan = FaultPlan{
+	Seed: 11, Drop: 0.25, Dup: 0.1, Reorder: 0.15, Corrupt: 0.05,
+	CrashAfterFrames: 60, CrashDownFrames: 20,
+}
+
+// runRanks pushes the same synthetic workload through a link from concurrent
+// rank goroutines and returns the server.
+func runRanks(t *testing.T, plan FaultPlan, ranks, perRank int) *server.Server {
+	t.Helper()
+	srv := server.New()
+	link := NewLink(srv, plan)
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			conn := link.NewConn(rank, Config{
+				BatchSize: 8, TimeoutNs: 10, BackoffBaseNs: 10, MaxRetries: 12,
+			})
+			for i := 0; i < perRank; i++ {
+				if err := conn.OnSlice(rec(rank, i)); err != nil {
+					errs[rank] = err
+					return
+				}
+			}
+			errs[rank] = conn.Close()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return srv
+}
+
+// TestChaosExactlyOnce is the acceptance chaos test: under seeded drops,
+// duplicates, reordering, corruption, and a server crash-restart, the
+// server's final record log must equal the fault-free log after sorting —
+// exactly-once delivery of every record, from concurrent rank goroutines
+// (run under -race in CI).
+func TestChaosExactlyOnce(t *testing.T) {
+	const ranks, perRank = 8, 200
+	faulty := runRanks(t, chaosPlan, ranks, perRank)
+	clean := runRanks(t, FaultPlan{}, ranks, perRank)
+
+	got := faulty.Records()
+	want := clean.Records()
+	sortRecords(got)
+	sortRecords(want)
+	if len(got) != len(want) {
+		t.Fatalf("faulty log has %d records, clean has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs after sorting: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	cov := faulty.Coverage()
+	if !cov.Complete() {
+		t.Errorf("coverage incomplete: %+v", cov)
+	}
+	if cov.DupFrames == 0 || cov.ChecksumErrors == 0 {
+		t.Errorf("chaos plan injected no dups/corruption? coverage = %+v", cov)
+	}
+}
+
+// The per-rank fault streams are keyed by (seed, rank) only, so a rank's
+// delivery accounting is identical across runs regardless of interleaving.
+func TestFaultStreamDeterminism(t *testing.T) {
+	run := func() ConnStats {
+		srv := server.New()
+		link := NewLink(srv, FaultPlan{Seed: 5, Drop: 0.3, Corrupt: 0.1, DelayNs: 100})
+		conn := link.NewConn(2, Config{BatchSize: 4, TimeoutNs: 10, BackoffBaseNs: 10})
+		for i := 0; i < 80; i++ {
+			conn.OnSlice(rec(2, i))
+		}
+		conn.Close()
+		return conn.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed, different stats:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "drop=0.2,dup=0.05,reorder=0.1,corrupt=0.02,delay=20us,seed=7,crashafter=100,crashdown=20"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultPlan{
+		Seed: 7, Drop: 0.2, Dup: 0.05, Reorder: 0.1, Corrupt: 0.02,
+		DelayNs: 20_000, CrashAfterFrames: 100, CrashDownFrames: 20,
+	}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	// String renders back into parseable syntax.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("string round trip: %+v vs %+v", p2, p)
+	}
+	if got, err := ParsePlan(""); err != nil || !got.Zero() {
+		t.Errorf("empty spec: %+v, %v", got, err)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop", "drop=x", "drop=1.5", "drop=-0.1", "bogus=1", "delay=5xs",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

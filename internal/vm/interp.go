@@ -111,6 +111,9 @@ func newInterp(m *Machine, proc *mpisim.Proc, cfg Config) *interp {
 	}
 	if cfg.SinkFactory != nil {
 		in.sink = cfg.SinkFactory(proc.Rank)
+		if b, ok := in.sink.(ClockBinder); ok {
+			b.BindClock(proc)
+		}
 	}
 	if cfg.EventFactory != nil {
 		in.events = cfg.EventFactory(proc.Rank)

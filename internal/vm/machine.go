@@ -34,6 +34,21 @@ type Sink interface {
 	OnRecord(Record)
 }
 
+// Clock is the rank-local virtual-time view handed to sinks: Now reads the
+// rank's clock, AdvanceTo charges time to it. mpisim.Proc implements it.
+type Clock interface {
+	Now() int64
+	AdvanceTo(t int64)
+}
+
+// ClockBinder is implemented by sinks (or sink chains) that charge virtual
+// time to the rank they serve — e.g. a lossy-transport emitter whose retry
+// and backoff delays must show up in the rank's execution time. The VM
+// binds the rank's clock once, before execution starts.
+type ClockBinder interface {
+	BindClock(Clock)
+}
+
 // EventKind classifies runtime events for tracer/profiler baselines.
 type EventKind uint8
 

@@ -26,6 +26,12 @@ func RunScenario(name string, opt Options) (rep, baseline *Report, err error) {
 	if opt.Ranks == 0 {
 		opt.Ranks = sc.Ranks
 	}
+	// Scenario-declared transport faults apply unless the caller brought
+	// their own plan. The baseline run below is uninstrumented, so faults
+	// never touch it either way.
+	if opt.Faults == nil && sc.Faults != nil {
+		opt.Faults = sc.Faults
+	}
 
 	var baseNs int64
 	if sc.NeedsBaseline() {

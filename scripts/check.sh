@@ -1,16 +1,21 @@
 #!/bin/sh
-# Full repository check: build, vet, race-enabled tests, a race-enabled
-# benchmark smoke (one iteration through the interpreter hot loop), then
-# the observability and VM hot-path benchmarks. Benchmark results are
-# written to BENCH_obs.json and BENCH_vm.json so successive PRs can diff
-# overhead and interpreter-speed numbers.
+# Full repository check: build, vet, race-enabled tests (including the
+# transport chaos test), a race-enabled benchmark smoke, a coverage-guided
+# fuzz smoke over every fuzz target, then the observability / VM / transport
+# benchmarks. Benchmark results are written to BENCH_obs.json, BENCH_vm.json,
+# and BENCH_transport.json so successive PRs can diff overhead,
+# interpreter-speed, and record-path numbers.
 #
-# Usage: scripts/check.sh [obs-output.json] [vm-output.json]
+# FUZZTIME (default 10s) is the budget per fuzz target.
+#
+# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 obs_out="${1:-BENCH_obs.json}"
 vm_out="${2:-BENCH_vm.json}"
+transport_out="${3:-BENCH_transport.json}"
+fuzztime="${FUZZTIME:-10s}"
 
 echo "== go build ./..."
 go build ./...
@@ -21,8 +26,17 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== race-enabled transport chaos (drop+dup+reorder+corrupt+crash, exactly-once)"
+go test -race -run 'TestChaosExactlyOnce$' -count 1 ./internal/transport
+
 echo "== race-enabled benchmark smoke"
 go test -race -run '^$' -bench 'BenchmarkInterpHotLoop$' -benchtime 1x ./internal/vm
+
+echo "== fuzz smoke ($fuzztime per target)"
+go test -run '^$' -fuzz 'FuzzBatchRoundTrip$' -fuzztime "$fuzztime" ./internal/server
+go test -run '^$' -fuzz 'FuzzCheckBatch$' -fuzztime "$fuzztime" ./internal/server
+go test -run '^$' -fuzz 'FuzzParse$' -fuzztime "$fuzztime" ./internal/minic
+go test -run '^$' -fuzz 'FuzzLex$' -fuzztime "$fuzztime" ./internal/minic
 
 # bench_json PATTERN PKG OUT runs the benchmarks and renders each
 # "BenchmarkX-N  iters  ns/op  B/op  allocs/op" line as a JSON entry.
@@ -52,3 +66,7 @@ bench_json 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkSpanStartEn
 echo "== vm execution-engine benchmarks"
 bench_json 'BenchmarkVarAccess$|BenchmarkInterpHotLoop$|BenchmarkRankRunE2E$' \
     ./internal/vm "$vm_out"
+
+echo "== record-transport benchmarks"
+bench_json 'BenchmarkFrameRoundTrip$|BenchmarkConnFlush$|BenchmarkConnFlushFaulty$' \
+    ./internal/transport "$transport_out"

@@ -1,0 +1,145 @@
+package vsensor_test
+
+import (
+	"strings"
+	"testing"
+
+	vsensor "vsensor"
+	"vsensor/internal/cluster"
+	"vsensor/internal/obs"
+	"vsensor/internal/transport"
+)
+
+const lossySrc = `
+func main() {
+    for (int i = 0; i < 50; i++) {
+        for (int k = 0; k < 8; k++) {
+            mem(4000);
+        }
+        mpi_allreduce(64, 1.0);
+    }
+}`
+
+func lossyCluster() *cluster.Cluster {
+	cl := cluster.New(cluster.Config{Nodes: 4, RanksPerNode: 4})
+	cl.SetNodeMemSpeed(2, 0.5)
+	return cl
+}
+
+// The full pipeline over the fault-injectable transport: every injected
+// outlier must still be detected, and coverage must account for every record
+// the ranks sent.
+func TestPipelineOverLossyTransport(t *testing.T) {
+	plan := &transport.FaultPlan{
+		Seed: 9, Drop: 0.25, Dup: 0.1, Reorder: 0.12, Corrupt: 0.05,
+		CrashAfterFrames: 30, CrashDownFrames: 10,
+	}
+	rep, err := vsensor.Run(lossySrc, vsensor.Options{
+		Ranks: 16, Cluster: lossyCluster(), Faults: plan, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Link == nil {
+		t.Fatal("Faults set but Report.Link is nil")
+	}
+	cov := rep.Coverage()
+	if !cov.Complete() || cov.ExpectedRecords == 0 {
+		t.Fatalf("coverage = %+v, want complete", cov)
+	}
+	if cov.DupFrames == 0 && cov.ChecksumErrors == 0 {
+		t.Errorf("fault plan injected nothing? coverage = %+v", cov)
+	}
+
+	// The slow node's ranks (8-11) must dominate the inter-process outliers.
+	report := rep.Server.InterProcessReport(0.85)
+	if report.Confidence != 1 {
+		t.Errorf("confidence = %v with complete coverage", report.Confidence)
+	}
+	byNode := map[int]int{}
+	for _, o := range report.Outliers {
+		byNode[o.Rank/4]++
+	}
+	if len(report.Outliers) == 0 {
+		t.Fatal("no outliers detected over the lossy link")
+	}
+	best, bestN := -1, -1
+	for n, c := range byNode {
+		if c > bestN {
+			best, bestN = n, c
+		}
+	}
+	if best != 2 {
+		t.Errorf("dominant outlier node = %d (counts %v), want the injected node 2", best, byNode)
+	}
+}
+
+// The default path (no Faults, no Transport) must not create a link — it is
+// the bit-identical direct delivery that TestEngineInvariance pins.
+func TestDefaultPathHasNoLink(t *testing.T) {
+	rep, err := vsensor.Run(lossySrc, vsensor.Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Link != nil {
+		t.Error("direct path created a transport link")
+	}
+	if cov := rep.Coverage(); !cov.Complete() {
+		t.Errorf("direct path coverage = %+v", cov)
+	}
+}
+
+// An explicit Transport config without faults routes through the link too
+// (production-shaped path over a perfect network).
+func TestTransportConfigWithoutFaults(t *testing.T) {
+	rep, err := vsensor.Run(lossySrc, vsensor.Options{
+		Ranks: 4, Transport: &transport.Config{BatchSize: 4, MaxRetries: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Link == nil {
+		t.Fatal("Transport set but no link created")
+	}
+	if !rep.Link.Plan().Zero() {
+		t.Errorf("plan = %v, want zero", rep.Link.Plan())
+	}
+	if cov := rep.Coverage(); !cov.Complete() || cov.ExpectedRecords == 0 {
+		t.Errorf("coverage = %+v", cov)
+	}
+}
+
+// Transport metrics and coverage gauges surface through the obs registry.
+func TestTransportObsMetrics(t *testing.T) {
+	o := obs.New()
+	plan := &transport.FaultPlan{Seed: 4, Drop: 0.3, Corrupt: 0.05}
+	rep, err := vsensor.Run(lossySrc, vsensor.Options{
+		Ranks: 8, Cluster: lossyCluster(), Faults: plan, BatchSize: 4, Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := o.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"transport_frames_total", "transport_acked_total", "transport_retries_total",
+		"transport_dropped_total", "server_records_expected", "server_records_ingested",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metric %s missing from /metrics", name)
+		}
+	}
+	reg := o.Registry()
+	if v := reg.Counter("transport_retries_total").Value(); v == 0 {
+		t.Error("30% drop produced no retries in transport_retries_total")
+	}
+	cov := rep.Coverage()
+	exp := reg.Gauge("server_records_expected").Value()
+	ing := reg.Gauge("server_records_ingested").Value()
+	if exp != float64(cov.ExpectedRecords) || ing != float64(cov.IngestedRecords) {
+		t.Errorf("gauges expected=%v ingested=%v, coverage %+v", exp, ing, cov)
+	}
+}

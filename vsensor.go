@@ -38,6 +38,7 @@ import (
 	"vsensor/internal/server"
 	"vsensor/internal/stats"
 	"vsensor/internal/tracer"
+	"vsensor/internal/transport"
 	"vsensor/internal/vis"
 	"vsensor/internal/vm"
 )
@@ -67,6 +68,17 @@ type Options struct {
 	// BatchSize is the analysis-server client batch (default 64; 1
 	// disables batching).
 	BatchSize int
+
+	// Transport tunes the reliable record link to the analysis server
+	// (retry, backoff, retransmit buffer). Nil with Faults nil keeps the
+	// direct in-process delivery path.
+	Transport *transport.Config
+
+	// Faults injects transport faults (drop/dup/reorder/delay/corrupt and
+	// server crash-restart) on the record link. Setting it routes every
+	// rank's records through internal/transport; retry and backoff delays
+	// are charged to the ranks' virtual clocks.
+	Faults *transport.FaultPlan
 
 	// ProbeCostNs is the virtual cost of each Tick/Tock probe (what makes
 	// overhead non-zero). Default 25ns.
@@ -115,6 +127,7 @@ type Report struct {
 	Instrumented *instrument.Instrumented // nil for uninstrumented runs
 	Result       *vm.Result
 	Server       *server.Server
+	Link         *transport.Link // non-nil when the run used the fault-injectable transport
 	Detectors    []*detect.Detector
 	Records      []vm.Record // raw sensor records if collected
 	Profiler     *profiler.Profile
@@ -211,18 +224,42 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		opt.Detect.Obs = o
 		vcfg.ProbeCostNs = opt.ProbeCostNs
 
+		// The record path: direct in-process delivery by default, or the
+		// fault-injectable transport link when Options.Faults/Transport
+		// ask for the production-shaped path.
+		if opt.Faults != nil || opt.Transport != nil {
+			plan := transport.FaultPlan{}
+			if opt.Faults != nil {
+				plan = *opt.Faults
+			}
+			rep.Link = transport.NewLink(rep.Server, plan)
+			rep.Link.SetObs(o)
+		}
+		tcfg := transport.Config{}
+		if opt.Transport != nil {
+			tcfg = *opt.Transport
+		}
+		if tcfg.BatchSize == 0 {
+			tcfg.BatchSize = opt.BatchSize
+		}
+
 		meta := make([]detect.Sensor, len(rep.Instrumented.Sensors))
 		for i, s := range rep.Instrumented.Sensors {
 			meta[i] = detect.Sensor{ID: s.ID, Type: s.Type, ProcessFixed: s.ProcessFixed, Name: s.Name}
 		}
 		rep.Detectors = make([]*detect.Detector, opt.Ranks)
-		clients := make([]*server.Client, opt.Ranks)
+		emitters := make([]detect.Emitter, opt.Ranks)
 		vcfg.SinkFactory = func(rank int) vm.Sink {
-			client := rep.Server.NewClient(opt.BatchSize)
-			d := detect.New(rank, meta, opt.Detect, client)
+			var emitter detect.Emitter
+			if rep.Link != nil {
+				emitter = rep.Link.NewConn(rank, tcfg)
+			} else {
+				emitter = rep.Server.NewClient(rank, opt.BatchSize)
+			}
+			d := detect.New(rank, meta, opt.Detect, emitter)
 			mu.Lock()
 			rep.Detectors[rank] = d
-			clients[rank] = client
+			emitters[rank] = emitter
 			mu.Unlock()
 			if !opt.CollectRecords {
 				return d
@@ -239,9 +276,12 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 					d.Finish()
 				}
 			}
-			for _, c := range clients {
-				if c != nil {
-					c.Flush()
+			for _, e := range emitters {
+				switch em := e.(type) {
+				case *transport.Conn:
+					_ = em.Close() // loss is visible in Server.Coverage
+				case *server.Client:
+					_ = em.Flush()
 				}
 			}
 		}()
@@ -302,6 +342,7 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 			if srv != nil {
 				st["progress"] = srv.Progress()
 				st["per_rank"] = srv.PerRankProgress()
+				st["coverage"] = srv.Coverage()
 			}
 			return st
 		})
@@ -339,6 +380,14 @@ type recordCollector struct {
 func (rc *recordCollector) OnRecord(r vm.Record) {
 	rc.recs = append(rc.recs, r)
 	rc.next.OnRecord(r)
+}
+
+// BindClock forwards the rank clock through the tee so a transport emitter
+// behind the detector still charges virtual time.
+func (rc *recordCollector) BindClock(c vm.Clock) {
+	if b, ok := rc.next.(vm.ClockBinder); ok {
+		b.BindClock(c)
+	}
 }
 
 type multiEventSink []vm.EventSink
@@ -396,6 +445,17 @@ func (r *Report) DataVolume() int64 {
 		return 0
 	}
 	return r.Server.BytesReceived()
+}
+
+// Coverage returns the analysis server's delivery coverage: how completely
+// its record log reflects what the ranks sent. On the direct in-process
+// path it is always complete; under a faulty transport it quantifies what
+// was lost to backpressure.
+func (r *Report) Coverage() server.Coverage {
+	if r.Server == nil {
+		return server.Coverage{}
+	}
+	return r.Server.Coverage()
 }
 
 // TotalSeconds returns the job's virtual execution time in seconds.
