@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz chaos bench-obs bench-vm bench-transport check clean
+.PHONY: build test race vet cover fuzz chaos bench-obs bench-vm bench-transport bench-server check clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Coverage gate: full suite with -coverprofile, per-package delta table
+# against scripts/coverage_baseline.txt, hard failure if the total drops
+# below the seed baseline. Writes cover.out for `go tool cover -html`.
+cover:
+	sh scripts/cover.sh
 
 # Coverage-guided fuzz smoke over every fuzz target (wire codec, server
 # ingest, mini-C parser and lexer), FUZZTIME each. `go test -fuzz` takes one
@@ -48,10 +54,18 @@ bench-transport:
 	$(GO) test -run '^$$' -bench 'BenchmarkFrameRoundTrip$$|BenchmarkConnFlush$$|BenchmarkConnFlushFaulty$$' \
 	    -benchmem -benchtime 2s ./internal/transport
 
-# The full gate: build + vet + race tests + race chaos + fuzz smoke + bench
-# suites (writes BENCH_obs.json, BENCH_vm.json, BENCH_transport.json).
+# Analysis-server ingest benchmarks: the sharded incremental engine against
+# the embedded single-lock baseline at 64/512/4096 ranks; scripts/check.sh
+# writes the same set to BENCH_server.json.
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestParallel$$|BenchmarkIngestSingleLock$$' \
+	    -benchmem -benchtime 2s ./internal/server
+
+# The full gate: build + vet + race tests + race chaos + race conformance +
+# coverage gate + fuzz smoke + bench suites (writes BENCH_obs.json,
+# BENCH_vm.json, BENCH_transport.json, BENCH_server.json).
 check:
 	scripts/check.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json vsensor.test
+	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json cover.out vsensor.test

@@ -61,6 +61,8 @@ var (
 	httpAddr  = flag.String("http", "", "serve the live introspection endpoint on this address (/metrics, /status, /records)")
 	traceJSON = flag.String("trace-json", "", "write pipeline spans as Chrome trace_event JSON to this file")
 
+	serverShards = flag.Int("server-shards", 0, "analysis-server ingest shards, rounded up to a power of two (0 = default 16)")
+
 	faults = flag.String("faults", "", "inject record-transport faults, e.g. "+
 		"drop=0.2,dup=0.05,reorder=0.1,corrupt=0.02,delay=20us,seed=7,crashafter=100,crashdown=20")
 	retryMax     = flag.Int("retry-max", 0, "transport delivery retries per batch before it parks in the retransmit buffer (0 = default 8)")
@@ -69,8 +71,18 @@ var (
 	bufferCap    = flag.Int("buffer-cap", 0, "transport retransmit-buffer cap per rank; oldest frame dropped beyond it (0 = default 64)")
 )
 
-// applyTransport maps the -faults / retry knobs onto the run options.
+// applyTransport maps the -faults / retry / server knobs onto the run
+// options, rejecting nonsense values before the pipeline sees them.
 func applyTransport(opts *vsensor.Options) {
+	if *serverShards < 0 {
+		fatal(fmt.Errorf("bad -server-shards %d: shard count cannot be negative", *serverShards))
+	}
+	opts.ServerShards = *serverShards
+	if *retryMax < 0 || *bufferCap < 0 || *retryTimeout < 0 || *retryBackoff < 0 {
+		fatal(fmt.Errorf("transport knobs must be >= 0 (retry-max %d, buffer-cap %d, retry-timeout %s, retry-backoff %s)",
+			*retryMax, *bufferCap, *retryTimeout, *retryBackoff))
+	}
+	transportTuned := *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0
 	if *faults != "" {
 		plan, err := transport.ParsePlan(*faults)
 		if err != nil {
@@ -78,7 +90,7 @@ func applyTransport(opts *vsensor.Options) {
 		}
 		opts.Faults = &plan
 	}
-	if *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0 {
+	if transportTuned {
 		opts.Transport = &transport.Config{
 			MaxRetries:    *retryMax,
 			TimeoutNs:     retryTimeout.Nanoseconds(),
@@ -317,6 +329,9 @@ func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
 		}
 	}
 	rpn := (*ranks + nNodes - 1) / nNodes
+	if *badNode >= nNodes {
+		fatal(fmt.Errorf("conflicting knobs: -badnode %d but the cluster has %d nodes (see -nodes/-ranks)", *badNode, nNodes))
+	}
 	mk := func() *cluster.Cluster {
 		return cluster.New(cluster.Config{Nodes: nNodes, RanksPerNode: rpn})
 	}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CLI is tested by re-executing the test binary as the vsensor command:
+// TestMain dispatches to main() when VSENSOR_TEST_MAIN=1 is in the
+// environment, so every test below exercises the real flag parsing, the
+// real fatal() paths, and the real exit codes.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("VSENSOR_TEST_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes this test binary as `vsensor args...` and returns the
+// combined stdout, stderr, and exit code.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "VSENSOR_TEST_MAIN=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestFlagParsing(t *testing.T) {
+	tiny := filepath.Join("testdata", "tiny.mc")
+	tests := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr string // substring that must appear on stderr
+	}{
+		{
+			name:       "no arguments",
+			args:       nil,
+			wantCode:   2,
+			wantStderr: "usage: vsensor",
+		},
+		{
+			name:       "unknown command",
+			args:       []string{"frobnicate", tiny},
+			wantCode:   2,
+			wantStderr: "usage: vsensor",
+		},
+		{
+			name:       "missing program argument",
+			args:       []string{"run"},
+			wantCode:   2,
+			wantStderr: "usage: vsensor",
+		},
+		{
+			name:       "bad faults spec",
+			args:       []string{"run", "-faults", "drop=banana", tiny},
+			wantCode:   1,
+			wantStderr: "drop",
+		},
+		{
+			name:       "unknown fault key",
+			args:       []string{"run", "-faults", "explode=1", tiny},
+			wantCode:   1,
+			wantStderr: "explode",
+		},
+		{
+			name:       "negative server shards",
+			args:       []string{"run", "-server-shards", "-2", tiny},
+			wantCode:   1,
+			wantStderr: "server-shards",
+		},
+		{
+			name:       "non-integer server shards",
+			args:       []string{"run", "-server-shards", "many", tiny},
+			wantCode:   2,
+			wantStderr: "invalid value",
+		},
+		{
+			name:       "negative retry knob",
+			args:       []string{"run", "-retry-max", "-1", tiny},
+			wantCode:   1,
+			wantStderr: "transport knobs must be >= 0",
+		},
+		{
+			name:       "conflicting badnode and nodes",
+			args:       []string{"run", "-nodes", "2", "-badnode", "5", tiny},
+			wantCode:   1,
+			wantStderr: "conflicting knobs",
+		},
+		{
+			name:       "bad netwindow",
+			args:       []string{"run", "-netwindow", "0.5", tiny},
+			wantCode:   1,
+			wantStderr: "netwindow",
+		},
+		{
+			name:       "missing program file",
+			args:       []string{"run", "no-such-file.mc"},
+			wantCode:   1,
+			wantStderr: "no-such-file.mc",
+		},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, stderr, code := runCLI(t, tt.args...)
+			if code != tt.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %q)", code, tt.wantCode, stderr)
+			}
+			if !strings.Contains(stderr, tt.wantStderr) {
+				t.Errorf("stderr %q does not contain %q", stderr, tt.wantStderr)
+			}
+		})
+	}
+}
+
+// TestRunEndToEnd drives a full faulty run through the CLI and checks the
+// operator-facing contract: exit 0, a coverage summary line, and a valid
+// Chrome trace file from -trace-json.
+func TestRunEndToEnd(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	stdout, stderr, code := runCLI(t,
+		"run", "-q", "-ranks", "4", "-server-shards", "4",
+		"-faults", "drop=0.1,dup=0.05,seed=3",
+		"-trace-json", trace,
+		filepath.Join("testdata", "tiny.mc"))
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "execution time:") {
+		t.Errorf("stdout missing run summary:\n%s", stdout)
+	}
+	cov := ""
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "transport: plan") {
+			cov = line
+			break
+		}
+	}
+	if cov == "" {
+		t.Fatalf("stdout missing 'transport: plan' coverage line:\n%s", stdout)
+	}
+	if !strings.Contains(cov, "coverage") || !strings.Contains(cov, "records") {
+		t.Errorf("coverage line malformed: %q", cov)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("reading trace file: %v", err)
+	}
+	var trc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trc); err != nil {
+		t.Fatalf("-trace-json output is not valid trace_event JSON: %v", err)
+	}
+	if len(trc.TraceEvents) == 0 {
+		t.Error("trace file has no spans")
+	}
+	for i, ev := range trc.TraceEvents {
+		if _, ok := ev["name"]; !ok {
+			t.Fatalf("trace event %d has no name: %v", i, ev)
+		}
+	}
+}
+
+// TestAnalyzeEndToEnd covers the analyze command's identification table.
+func TestAnalyzeEndToEnd(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "analyze", filepath.Join("testdata", "tiny.mc"))
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{"snippets:", "v-sensors:", "instrumented:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, stdout)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// Window semantics are half-open [Start, End): the boundary instants decide
+// whether an injected variance episode bites on the exact tick a sensor
+// samples. These tests pin that contract directly and through every factor
+// path that composes windows.
+
+func TestWindowActiveBoundaries(t *testing.T) {
+	w := Window{Start: 100, End: 200, Factor: 0.5}
+	tests := []struct {
+		name string
+		t    int64
+		want bool
+	}{
+		{"well before", 0, false},
+		{"one before start", 99, false},
+		{"exactly at start", 100, true}, // Start is inclusive
+		{"inside", 150, true},
+		{"one before end", 199, true},
+		{"exactly at end", 200, false}, // End is exclusive
+		{"after", 300, false},
+		{"negative time", -5, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := w.active(tt.t); got != tt.want {
+				t.Errorf("Window[100,200).active(%d) = %v, want %v", tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWindowZeroLength(t *testing.T) {
+	w := Window{Start: 100, End: 100, Factor: 0.5}
+	for _, tm := range []int64{99, 100, 101} {
+		if w.active(tm) {
+			t.Errorf("zero-length window active at %d", tm)
+		}
+	}
+}
+
+func TestNetFactorWindows(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	c.AddNetWindow(100, 200, 0.5)
+	c.AddNetWindow(150, 300, 0.2) // overlaps [150,200)
+	tests := []struct {
+		name string
+		t    int64
+		want float64
+	}{
+		{"before any window", 50, 1.0},
+		{"first window start", 100, 0.5},
+		{"only first window", 149, 0.5},
+		{"overlap start: factors multiply", 150, 0.1},
+		{"overlap end boundary", 199, 0.1},
+		{"first window closed at its End", 200, 0.2},
+		{"only second window", 250, 0.2},
+		{"second window closed", 300, 1.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.NetFactor(tt.t); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("NetFactor(%d) = %g, want %g", tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCPUFactorWindowBoundaries(t *testing.T) {
+	c := New(Config{Nodes: 2, RanksPerNode: 1})
+	c.AddCPUNoise(0, 1000, 2000, 0.25)
+	tests := []struct {
+		name string
+		rank int
+		t    int64
+		want float64
+	}{
+		{"noisy node at start tick", 0, 1000, 0.25},
+		{"noisy node one before end", 0, 1999, 0.25},
+		{"noisy node at end tick", 0, 2000, 1.0},
+		{"noisy node before window", 0, 999, 1.0},
+		{"other node unaffected inside window", 1, 1500, 1.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.CPUFactor(tt.rank, tt.t); got != tt.want {
+				t.Errorf("CPUFactor(rank=%d, t=%d) = %g, want %g", tt.rank, tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMemFactorOverlappingWindows(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	c.SetNodeMemSpeed(0, 0.8) // permanent degradation composes with windows
+	c.AddMemNoise(0, 100, 300, 0.5)
+	c.AddMemNoise(0, 200, 400, 0.5)
+	tests := []struct {
+		t    int64
+		want float64
+	}{
+		{50, 0.8},
+		{100, 0.4}, // base * first window
+		{199, 0.4},
+		{200, 0.2}, // base * both windows
+		{299, 0.2},
+		{300, 0.4}, // first window ends exactly here
+		{399, 0.4},
+		{400, 0.8}, // back to the permanent degradation only
+	}
+	for _, tt := range tests {
+		if got := c.MemFactor(0, tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("MemFactor(0, %d) = %g, want %g", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestIOFactorWindowBoundaries(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	c.AddIOWindow(100, 200, 0.1)
+	if got := c.IOFactor(100); got != 0.1 {
+		t.Errorf("IOFactor at window start = %g, want 0.1", got)
+	}
+	if got := c.IOFactor(200); got != 1.0 {
+		t.Errorf("IOFactor at window end = %g, want 1.0", got)
+	}
+	// The factor must flow into the cost model: degraded IO is 10x slower.
+	slow := c.IOCost(150, 1000)
+	fast := c.IOCost(200, 1000)
+	if slow != fast*10 {
+		t.Errorf("IOCost inside window = %d, outside = %d; want exactly 10x", slow, fast)
+	}
+}
+
+// OS noise is periodic: every Period ns the first Duration ns run slowed.
+// The boundary contract mirrors windows: tick t is noisy iff
+// t mod Period < Duration.
+func TestOSNoisePeriodBoundaries(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	c.SetOSNoise(1000, 100, 0.5)
+	tests := []struct {
+		name string
+		t    int64
+		want float64
+	}{
+		{"period start is noisy", 0, 0.5},
+		{"last noisy tick", 99, 0.5},
+		{"first quiet tick", 100, 1.0},
+		{"last quiet tick", 999, 1.0},
+		{"next period start is noisy again", 1000, 0.5},
+		{"next period last noisy tick", 1099, 0.5},
+		{"next period first quiet tick", 1100, 1.0},
+		{"far future period start", 1_000_000, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.CPUFactor(0, tt.t); got != tt.want {
+				t.Errorf("CPUFactor(0, %d) = %g, want %g", tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOSNoiseComposesWithCPUWindow(t *testing.T) {
+	c := New(Config{Nodes: 1, RanksPerNode: 1})
+	c.SetOSNoise(1000, 100, 0.5)
+	c.AddCPUNoise(0, 0, 50, 0.5)
+	if got := c.CPUFactor(0, 10); got != 0.25 {
+		t.Errorf("CPUFactor with window + OS noise = %g, want 0.25", got)
+	}
+	if got := c.CPUFactor(0, 50); got != 0.5 {
+		t.Errorf("CPUFactor with OS noise only = %g, want 0.5", got)
+	}
+}

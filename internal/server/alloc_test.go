@@ -7,9 +7,10 @@ import (
 )
 
 // TestFlushSteadyStateAllocs pins the client transfer path's allocation
-// behaviour: once the wire buffer and the server's rank-progress entries
-// are warm, shipping a batch allocates nothing beyond the server record
-// log's own (amortized, pre-sized here) growth.
+// behaviour: once the wire buffer, the shard's flow/progress entries, and
+// the epoch accumulators are warm, shipping a batch allocates nothing
+// beyond the (amortized, pre-sized here) growth of the shard sub-log, its
+// segment index, and the epochs' entry slices.
 func TestFlushSteadyStateAllocs(t *testing.T) {
 	s := New()
 	c := s.NewClient(3, 8)
@@ -21,11 +22,23 @@ func TestFlushSteadyStateAllocs(t *testing.T) {
 			AvgNs: 12.5, AvgInstr: 99,
 		}
 	}
-	// Pre-size the record log so its growth doesn't count against the
-	// per-flush path, and warm the client's buffers with one round.
-	s.records = make([]detect.SliceRecord, 0, 16<<10)
+	// Pre-size the append-only structures so their growth doesn't count
+	// against the per-flush path, and warm the client's buffers (and the
+	// epoch map entries) with one round.
+	sh := s.shardFor(3)
+	sh.records = make([]detect.SliceRecord, 0, 16<<10)
+	sh.segments = make([]segment, 0, 1<<10)
 	for _, r := range batch {
 		c.OnSlice(r)
+	}
+	for si := range s.an.stripes {
+		st := &s.an.stripes[si]
+		for k, ep := range st.epochs {
+			grown := make([]epochEntry, len(ep.entries), 1<<10)
+			copy(grown, ep.entries)
+			ep.entries = grown
+			st.epochs[k] = ep
+		}
 	}
 
 	avg := testing.AllocsPerRun(200, func() {

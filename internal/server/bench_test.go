@@ -1,0 +1,211 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vsensor/internal/detect"
+)
+
+// The benchmarks model the production streaming shape: many ranks deliver
+// sequenced frames concurrently while an operator dashboard polls
+// InterProcessReport on a fixed cadence. One benchmark op is one complete
+// streaming session (ingest everything + all polls), so ns/op is directly
+// comparable between the sharded incremental engine and the pre-shard
+// single-lock design embedded below as singleLockServer.
+
+const (
+	benchFramesPerRank = 4 // one slice per frame
+	benchSensors       = 8 // records per frame
+	benchPolls         = 64
+	benchWorkers       = 8
+)
+
+// benchIngester is the surface both engines share for the session driver.
+type benchIngester interface {
+	Receive(frame []byte) error
+	Outliers(threshold float64) []Outlier
+}
+
+// singleLockServer replicates the seed design this PR replaced: one global
+// mutex guarding a flat append log plus per-rank dedup state, with outlier
+// analysis done as a full post-hoc scan of the log on every query.
+type singleLockServer struct {
+	mu      sync.Mutex
+	seen    map[int]map[uint64]bool
+	records []detect.SliceRecord
+}
+
+func newSingleLock() *singleLockServer {
+	return &singleLockServer{seen: make(map[int]map[uint64]bool)}
+}
+
+func (s *singleLockServer) Receive(frame []byte) error {
+	h, err := ParseFrame(frame)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.seen[h.Rank]
+	if f == nil {
+		f = make(map[uint64]bool)
+		s.seen[h.Rank] = f
+	}
+	if f[h.Seq] {
+		return nil
+	}
+	f[h.Seq] = true
+	s.records = appendDecoded(s.records, frame, int(h.Count))
+	return nil
+}
+
+func (s *singleLockServer) Outliers(threshold float64) []Outlier {
+	s.mu.Lock()
+	snap := make([]detect.SliceRecord, len(s.records))
+	copy(snap, s.records)
+	s.mu.Unlock()
+	return batchOutliers(snap, threshold)
+}
+
+// shardedIngester adapts *Server to the benchmark surface.
+type shardedIngester struct{ s *Server }
+
+func (a shardedIngester) Receive(frame []byte) error { return a.s.Receive(frame) }
+func (a shardedIngester) Outliers(threshold float64) []Outlier {
+	return a.s.InterProcessOutliers(threshold)
+}
+
+// buildBenchFrames pre-encodes the whole session: frames[rank][slice] holds
+// benchSensors records for that rank at that slice. Values are arranged so
+// some slices genuinely contain outliers (rank 0 runs slow).
+func buildBenchFrames(ranks int) [][][]byte {
+	frames := make([][][]byte, ranks)
+	recs := make([]detect.SliceRecord, benchSensors)
+	for rank := 0; rank < ranks; rank++ {
+		perRank := make([][]byte, benchFramesPerRank)
+		var cum uint64
+		for sl := 0; sl < benchFramesPerRank; sl++ {
+			for sn := 0; sn < benchSensors; sn++ {
+				avg := 100.0 + float64(sn)
+				if rank == 0 {
+					avg *= 2 // rank 0 is the straggler the analysis must find
+				}
+				recs[sn] = detect.SliceRecord{
+					Sensor:  sn,
+					Rank:    rank,
+					SliceNs: int64(sl) * 1_000_000,
+					Count:   4,
+					AvgNs:   avg,
+				}
+			}
+			cum += uint64(len(recs))
+			perRank[sl] = AppendFrame(nil, FrameHeader{Rank: rank, Seq: uint64(sl) + 1, CumRecords: cum}, recs)
+		}
+		frames[rank] = perRank
+	}
+	return frames
+}
+
+// runStreamingSession drives one full session: benchWorkers goroutines each
+// own a partition of the ranks and deliver frames slice-by-slice (so the
+// watermark advances the way a real run's does), polling outliers on a
+// cadence that totals benchPolls polls per session.
+func runStreamingSession(b *testing.B, ing benchIngester, frames [][][]byte) {
+	ranks := len(frames)
+	totalFrames := ranks * benchFramesPerRank
+	pollEvery := totalFrames / benchPolls
+	if pollEvery == 0 {
+		pollEvery = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < benchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			delivered := 0
+			for sl := 0; sl < benchFramesPerRank; sl++ {
+				for rank := w; rank < ranks; rank += benchWorkers {
+					if err := ing.Receive(frames[rank][sl]); err != nil {
+						b.Error(err)
+						return
+					}
+					delivered++
+					if delivered%pollEvery == 0 {
+						ing.Outliers(0.9)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ing.Outliers(0.9); len(got) == 0 {
+		b.Fatal("session produced no outliers; workload is miswired")
+	}
+}
+
+func benchSizes() []int { return []int{64, 512, 4096} }
+
+// BenchmarkIngestParallel is the sharded incremental engine under the
+// streaming workload. Compare against BenchmarkIngestSingleLock at the same
+// rank count; BENCH_server.json records both so the speedup is auditable.
+func BenchmarkIngestParallel(b *testing.B) {
+	for _, ranks := range benchSizes() {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			frames := buildBenchFrames(ranks)
+			records := ranks * benchFramesPerRank * benchSensors
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runStreamingSession(b, shardedIngester{NewSharded(DefaultShards)}, frames)
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkIngestSingleLock is the recorded baseline: the seed's
+// one-mutex, scan-everything design under the identical workload.
+func BenchmarkIngestSingleLock(b *testing.B) {
+	for _, ranks := range benchSizes() {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			frames := buildBenchFrames(ranks)
+			records := ranks * benchFramesPerRank * benchSensors
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runStreamingSession(b, newSingleLock(), frames)
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// TestStreamingSessionEnginesAgree pins that the two benchmark engines
+// compute the same final answer, so the benchmark comparison is apples to
+// apples.
+func TestStreamingSessionEnginesAgree(t *testing.T) {
+	frames := buildBenchFrames(64)
+	sharded := shardedIngester{NewSharded(DefaultShards)}
+	single := newSingleLock()
+	for sl := 0; sl < benchFramesPerRank; sl++ {
+		for rank := 0; rank < len(frames); rank++ {
+			if err := sharded.Receive(frames[rank][sl]); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Receive(frames[rank][sl]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, bb := sharded.Outliers(0.9), single.Outliers(0.9)
+	if len(a) == 0 || len(a) != len(bb) {
+		t.Fatalf("engines disagree: sharded %d outliers, single-lock %d", len(a), len(bb))
+	}
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("outlier %d differs: %+v vs %+v", i, a[i], bb[i])
+		}
+	}
+}

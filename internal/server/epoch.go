@@ -1,0 +1,231 @@
+package server
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/obs"
+)
+
+// The incremental inter-process analyzer. Instead of recomputing
+// InterProcessOutliers as a full post-hoc scan over the entire record log,
+// every arriving record is folded into the epoch accumulator for its
+// (sensor, group, time-slice) key as it is ingested. A query then only has
+// to evaluate the epochs that are still open: once the cross-rank watermark
+// (the earliest slice any reporting rank is still working on) passes an
+// epoch's slice, the epoch's outlier set is computed one final time, cached,
+// and the epoch is closed — closed epochs contribute their cached result to
+// every later query at no recompute cost.
+//
+// Closed epochs are immutable but not discarded: a late record (a
+// retransmitted or reordered frame arriving after the watermark passed)
+// reopens its epoch, invalidating the cached result. That reopen rule is
+// what makes the incremental result *exactly* equal to a batch recompute
+// over the final log under any ingest permutation — the property the
+// differential conformance test pins.
+const epochStripes = 64 // power of two; stripes the analyzer's lock by key hash
+
+type epochKey struct {
+	sensor int32
+	group  int32
+	slice  int64
+}
+
+// epochEntry is one folded record's contribution: the sending rank and its
+// average time, the inputs the cross-rank median comparison needs.
+type epochEntry struct {
+	rank int32
+	avg  float64
+}
+
+// epoch accumulates one (sensor, group, slice) group. Alongside the raw
+// entries (needed for the exact median), it maintains O(1) summary
+// statistics — count, mean, min/max with the ranks that set them — so
+// telemetry can describe an epoch without touching the entries.
+type epoch struct {
+	entries []epochEntry
+
+	sum              float64
+	min, max         float64
+	minRank, maxRank int32
+
+	// closed marks the epoch as past the watermark with its outlier set
+	// cached for closeThreshold. Reopened (and the cache dropped) if a late
+	// record arrives.
+	closed         bool
+	closeThreshold float64
+	cached         []Outlier
+}
+
+type epochStripe struct {
+	mu     sync.Mutex
+	epochs map[epochKey]*epoch
+}
+
+type analyzer struct {
+	stripes [epochStripes]epochStripe
+
+	open atomic.Int64 // currently open epochs
+
+	// Observability handles (nil-safe no-ops when obs is off).
+	obsOpen    *obs.Gauge     // server_epochs_open
+	obsClosed  *obs.Counter   // server_epochs_closed_total
+	obsReopens *obs.Counter   // server_epoch_reopens_total
+	obsLag     *obs.Histogram // server_epoch_lag_ns: watermark - slice at close
+}
+
+func newAnalyzer() *analyzer {
+	a := &analyzer{}
+	for i := range a.stripes {
+		a.stripes[i].epochs = make(map[epochKey]*epoch)
+	}
+	return a
+}
+
+func (a *analyzer) setObs(o *obs.Obs) {
+	a.obsOpen = o.Gauge("server_epochs_open")
+	a.obsClosed = o.Counter("server_epochs_closed_total")
+	a.obsReopens = o.Counter("server_epoch_reopens_total")
+	a.obsLag = o.Histogram("server_epoch_lag_ns")
+}
+
+func stripeOf(k epochKey) uint64 {
+	h := uint64(uint32(k.sensor))*0x9e3779b97f4a7c15 ^
+		uint64(uint32(k.group))*0xbf58476d1ce4e5b9 ^
+		uint64(k.slice)*0x94d049bb133111eb
+	return (h >> 32) & (epochStripes - 1)
+}
+
+// fold merges newly ingested records into their epochs. Called outside the
+// ingest shard's lock; stripes are keyed by (sensor, group, slice), so two
+// shards folding different sensors or slices proceed in parallel.
+func (a *analyzer) fold(recs []detect.SliceRecord) {
+	for i := range recs {
+		r := &recs[i]
+		k := epochKey{sensor: int32(r.Sensor), group: int32(r.Group), slice: r.SliceNs}
+		st := &a.stripes[stripeOf(k)]
+		st.mu.Lock()
+		ep := st.epochs[k]
+		if ep == nil {
+			ep = &epoch{min: math.Inf(1), max: math.Inf(-1), minRank: -1, maxRank: -1}
+			st.epochs[k] = ep
+			a.open.Add(1)
+		}
+		if ep.closed {
+			ep.closed = false
+			ep.cached = nil
+			a.open.Add(1)
+			a.obsReopens.Inc()
+		}
+		ep.entries = append(ep.entries, epochEntry{rank: int32(r.Rank), avg: r.AvgNs})
+		ep.sum += r.AvgNs
+		if r.AvgNs < ep.min {
+			ep.min = r.AvgNs
+			ep.minRank = int32(r.Rank)
+		}
+		if r.AvgNs > ep.max {
+			ep.max = r.AvgNs
+			ep.maxRank = int32(r.Rank)
+		}
+		st.mu.Unlock()
+	}
+	// Refresh the gauge on the ingest path too, so a dashboard watching a
+	// run that has not been queried yet still sees the epoch population.
+	a.obsOpen.Set(float64(a.open.Load()))
+}
+
+// outliers evaluates every epoch against threshold. Open epochs (and closed
+// epochs queried at a different threshold) are recomputed; epochs whose
+// slice the watermark has passed are closed with their result cached.
+// The returned slice is unsorted; the caller applies the canonical order.
+func (a *analyzer) outliers(threshold float64, watermark int64, haveWatermark bool) []Outlier {
+	var out []Outlier
+	var scratch []float64
+	for si := range a.stripes {
+		st := &a.stripes[si]
+		st.mu.Lock()
+		for k, ep := range st.epochs {
+			if ep.closed && ep.closeThreshold == threshold {
+				out = append(out, ep.cached...)
+				continue
+			}
+			res := epochOutliers(k, ep, threshold, &scratch)
+			if wasClosed := ep.closed; wasClosed || (haveWatermark && k.slice < watermark) {
+				if !wasClosed {
+					a.open.Add(-1)
+					a.obsClosed.Inc()
+					a.obsLag.ObserveInt(watermark - k.slice)
+				}
+				ep.closed = true
+				ep.closeThreshold = threshold
+				ep.cached = res
+			}
+			out = append(out, res...)
+		}
+		st.mu.Unlock()
+	}
+	a.obsOpen.Set(float64(a.open.Load()))
+	return out
+}
+
+// epochOutliers computes one epoch's outlier set: ranks whose average time
+// exceeds the cross-rank median by more than 1/threshold. Identical math to
+// the batch recompute — median over the same value multiset, same quorum,
+// same comparison — so the result cannot depend on arrival order.
+func epochOutliers(k epochKey, ep *epoch, threshold float64, scratch *[]float64) []Outlier {
+	if len(ep.entries) < 3 {
+		return nil
+	}
+	vals := (*scratch)[:0]
+	for _, e := range ep.entries {
+		vals = append(vals, e.avg)
+	}
+	sort.Float64s(vals)
+	*scratch = vals
+	med := medianSorted(vals)
+	if med <= 0 {
+		return nil
+	}
+	var out []Outlier
+	for _, e := range ep.entries {
+		perf := med / e.avg
+		if perf < threshold {
+			out = append(out, Outlier{Sensor: int(k.sensor), SliceNs: k.slice, Rank: int(e.rank), Perf: perf})
+		}
+	}
+	return out
+}
+
+// EpochStats summarizes the analyzer's state for dashboards.
+type EpochStats struct {
+	Open   int64 // epochs still accepting records
+	Closed int64 // epochs sealed behind the watermark with cached results
+}
+
+// EpochStats returns the analyzer's open/closed epoch counts.
+func (s *Server) EpochStats() EpochStats {
+	var total int64
+	for si := range s.an.stripes {
+		st := &s.an.stripes[si]
+		st.mu.Lock()
+		total += int64(len(st.epochs))
+		st.mu.Unlock()
+	}
+	open := s.an.open.Load()
+	return EpochStats{Open: open, Closed: total - open}
+}
+
+// medianSorted returns the median of an already-sorted value slice.
+func medianSorted(vals []float64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

@@ -11,18 +11,36 @@ import (
 // a job is still running and update figures incrementally — the paper's
 // "the performance report is updated periodically, thus users can notice
 // performance variance without waiting for a program to finish" (§2).
+//
+// The cursor counts records in the linearized (ticket-ordered) log. Because
+// the snapshot only exposes the contiguous ticket prefix (see
+// orderedSegments), the merged log is strictly append-only across polls: a
+// frame whose ticket is committed but whose predecessor is still in flight
+// stays invisible until the predecessor lands, so a cursor handed back to
+// the caller never points past records a later poll would insert before it.
 func (s *Server) RecordsSince(cursor int) ([]detect.SliceRecord, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if cursor < 0 {
 		cursor = 0
 	}
-	if cursor > len(s.records) {
-		cursor = len(s.records)
+	segs := s.orderedSegments()
+	total := 0
+	for _, sg := range segs {
+		total += len(sg.recs)
 	}
-	out := make([]detect.SliceRecord, len(s.records)-cursor)
-	copy(out, s.records[cursor:])
-	return out, len(s.records)
+	if cursor > total {
+		cursor = total
+	}
+	out := make([]detect.SliceRecord, 0, total-cursor)
+	skip := cursor
+	for _, sg := range segs {
+		if skip >= len(sg.recs) {
+			skip -= len(sg.recs)
+			continue
+		}
+		out = append(out, sg.recs[skip:]...)
+		skip = 0
+	}
+	return out, total
 }
 
 // Progress summarizes how much data the server has seen, for live
@@ -37,17 +55,21 @@ type Progress struct {
 }
 
 // Progress returns a snapshot of the server's ingest state. All fields are
-// maintained incrementally at ingest, so a poll is O(1) regardless of how
-// many records have accumulated.
+// maintained incrementally at ingest, so a poll touches one counter per
+// shard regardless of how many records have accumulated.
 func (s *Server) Progress() Progress {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Progress{
-		Records:       len(s.records),
-		Messages:      s.messages,
-		Bytes:         s.bytesReceived,
-		LatestSliceNs: s.latestSliceNs,
+	var p Progress
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		p.Records += len(sh.records)
+		p.Messages += sh.messages
+		p.Bytes += sh.bytesReceived
+		if sh.latestSliceNs > p.LatestSliceNs {
+			p.LatestSliceNs = sh.latestSliceNs
+		}
+		sh.mu.Unlock()
 	}
+	return p
 }
 
 // RankProgress is one rank's ingest state, for live per-rank dashboards.
@@ -58,15 +80,31 @@ type RankProgress struct {
 }
 
 // PerRankProgress returns each rank's incremental ingest state in rank
-// order. Like Progress, it reads pre-aggregated state rather than
-// rescanning records.
+// order. Like Progress, it reads pre-aggregated per-shard state rather
+// than rescanning records.
 func (s *Server) PerRankProgress() []RankProgress {
-	s.mu.Lock()
-	out := make([]RankProgress, 0, len(s.perRank))
-	for _, rp := range s.perRank {
-		out = append(out, *rp)
+	// Records are routed to shards by the frame header's rank, but progress
+	// is keyed by the record payload's rank; a frame carrying records for a
+	// different rank would leave entries for one rank in two shards, so
+	// merge by rank before sorting.
+	merged := make(map[int]RankProgress)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, rp := range sh.perRank {
+			m := merged[rp.Rank]
+			m.Rank = rp.Rank
+			m.Records += rp.Records
+			if rp.LatestSliceNs > m.LatestSliceNs {
+				m.LatestSliceNs = rp.LatestSliceNs
+			}
+			merged[rp.Rank] = m
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
+	out := make([]RankProgress, 0, len(merged))
+	for _, m := range merged {
+		out = append(out, m)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
 	return out
 }

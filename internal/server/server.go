@@ -11,13 +11,25 @@
 // frames out of order, rejects corrupted frames, and tracks per-rank
 // delivery coverage so downstream analysis can report confidence on partial
 // data instead of silently degrading.
+//
+// Ingest is sharded: each sender rank's flow state, dedup window, progress
+// entries, and record sub-log live in the shard rank&mask selects (shard.go),
+// so Receives from different ranks proceed in parallel. A global arrival
+// ticket, assigned under the owning shard's lock, linearizes the sub-logs —
+// merging segments by ticket reproduces exactly the log a single global
+// lock would have built. Inter-process analysis is incremental (epoch.go):
+// records fold into per-(sensor, group, slice) epoch accumulators at ingest,
+// and a query only evaluates epochs the cross-rank watermark has not yet
+// sealed, instead of rescanning every record ever received.
 package server
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
-	"sync"
+	"strconv"
+	"sync/atomic"
 
 	"vsensor/internal/detect"
 	"vsensor/internal/obs"
@@ -26,6 +38,13 @@ import (
 // DefaultBatchSize is how many slice records a client buffers before
 // transferring them in one frame.
 const DefaultBatchSize = 64
+
+// DefaultShards is the ingest shard count when New is used directly.
+// Shard counts are rounded up to a power of two so rank routing is a mask.
+const DefaultShards = 16
+
+// MaxShards bounds the shard count a caller may request.
+const MaxShards = 1 << 10
 
 // rankFlow is the per-sender delivery-tracking state: dedup window and
 // coverage counters, keyed by the frame header's rank field.
@@ -42,26 +61,29 @@ type rankFlow struct {
 	ingestedRecords int64
 }
 
-// Server aggregates slice records from every rank.
+// Server aggregates slice records from every rank. Concurrent Receives from
+// ranks on different shards never contend; queries visit shards one at a
+// time and never block ingest for longer than one shard's critical section.
 type Server struct {
-	mu      sync.Mutex
-	records []detect.SliceRecord
+	shards []*shard
+	mask   uint32
 
-	bytesReceived int64
-	messages      int64
+	// ticket is the global arrival counter linearizing frames across
+	// shards; assigned under the ingesting shard's lock.
+	ticket atomic.Uint64
 
-	// Incremental progress state, maintained at ingest so Progress() and
-	// PerRankProgress() never rescan the record log.
-	latestSliceNs int64
-	perRank       map[int]*RankProgress
+	// an is the incremental inter-process analyzer (epoch.go).
+	an *analyzer
 
-	// Delivery tracking (dedup + coverage), keyed by frame sender rank.
-	flows           map[int]*rankFlow
-	dupFrames       int64
-	checksumErrors  int64
-	rejectedFrames  int64
-	expectedRecords int64 // sum over ranks of maxCum, maintained at ingest
-	ingestedRecords int64
+	// Frame rejections happen before a trustworthy rank exists, so they are
+	// accounted globally rather than per shard.
+	checksumErrors atomic.Int64
+	rejectedFrames atomic.Int64
+
+	// Whole-server coverage totals, mirrored from the shard-local flow
+	// bookkeeping so the obs gauges never need a cross-shard sweep.
+	expectedRecords atomic.Int64
+	ingestedRecords atomic.Int64
 
 	// Observability handles (nil-safe no-ops when obs is off).
 	obsMessages *obs.Counter
@@ -75,18 +97,48 @@ type Server struct {
 	obsIngested *obs.Gauge
 }
 
-// New creates an empty analysis server.
+// New creates an empty analysis server with DefaultShards ingest shards.
 func New() *Server {
-	return &Server{
-		perRank: make(map[int]*RankProgress),
-		flows:   make(map[int]*rankFlow),
-	}
+	return NewSharded(DefaultShards)
 }
 
+// NewSharded creates an analysis server with the given number of ingest
+// shards, rounded up to a power of two in [1, MaxShards]. More shards admit
+// more concurrent senders; shards only cost a few empty maps each, so
+// over-provisioning is cheap.
+func NewSharded(n int) *Server {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	s := &Server{
+		shards: make([]*shard, p),
+		mask:   uint32(p - 1),
+		an:     newAnalyzer(),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			flows:   make(map[int]*rankFlow),
+			perRank: make(map[int]*RankProgress),
+		}
+	}
+	return s
+}
+
+// Shards returns the ingest shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
 // SetObs attaches ingest metrics: message/byte/record counters, the
-// batch-size histogram (server_batch_bytes), dedup/corruption counters, and
-// the coverage gauges (server_records_expected / server_records_ingested).
-// Call before the run starts.
+// batch-size histogram (server_batch_bytes), dedup/corruption counters, the
+// coverage gauges (server_records_expected / server_records_ingested),
+// per-shard gauges (server_shard_records / server_shard_frames), and the
+// epoch analyzer's gauges and lag histogram. Call before the run starts.
 func (s *Server) SetObs(o *obs.Obs) {
 	if o == nil {
 		return
@@ -100,88 +152,109 @@ func (s *Server) SetObs(o *obs.Obs) {
 	s.obsRejected = o.Counter("server_rejected_frames_total")
 	s.obsExpected = o.Gauge("server_records_expected")
 	s.obsIngested = o.Gauge("server_records_ingested")
+	o.Gauge("server_shards").Set(float64(len(s.shards)))
+	for i, sh := range s.shards {
+		label := strconv.Itoa(i)
+		sh.obsRecords = o.Gauge("server_shard_records", "shard", label)
+		sh.obsFrames = o.Gauge("server_shard_frames", "shard", label)
+	}
+	s.an.setObs(o)
 }
 
 // Receive ingests one encoded frame: validate (length, magic, bounded
-// count, CRC), deduplicate by (sender rank, sequence), then decode records
-// straight into the server's log (no per-message temporary slice).
+// count, CRC), route to the sender rank's shard, deduplicate by (sender
+// rank, sequence), decode records straight into the shard's sub-log (no
+// per-message temporary slice), then fold them into the epoch analyzer.
 // Duplicate frames are acknowledged (nil error) but not re-ingested;
-// corrupted or malformed frames return an error without touching the log.
+// corrupted or malformed frames return an error without touching any log.
 func (s *Server) Receive(encoded []byte) error {
 	h, err := ParseFrame(encoded)
 	if err != nil {
-		s.mu.Lock()
 		if errors.Is(err, ErrChecksum) {
-			s.checksumErrors++
-			s.mu.Unlock()
+			s.checksumErrors.Add(1)
 			s.obsCRC.Inc()
 		} else {
-			s.rejectedFrames++
-			s.mu.Unlock()
+			s.rejectedFrames.Add(1)
 			s.obsRejected.Inc()
 		}
 		return err
 	}
-	s.mu.Lock()
-	fl := s.flows[h.Rank]
+	sh := s.shardFor(h.Rank)
+	sh.mu.Lock()
+	fl := sh.flows[h.Rank]
 	if fl == nil {
 		fl = &rankFlow{}
-		s.flows[h.Rank] = fl
+		sh.flows[h.Rank] = fl
 	}
 	if h.Seq > fl.maxSeq {
 		fl.maxSeq = h.Seq
 	}
 	if h.CumRecords > fl.maxCum {
-		s.expectedRecords += int64(h.CumRecords - fl.maxCum)
+		delta := int64(h.CumRecords - fl.maxCum)
+		sh.expectedRecords += delta
+		s.expectedRecords.Add(delta)
 		fl.maxCum = h.CumRecords
 	}
-	if s.seenLocked(fl, h.Seq) {
-		s.dupFrames++
-		expected, ingested := s.expectedRecords, s.ingestedRecords
-		s.mu.Unlock()
+	if fl.seen(h.Seq) {
+		sh.dupFrames++
+		sh.mu.Unlock()
 		s.obsDup.Inc()
-		s.obsExpected.Set(float64(expected))
-		s.obsIngested.Set(float64(ingested))
+		s.setCoverageGauges()
 		return nil
 	}
-	s.markSeenLocked(fl, h.Seq)
+	fl.markSeen(h.Seq)
 	fl.ingestedFrames++
 	fl.ingestedRecords += int64(h.Count)
-	s.ingestedRecords += int64(h.Count)
+	sh.ingestedRecords += int64(h.Count)
+	s.ingestedRecords.Add(int64(h.Count))
 
-	start := len(s.records)
-	s.records = appendDecoded(s.records, encoded, h.Count)
-	recs := s.records[start:]
-	s.bytesReceived += int64(len(encoded))
-	s.messages++
+	ticket := s.ticket.Add(1)
+	start := len(sh.records)
+	sh.records = appendDecoded(sh.records, encoded, h.Count)
+	recs := sh.records[start:]
+	sh.segments = append(sh.segments, segment{ticket: ticket, start: start, end: len(sh.records)})
+	sh.bytesReceived += int64(len(encoded))
+	sh.messages++
 	for i := range recs {
 		r := &recs[i]
-		if r.SliceNs > s.latestSliceNs {
-			s.latestSliceNs = r.SliceNs
+		if r.SliceNs > sh.latestSliceNs {
+			sh.latestSliceNs = r.SliceNs
 		}
-		rp := s.perRank[r.Rank]
+		rp := sh.perRank[r.Rank]
 		if rp == nil {
 			rp = &RankProgress{Rank: r.Rank}
-			s.perRank[r.Rank] = rp
+			sh.perRank[r.Rank] = rp
 		}
 		rp.Records++
 		if r.SliceNs > rp.LatestSliceNs {
 			rp.LatestSliceNs = r.SliceNs
 		}
 	}
-	expected, ingested := s.expectedRecords, s.ingestedRecords
-	s.mu.Unlock()
+	shardRecords, shardFrames := len(sh.records), len(sh.segments)
+	sh.mu.Unlock()
+
+	// Fold into the epoch analyzer outside the shard lock: the committed
+	// sub-log prefix is immutable, and the analyzer stripes its own locks
+	// by (sensor, group, slice).
+	s.an.fold(recs)
+
 	s.obsMessages.Inc()
 	s.obsBytes.Add(int64(len(encoded)))
 	s.obsRecords.Add(int64(len(recs)))
 	s.obsBatch.ObserveInt(int64(len(encoded)))
-	s.obsExpected.Set(float64(expected))
-	s.obsIngested.Set(float64(ingested))
+	sh.obsRecords.Set(float64(shardRecords))
+	sh.obsFrames.Set(float64(shardFrames))
+	s.setCoverageGauges()
 	return nil
 }
 
-// seenLocked reports whether seq was already ingested from this flow.
-func (s *Server) seenLocked(fl *rankFlow, seq uint64) bool {
+func (s *Server) setCoverageGauges() {
+	s.obsExpected.Set(float64(s.expectedRecords.Load()))
+	s.obsIngested.Set(float64(s.ingestedRecords.Load()))
+}
+
+// seen reports whether seq was already ingested from this flow.
+func (fl *rankFlow) seen(seq uint64) bool {
 	if seq <= fl.contig {
 		return true
 	}
@@ -192,11 +265,10 @@ func (s *Server) seenLocked(fl *rankFlow, seq uint64) bool {
 	return ok
 }
 
-// markSeenLocked records seq as ingested, advancing the contiguous
-// high-water mark through any previously buffered out-of-order sequences.
-// On the reliable in-order path this is a single increment and never
-// allocates.
-func (s *Server) markSeenLocked(fl *rankFlow, seq uint64) {
+// markSeen records seq as ingested, advancing the contiguous high-water
+// mark through any previously buffered out-of-order sequences. On the
+// reliable in-order path this is a single increment and never allocates.
+func (fl *rankFlow) markSeen(seq uint64) {
 	if seq == fl.contig+1 {
 		fl.contig++
 		for fl.ahead != nil {
@@ -216,24 +288,41 @@ func (s *Server) markSeenLocked(fl *rankFlow, seq uint64) {
 
 // BytesReceived returns the total encoded bytes shipped to the server.
 func (s *Server) BytesReceived() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytesReceived
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.bytesReceived
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Messages returns how many frames were ingested (duplicates excluded).
 func (s *Server) Messages() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.messages
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.messages
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// Records returns a snapshot of all received slice records.
+// Records returns a snapshot of the received slice records in arrival
+// (ticket) order. The snapshot is built from per-shard segment views — no
+// shard lock is held while the merged copy is assembled, and an ingest
+// racing the snapshot only affects whether its frame is included, never the
+// integrity of the records that are.
 func (s *Server) Records() []detect.SliceRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]detect.SliceRecord, len(s.records))
-	copy(out, s.records)
+	segs := s.orderedSegments()
+	n := 0
+	for _, sg := range segs {
+		n += len(sg.recs)
+	}
+	out := make([]detect.SliceRecord, 0, n)
+	for _, sg := range segs {
+		out = append(out, sg.recs...)
+	}
 	return out
 }
 
@@ -336,20 +425,52 @@ func (c Coverage) Complete() bool { return c.IngestedRecords >= c.ExpectedRecord
 
 // Coverage returns the server's delivery-coverage snapshot.
 func (s *Server) Coverage() Coverage {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cov := Coverage{
-		ExpectedRecords: s.expectedRecords,
-		IngestedRecords: s.ingestedRecords,
-		DupFrames:       s.dupFrames,
-		ChecksumErrors:  s.checksumErrors,
-		RejectedFrames:  s.rejectedFrames,
+		ChecksumErrors: s.checksumErrors.Load(),
+		RejectedFrames: s.rejectedFrames.Load(),
 	}
-	for _, fl := range s.flows {
-		cov.ExpectedFrames += int64(fl.maxSeq)
-		cov.IngestedFrames += fl.ingestedFrames
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		cov.ExpectedRecords += sh.expectedRecords
+		cov.IngestedRecords += sh.ingestedRecords
+		cov.DupFrames += sh.dupFrames
+		for _, fl := range sh.flows {
+			cov.ExpectedFrames += int64(fl.maxSeq)
+			cov.IngestedFrames += fl.ingestedFrames
+		}
+		sh.mu.Unlock()
 	}
 	return cov
+}
+
+// ShardCoverage is one ingest shard's slice of the delivery accounting, for
+// dashboards that want to see load spread across shards.
+type ShardCoverage struct {
+	Shard           int
+	Ranks           int // distinct sender flows routed to this shard
+	Frames          int64
+	Records         int64
+	ExpectedRecords int64
+	DupFrames       int64
+}
+
+// PerShardCoverage returns each shard's delivery accounting in shard order.
+func (s *Server) PerShardCoverage() []ShardCoverage {
+	out := make([]ShardCoverage, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sc := ShardCoverage{
+			Shard:           i,
+			Ranks:           len(sh.flows),
+			Frames:          int64(len(sh.segments)),
+			Records:         sh.ingestedRecords,
+			ExpectedRecords: sh.expectedRecords,
+			DupFrames:       sh.dupFrames,
+		}
+		sh.mu.Unlock()
+		out[i] = sc
+	}
+	return out
 }
 
 // ---------- inter-process analysis ----------
@@ -366,37 +487,16 @@ type Outlier struct {
 // InterProcessOutliers compares the same v-sensor across processes per
 // slice: a rank is an outlier when its average time exceeds the cross-rank
 // median by more than 1/threshold (e.g. threshold 0.8 → 25% slower).
-// The result is invariant under record arrival order: records are grouped
-// by (sensor, group, slice) and each group's median does not depend on
-// the order the transport delivered them in.
+//
+// The comparison is evaluated incrementally: records were folded into
+// per-(sensor, group, slice) epochs at ingest, so this call only computes
+// medians for epochs still open under the cross-rank watermark — closed
+// epochs reuse their cached result. The outcome is exactly what a batch
+// recompute over Records() would produce, and is invariant under record
+// arrival order: late records reopen their epoch rather than being dropped.
 func (s *Server) InterProcessOutliers(threshold float64) []Outlier {
-	recs := s.Records()
-	type key struct {
-		sensor int
-		group  int
-		slice  int64
-	}
-	bySlice := make(map[key][]detect.SliceRecord)
-	for _, r := range recs {
-		k := key{r.Sensor, r.Group, r.SliceNs}
-		bySlice[k] = append(bySlice[k], r)
-	}
-	var out []Outlier
-	for k, group := range bySlice {
-		if len(group) < 3 {
-			continue
-		}
-		med := medianAvg(group)
-		if med <= 0 {
-			continue
-		}
-		for _, r := range group {
-			perf := med / r.AvgNs
-			if perf < threshold {
-				out = append(out, Outlier{Sensor: k.sensor, SliceNs: k.slice, Rank: r.Rank, Perf: perf})
-			}
-		}
-	}
+	watermark, haveWatermark := s.watermark()
+	out := s.an.outliers(threshold, watermark, haveWatermark)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].SliceNs != out[j].SliceNs {
 			return out[i].SliceNs < out[j].SliceNs
@@ -412,6 +512,30 @@ func (s *Server) InterProcessOutliers(threshold float64) []Outlier {
 		return out[i].Perf < out[j].Perf
 	})
 	return out
+}
+
+// watermark returns the earliest latest-slice over every rank that has
+// reported — the virtual instant every sender is known to have progressed
+// past. Epochs for slices strictly before it are sealed; a reordered frame
+// arriving later still reopens its epoch, so the watermark is a performance
+// hint, never a correctness gate.
+func (s *Server) watermark() (int64, bool) {
+	wm := int64(math.MaxInt64)
+	have := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, rp := range sh.perRank {
+			if !have || rp.LatestSliceNs < wm {
+				wm = rp.LatestSliceNs
+				have = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if !have {
+		return 0, false
+	}
+	return wm, true
 }
 
 // OutlierReport pairs the inter-process outliers with the delivery coverage
@@ -434,17 +558,4 @@ func (s *Server) InterProcessReport(threshold float64) OutlierReport {
 		Coverage:   cov,
 		Confidence: cov.Fraction(),
 	}
-}
-
-func medianAvg(recs []detect.SliceRecord) float64 {
-	vals := make([]float64, len(recs))
-	for i, r := range recs {
-		vals[i] = r.AvgNs
-	}
-	sort.Float64s(vals)
-	n := len(vals)
-	if n%2 == 1 {
-		return vals[n/2]
-	}
-	return (vals[n/2-1] + vals[n/2]) / 2
 }

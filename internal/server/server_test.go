@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -225,6 +226,59 @@ func TestReceiveChecksumReject(t *testing.T) {
 	if len(s.Records()) != 1 {
 		t.Errorf("records = %d", len(s.Records()))
 	}
+}
+
+// batchOutliers is the reference inter-process analysis: a single-threaded,
+// post-hoc recompute over a full record log, structurally identical to the
+// pre-sharding server (group by (sensor, group, slice), cross-rank median,
+// threshold comparison, canonical sort). The differential conformance test
+// (conformance_test.go) asserts the incremental sharded engine produces
+// exactly this result for any ingest schedule.
+func batchOutliers(recs []detect.SliceRecord, threshold float64) []Outlier {
+	type key struct {
+		sensor int
+		group  int
+		slice  int64
+	}
+	bySlice := make(map[key][]detect.SliceRecord)
+	for _, r := range recs {
+		k := key{r.Sensor, r.Group, r.SliceNs}
+		bySlice[k] = append(bySlice[k], r)
+	}
+	var out []Outlier
+	for k, group := range bySlice {
+		if len(group) < 3 {
+			continue
+		}
+		vals := make([]float64, len(group))
+		for i, r := range group {
+			vals[i] = r.AvgNs
+		}
+		sort.Float64s(vals)
+		med := medianSorted(vals)
+		if med <= 0 {
+			continue
+		}
+		for _, r := range group {
+			perf := med / r.AvgNs
+			if perf < threshold {
+				out = append(out, Outlier{Sensor: k.sensor, SliceNs: k.slice, Rank: r.Rank, Perf: perf})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SliceNs != out[j].SliceNs {
+			return out[i].SliceNs < out[j].SliceNs
+		}
+		if out[i].Sensor != out[j].Sensor {
+			return out[i].Sensor < out[j].Sensor
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Perf < out[j].Perf
+	})
+	return out
 }
 
 func TestInterProcessOutliers(t *testing.T) {

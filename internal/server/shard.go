@@ -1,0 +1,95 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/obs"
+)
+
+// A shard owns the ingest state for a subset of ranks (rank & mask). Every
+// mutable structure a Receive touches — the flow table (dedup + coverage),
+// the record sub-log, the per-rank progress entries — lives inside one
+// shard, behind one short-lived mutex, so concurrent Receives from ranks on
+// different shards never contend. Cross-shard queries (Records, Coverage,
+// Progress) visit shards one at a time; nothing ever holds two shard locks
+// at once.
+type shard struct {
+	mu sync.Mutex
+
+	// records is the shard's append-only sub-log. Committed prefixes are
+	// immutable: an append either writes past the snapshot lengths readers
+	// captured, or reallocates and leaves the old backing array intact —
+	// either way a reader holding a snapshot header never observes a torn
+	// record.
+	records []detect.SliceRecord
+
+	// segments maps each ingested frame to its record range and the global
+	// arrival ticket that linearizes it against other shards' frames.
+	segments []segment
+
+	// flows is the per-sender delivery state (dedup window + coverage),
+	// keyed by the frame header's rank field.
+	flows map[int]*rankFlow
+
+	// perRank is the incremental progress state for live dashboards.
+	perRank map[int]*RankProgress
+
+	bytesReceived   int64
+	messages        int64
+	latestSliceNs   int64
+	dupFrames       int64
+	expectedRecords int64
+	ingestedRecords int64
+
+	// Observability handles (nil-safe no-ops when obs is off).
+	obsRecords *obs.Gauge // server_shard_records{shard=i}
+	obsFrames  *obs.Gauge // server_shard_frames{shard=i}
+}
+
+// segment is one ingested frame's slot in a shard's sub-log. The ticket is
+// the global arrival number (1-based, assigned under the shard lock), so
+// merging every shard's segments by ticket reproduces a single linearized
+// log — identical to the order a single global lock would have produced.
+type segment struct {
+	ticket     uint64
+	start, end int
+}
+
+// segSnap is a read-only view of one committed segment, captured under the
+// owning shard's lock.
+type segSnap struct {
+	ticket uint64
+	recs   []detect.SliceRecord
+}
+
+// orderedSegments snapshots every shard's committed segments and returns
+// them sorted by arrival ticket, truncated to the contiguous ticket prefix.
+// The truncation closes the cross-shard race: a reader can observe ticket
+// t+1 committed on one shard while ticket t is still being written on
+// another; withholding everything from the first gap onward keeps the
+// merged log strictly append-only across successive snapshots, which is
+// what RecordsSince's cursor semantics require.
+func (s *Server) orderedSegments() []segSnap {
+	var segs []segSnap
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, sg := range sh.segments {
+			segs = append(segs, segSnap{sg.ticket, sh.records[sg.start:sg.end]})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].ticket < segs[j].ticket })
+	for i, sg := range segs {
+		if sg.ticket != uint64(i)+1 {
+			return segs[:i]
+		}
+	}
+	return segs
+}
+
+// shardFor routes a sender rank to its shard.
+func (s *Server) shardFor(rank int) *shard {
+	return s.shards[uint32(rank)&s.mask]
+}

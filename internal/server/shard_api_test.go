@@ -1,0 +1,105 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/obs"
+)
+
+func TestNewShardedRounding(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{-3, DefaultShards},
+		{0, DefaultShards},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{5, 8},
+		{16, 16},
+		{17, 32},
+		{MaxShards, MaxShards},
+		{MaxShards + 1, MaxShards},
+	}
+	for _, tt := range tests {
+		if got := NewSharded(tt.n).Shards(); got != tt.want {
+			t.Errorf("NewSharded(%d).Shards() = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPerShardCoverageAndEpochStats(t *testing.T) {
+	s := NewSharded(4)
+	o := obs.New()
+	s.SetObs(o)
+
+	recs := []detect.SliceRecord{{Sensor: 1, Rank: 0, SliceNs: 0, Count: 1, AvgNs: 100}}
+	var frames int64
+	for rank := 0; rank < 8; rank++ {
+		recs[0].Rank = rank
+		f := AppendFrame(nil, FrameHeader{Rank: rank, Seq: 1, CumRecords: 1}, recs)
+		if err := s.Receive(f); err != nil {
+			t.Fatal(f, err)
+		}
+		frames++
+		// Redeliver to exercise per-shard dup accounting.
+		if err := s.Receive(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	per := s.PerShardCoverage()
+	if len(per) != 4 {
+		t.Fatalf("PerShardCoverage returned %d shards, want 4", len(per))
+	}
+	var ranks int
+	var gotFrames, gotRecords, dups int64
+	for i, sc := range per {
+		if sc.Shard != i {
+			t.Errorf("shard %d reports Shard=%d", i, sc.Shard)
+		}
+		ranks += sc.Ranks
+		gotFrames += sc.Frames
+		gotRecords += sc.Records
+		dups += sc.DupFrames
+	}
+	if ranks != 8 {
+		t.Errorf("per-shard flows sum to %d ranks, want 8", ranks)
+	}
+	// 8 ranks over 4 shards with &mask routing: every shard hosts 2 flows.
+	for _, sc := range per {
+		if sc.Ranks != 2 {
+			t.Errorf("shard %d hosts %d flows, want 2 (uneven spread)", sc.Shard, sc.Ranks)
+		}
+	}
+	if gotFrames != frames {
+		t.Errorf("per-shard frames sum to %d, want %d", gotFrames, frames)
+	}
+	if gotRecords != frames {
+		t.Errorf("per-shard records sum to %d, want %d", gotRecords, frames)
+	}
+	if dups != frames {
+		t.Errorf("per-shard dup frames sum to %d, want %d", dups, frames)
+	}
+
+	// All 8 records share one (sensor, group, slice) key: one open epoch.
+	es := s.EpochStats()
+	if es.Open != 1 || es.Closed != 0 {
+		t.Errorf("EpochStats = %+v, want {Open:1 Closed:0}", es)
+	}
+
+	// The per-shard gauges must be registered and populated.
+	var sb strings.Builder
+	if err := o.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	for _, want := range []string{"server_shards", "server_shard_records", "server_shard_frames", "server_epochs_open"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, dump)
+		}
+	}
+}

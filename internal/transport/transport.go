@@ -3,7 +3,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
-	"sync"
+	"sync/atomic"
 
 	"vsensor/internal/detect"
 	"vsensor/internal/obs"
@@ -79,13 +79,15 @@ func (c Config) withDefaults() Config {
 
 // Link is the shared lossy medium in front of one analysis server. Conns
 // from every rank send through it; the FaultPlan decides each attempt's
-// fate. Safe for concurrent use by all rank goroutines.
+// fate. Safe for concurrent use by all rank goroutines. Delivery is not
+// serialized: concurrent attempts land on the server's per-rank ingest
+// shards in parallel, and the only cross-rank state — the attempt counter
+// driving the crash-restart window — is a single atomic.
 type Link struct {
 	srv  *server.Server
 	plan FaultPlan
 
-	mu       sync.Mutex
-	attempts int64 // delivery attempts that reached the "network"
+	attempts atomic.Int64 // delivery attempts that reached the "network"
 
 	// Observability handles (nil-safe no-ops when obs is off).
 	obsFrames    *obs.Counter
@@ -110,11 +112,7 @@ func NewLink(srv *server.Server, plan FaultPlan) *Link {
 func (l *Link) Plan() FaultPlan { return l.plan }
 
 // Attempts returns how many delivery attempts reached the link so far.
-func (l *Link) Attempts() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.attempts
-}
+func (l *Link) Attempts() int64 { return l.attempts.Load() }
 
 // SetObs attaches transport metrics. Call before the run starts.
 func (l *Link) SetObs(o *obs.Obs) {
@@ -136,14 +134,15 @@ func (l *Link) SetObs(o *obs.Obs) {
 // deliver is one attempt reaching the network: it applies the crash window
 // and hands the frame (and its reorder/duplicate fate) to the server.
 // Returns true when the sender gets an ack. corrupt, when non-nil, is the
-// bit-flipped copy that arrives instead of the frame.
+// bit-flipped copy that arrives instead of the frame. Runs on the calling
+// conn's goroutine without any link-wide lock — the held (reordered) frame
+// is conn-local state, and the server's sharded ingest takes concurrent
+// frames from different ranks without contention.
 func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.attempts++
+	attempts := l.attempts.Add(1)
 	if l.plan.CrashAfterFrames > 0 &&
-		l.attempts > l.plan.CrashAfterFrames &&
-		l.attempts <= l.plan.CrashAfterFrames+l.plan.CrashDownFrames {
+		attempts > l.plan.CrashAfterFrames &&
+		attempts <= l.plan.CrashAfterFrames+l.plan.CrashDownFrames {
 		l.obsRejects.Inc()
 		return false
 	}
@@ -180,10 +179,9 @@ func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool)
 	return true
 }
 
-// release flushes a Conn's held (reordered) frame at close time.
+// release flushes a Conn's held (reordered) frame at close time. Like
+// deliver, it runs on the conn's own goroutine; held is conn-local.
 func (l *Link) release(c *Conn) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if c.held != nil {
 		_ = l.srv.Receive(c.held)
 		c.held = nil
@@ -208,8 +206,8 @@ type Conn struct {
 	// parked is the capped retransmit buffer: frames that exhausted their
 	// retries, oldest first.
 	parked [][]byte
-	// held is the in-flight reordered frame, owned by the link under its
-	// mutex.
+	// held is the in-flight reordered frame; conn-local, only touched from
+	// this conn's goroutine (deliver/release).
 	held []byte
 
 	framesSent  int64

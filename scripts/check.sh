@@ -1,20 +1,23 @@
 #!/bin/sh
 # Full repository check: build, vet, race-enabled tests (including the
-# transport chaos test), a race-enabled benchmark smoke, a coverage-guided
-# fuzz smoke over every fuzz target, then the observability / VM / transport
-# benchmarks. Benchmark results are written to BENCH_obs.json, BENCH_vm.json,
-# and BENCH_transport.json so successive PRs can diff overhead,
-# interpreter-speed, and record-path numbers.
+# transport chaos test and the sharded-server differential conformance
+# property), the coverage gate against the seed baseline, a race-enabled
+# benchmark smoke, a coverage-guided fuzz smoke over every fuzz target, then
+# the observability / VM / transport / analysis-server benchmarks.
+# Benchmark results are written to BENCH_obs.json, BENCH_vm.json,
+# BENCH_transport.json, and BENCH_server.json so successive PRs can diff
+# overhead, interpreter-speed, record-path, and ingest-throughput numbers.
 #
 # FUZZTIME (default 10s) is the budget per fuzz target.
 #
-# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json]
+# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json] [server-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 obs_out="${1:-BENCH_obs.json}"
 vm_out="${2:-BENCH_vm.json}"
 transport_out="${3:-BENCH_transport.json}"
+server_out="${4:-BENCH_server.json}"
 fuzztime="${FUZZTIME:-10s}"
 
 echo "== go build ./..."
@@ -29,6 +32,12 @@ go test -race ./...
 echo "== race-enabled transport chaos (drop+dup+reorder+corrupt+crash, exactly-once)"
 go test -race -run 'TestChaosExactlyOnce$' -count 1 ./internal/transport
 
+echo "== race-enabled differential conformance (sharded engine vs batch recompute)"
+go test -race -run 'TestDifferentialConformance$|TestRecordsSnapshotUnderIngest$' -count 1 ./internal/server
+
+echo "== coverage gate (per-package deltas vs seed baseline)"
+sh scripts/cover.sh
+
 echo "== race-enabled benchmark smoke"
 go test -race -run '^$' -bench 'BenchmarkInterpHotLoop$' -benchtime 1x ./internal/vm
 
@@ -38,8 +47,10 @@ go test -run '^$' -fuzz 'FuzzCheckBatch$' -fuzztime "$fuzztime" ./internal/serve
 go test -run '^$' -fuzz 'FuzzParse$' -fuzztime "$fuzztime" ./internal/minic
 go test -run '^$' -fuzz 'FuzzLex$' -fuzztime "$fuzztime" ./internal/minic
 
-# bench_json PATTERN PKG OUT runs the benchmarks and renders each
-# "BenchmarkX-N  iters  ns/op  B/op  allocs/op" line as a JSON entry.
+# bench_json PATTERN PKG OUT runs the benchmarks and renders each result
+# line as a JSON entry. Parsing is unit-aware ("value unit" pairs after the
+# iteration count), so custom b.ReportMetric columns such as the analysis
+# server's records/s survive alongside ns/op, B/op, and allocs/op.
 bench_json() {
     pattern="$1"; pkg="$2"; out="$3"
     bench_txt="$(mktemp)"
@@ -50,7 +61,17 @@ bench_json() {
         name = $1; sub(/-[0-9]+$/, "", name)
         if (!first) printf ",\n"
         first = 0
-        printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+        printf "  \"%s\": {", name
+        sep = ""
+        for (i = 3; i < NF; i += 2) {
+            unit = $(i + 1)
+            gsub(/[\/]/, "_per_", unit)
+            gsub(/[^A-Za-z0-9_]/, "_", unit)
+            if (unit == "B_per_op") unit = "bytes_per_op"
+            printf "%s\"%s\": %s", sep, unit, $i
+            sep = ", "
+        }
+        printf "}"
     }
     END { print "\n}" }
     ' "$bench_txt" > "$out"
@@ -70,3 +91,7 @@ bench_json 'BenchmarkVarAccess$|BenchmarkInterpHotLoop$|BenchmarkRankRunE2E$' \
 echo "== record-transport benchmarks"
 bench_json 'BenchmarkFrameRoundTrip$|BenchmarkConnFlush$|BenchmarkConnFlushFaulty$' \
     ./internal/transport "$transport_out"
+
+echo "== analysis-server ingest benchmarks (sharded engine vs single-lock baseline)"
+bench_json 'BenchmarkIngestParallel$|BenchmarkIngestSingleLock$' \
+    ./internal/server "$server_out"

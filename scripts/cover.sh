@@ -1,0 +1,60 @@
+#!/bin/sh
+# Coverage gate: run the full test suite with per-package coverage, print a
+# per-package delta table against the seed baseline recorded in
+# scripts/coverage_baseline.txt, and fail if the statement-weighted total
+# drops below the baseline total. `make cover` and scripts/check.sh both
+# run this.
+#
+# Usage: scripts/cover.sh [profile-output]
+set -eu
+
+cd "$(dirname "$0")/.."
+profile="${1:-cover.out}"
+baseline="scripts/coverage_baseline.txt"
+
+cover_txt="$(mktemp)"
+trap 'rm -f "$cover_txt"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./... | tee "$cover_txt"
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+
+awk -v total="$total" '
+NR == FNR {
+    if ($1 ~ /^#/ || NF < 2) next
+    if ($1 == "total") { base_total = $2; next }
+    base[$1] = $2
+    next
+}
+$1 == "ok" && /coverage:/ {
+    for (i = 3; i <= NF; i++) {
+        if ($i == "coverage:") { pct = $(i + 1); sub(/%/, "", pct); cur[$2] = pct }
+    }
+}
+END {
+    printf "\n%-36s %8s %8s %8s\n", "package", "seed", "now", "delta"
+    n = 0
+    for (p in base) pkgs[n++] = p
+    for (p in cur) if (!(p in base)) pkgs[n++] = p
+    # insertion sort; mawk/busybox awk have no asort
+    for (i = 1; i < n; i++) {
+        for (j = i; j > 0 && pkgs[j - 1] > pkgs[j]; j--) {
+            t = pkgs[j]; pkgs[j] = pkgs[j - 1]; pkgs[j - 1] = t
+        }
+    }
+    for (i = 0; i < n; i++) {
+        p = pkgs[i]
+        now = (p in cur) ? cur[p] + 0 : 0
+        if (p in base) {
+            printf "%-36s %8.1f %8.1f %+8.1f\n", p, base[p], now, now - base[p]
+        } else {
+            printf "%-36s %8s %8.1f %8s\n", p, "-", now, "new"
+        }
+    }
+    printf "%-36s %8.1f %8.1f %+8.1f\n", "TOTAL", base_total, total, total - base_total
+    if (total + 0 < base_total + 0) {
+        printf "\nFAIL: total coverage %.1f%% is below the seed baseline %.1f%%\n", total, base_total
+        exit 1
+    }
+    printf "\ncoverage gate OK: %.1f%% >= baseline %.1f%%\n", total, base_total
+}
+' "$baseline" "$cover_txt"

@@ -69,6 +69,12 @@ type Options struct {
 	// disables batching).
 	BatchSize int
 
+	// ServerShards is the analysis server's ingest shard count (rounded up
+	// to a power of two; default server.DefaultShards). Each sender rank's
+	// flow state and record sub-log live on one shard, so more shards admit
+	// more concurrently ingesting ranks.
+	ServerShards int
+
 	// Transport tunes the reliable record link to the analysis server
 	// (retry, backoff, retransmit buffer). Nil with Faults nil keeps the
 	// direct in-process delivery path.
@@ -219,7 +225,7 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		isp := o.Span(0, "instrument")
 		rep.Instrumented = instrument.Apply(rep.Analysis, opt.Instrument)
 		isp.End()
-		rep.Server = server.New()
+		rep.Server = server.NewSharded(opt.ServerShards)
 		rep.Server.SetObs(o)
 		opt.Detect.Obs = o
 		vcfg.ProbeCostNs = opt.ProbeCostNs
@@ -343,6 +349,9 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 				st["progress"] = srv.Progress()
 				st["per_rank"] = srv.PerRankProgress()
 				st["coverage"] = srv.Coverage()
+				st["server_shards"] = srv.Shards()
+				st["per_shard"] = srv.PerShardCoverage()
+				st["epochs"] = srv.EpochStats()
 			}
 			return st
 		})
