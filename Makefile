@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet cover fuzz chaos bench-obs bench-vm bench-transport bench-server check clean
+.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server check clean
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,12 @@ cover:
 	sh scripts/cover.sh
 
 # Coverage-guided fuzz smoke over every fuzz target (wire codec, server
-# ingest, mini-C parser and lexer), FUZZTIME each. `go test -fuzz` takes one
-# target per invocation, so they run sequentially.
+# ingest, WAL replay, mini-C parser and lexer), FUZZTIME each. `go test
+# -fuzz` takes one target per invocation, so they run sequentially.
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzBatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckBatch$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run '^$$' -fuzz 'FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/minic
 
@@ -34,6 +35,13 @@ fuzz:
 # concurrent ranks) under the race detector.
 chaos:
 	$(GO) test -race -run 'TestChaosExactlyOnce$$' -count 1 ./internal/transport
+
+# The kill-and-recover chaos gate under the race detector: 120 seeded
+# trials of crash + disk faults (torn writes, lying fsyncs, bit rot) +
+# WAL/snapshot recovery + resumed ingest, each proven exactly equal to a
+# never-crashed server while a poller races the crash.
+chaos-recover:
+	$(GO) test -race -run 'TestKillRecoverConformance$$' -count 1 ./internal/server
 
 # Observability hot-path benchmarks; writes BENCH_obs.json for regression
 # tracking across PRs.

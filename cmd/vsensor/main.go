@@ -22,6 +22,7 @@ import (
 	"vsensor/internal/ir"
 	"vsensor/internal/obs"
 	"vsensor/internal/rundata"
+	"vsensor/internal/server"
 	"vsensor/internal/transport"
 	"vsensor/internal/validate"
 	"vsensor/internal/vis"
@@ -65,10 +66,15 @@ var (
 
 	faults = flag.String("faults", "", "inject record-transport faults, e.g. "+
 		"drop=0.2,dup=0.05,reorder=0.1,corrupt=0.02,delay=20us,seed=7,crashafter=100,crashdown=20")
+	batchSize    = flag.Int("batch", 0, "records per analysis-server batch/frame (0 = default 64; 1 disables batching)")
 	retryMax     = flag.Int("retry-max", 0, "transport delivery retries per batch before it parks in the retransmit buffer (0 = default 8)")
 	retryTimeout = flag.Duration("retry-timeout", 0, "virtual ack timeout charged per failed transport attempt (0 = default 50µs)")
 	retryBackoff = flag.Duration("retry-backoff", 0, "initial transport retry backoff, doubling per retry (0 = default 20µs)")
 	bufferCap    = flag.Int("buffer-cap", 0, "transport retransmit-buffer cap per rank; oldest frame dropped beyond it (0 = default 64)")
+
+	wal           = flag.Bool("wal", false, "make the analysis server durable: WAL + snapshots; crashafter faults wipe and recover it")
+	snapshotEvery = flag.Int("snapshot-every", 0, "frames between automatic server checkpoints; needs -wal (0 = default 256, negative disables)")
+	lease         = flag.Duration("lease", 0, "rank liveness lease; ranks heartbeat every lease/2, go suspect after 1 lease of silence, dead after 3")
 )
 
 // applyTransport maps the -faults / retry / server knobs onto the run
@@ -82,7 +88,17 @@ func applyTransport(opts *vsensor.Options) {
 		fatal(fmt.Errorf("transport knobs must be >= 0 (retry-max %d, buffer-cap %d, retry-timeout %s, retry-backoff %s)",
 			*retryMax, *bufferCap, *retryTimeout, *retryBackoff))
 	}
-	transportTuned := *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0
+	if *batchSize < 0 {
+		fatal(fmt.Errorf("bad -batch %d: batch size cannot be negative", *batchSize))
+	}
+	opts.BatchSize = *batchSize
+	if *snapshotEvery != 0 && !*wal {
+		fatal(fmt.Errorf("-snapshot-every %d needs -wal (there is no journal to checkpoint)", *snapshotEvery))
+	}
+	if *lease < 0 {
+		fatal(fmt.Errorf("bad -lease %s: lease cannot be negative", *lease))
+	}
+	transportTuned := *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0 || *lease != 0
 	if *faults != "" {
 		plan, err := transport.ParsePlan(*faults)
 		if err != nil {
@@ -96,11 +112,16 @@ func applyTransport(opts *vsensor.Options) {
 			TimeoutNs:     retryTimeout.Nanoseconds(),
 			BackoffBaseNs: retryBackoff.Nanoseconds(),
 			BufferCap:     *bufferCap,
+			LeaseNs:       lease.Nanoseconds(),
 		}
+	}
+	if *wal {
+		opts.Durability = &server.DurabilityConfig{SnapshotEvery: *snapshotEvery}
 	}
 }
 
-// printCoverage reports delivery coverage after a transport-routed run.
+// printCoverage reports delivery coverage after a transport-routed run,
+// plus durability and liveness summaries when those layers were on.
 func printCoverage(rep *vsensor.Report) {
 	if rep.Link == nil {
 		return
@@ -109,6 +130,24 @@ func printCoverage(rep *vsensor.Report) {
 	fmt.Printf("transport: plan [%s], coverage %.1f%% (%d/%d records, %d dup frames, %d checksum rejects)\n",
 		rep.Link.Plan(), cov.Fraction()*100, cov.IngestedRecords, cov.ExpectedRecords,
 		cov.DupFrames, cov.ChecksumErrors)
+	if ds := rep.Durability(); ds.Enabled {
+		fmt.Printf("durability: gen %d, lsn %d, %d WAL entries (%d bytes, %d syncs), %d snapshots, %d recoveries\n",
+			ds.Generation, ds.LSN, ds.WALEntries, ds.WALBytes, ds.Syncs, ds.Snapshots, ds.Recoveries)
+		if ds.Recoveries > 0 {
+			lr := ds.LastRecovery
+			fmt.Printf("last recovery: snapshot gen %d + %d WAL entries replayed (%d frames, %d records, %d bytes truncated)\n",
+				lr.SnapshotGen, lr.WALEntriesReplayed, lr.FramesReplayed, lr.RecordsRecovered, lr.TruncatedBytes)
+		}
+	}
+	if rep.Server != nil && rep.Server.Heartbeats() > 0 {
+		ls := rep.Server.LivenessSummary()
+		fmt.Printf("liveness: %d alive, %d suspect, %d dead\n", ls.Alive, ls.Suspect, ls.Dead)
+		out := rep.Server.InterProcessReport(0.9)
+		if out.Degraded {
+			fmt.Printf("DEGRADED verdict: dead ranks %v excluded from watermark, confidence %.1f%% (coverage %.1f%% x liveness %.1f%%)\n",
+				out.DeadRanks, out.Confidence*100, out.Coverage.Fraction()*100, out.LivenessConfidence*100)
+		}
+	}
 }
 
 // setupObs builds the observability bundle when -http or -trace-json is

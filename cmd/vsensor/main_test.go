@@ -117,6 +117,30 @@ func TestFlagParsing(t *testing.T) {
 			wantCode:   1,
 			wantStderr: "no-such-file.mc",
 		},
+		{
+			name:       "negative batch",
+			args:       []string{"run", "-batch", "-4", tiny},
+			wantCode:   1,
+			wantStderr: "batch size cannot be negative",
+		},
+		{
+			name:       "snapshot-every without wal",
+			args:       []string{"run", "-snapshot-every", "64", tiny},
+			wantCode:   1,
+			wantStderr: "needs -wal",
+		},
+		{
+			name:       "negative lease",
+			args:       []string{"run", "-lease", "-1ms", tiny},
+			wantCode:   1,
+			wantStderr: "lease cannot be negative",
+		},
+		{
+			name:       "deadrank without deadafter",
+			args:       []string{"run", "-faults", "deadrank=2", tiny},
+			wantCode:   1,
+			wantStderr: "deadafter",
+		},
 	}
 	for _, tt := range tests {
 		tt := tt
@@ -179,6 +203,35 @@ func TestRunEndToEnd(t *testing.T) {
 	for i, ev := range trc.TraceEvents {
 		if _, ok := ev["name"]; !ok {
 			t.Fatalf("trace event %d has no name: %v", i, ev)
+		}
+	}
+}
+
+// TestRunDurableEndToEnd drives a -wal -lease run with a mid-run server
+// crash and a permanently dead rank through the CLI, and checks the
+// operator-facing durability contract: exit 0, a durability summary with a
+// recorded recovery, a liveness summary with one dead rank, and a DEGRADED
+// verdict line naming it.
+func TestRunDurableEndToEnd(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"run", "-q", "-ranks", "8", "-server-shards", "2",
+		"-slice", "20us", "-batch", "4",
+		"-faults", "drop=0.1,seed=11,crashafter=20,crashdown=8,deadrank=5,deadafter=2",
+		"-wal", "-snapshot-every", "32", "-lease", "50us",
+		filepath.Join("testdata", "tiny.mc"))
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"durability: gen",
+		"recoveries",
+		"last recovery: snapshot gen",
+		"liveness:",
+		"1 dead",
+		"DEGRADED verdict: dead ranks [5]",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
 		}
 	}
 }

@@ -232,7 +232,7 @@ func ExprString(e Expr) string {
 		}
 		return s
 	case *StringLit:
-		return strconv.Quote(x.Value)
+		return quoteString(x.Value)
 	case *BinaryExpr:
 		return fmt.Sprintf("%s %s %s", operandString(x.X, x.Op, false), opText[x.Op], operandString(x.Y, x.Op, true))
 	case *UnaryExpr:
@@ -273,4 +273,30 @@ func operandString(child Expr, parentOp Kind, right bool) string {
 		return "(" + s + ")"
 	}
 	return s
+}
+
+// quoteString renders a string literal using only the escapes the lexer
+// understands (\n, \t, \\, \"); every other byte is written raw, which the
+// lexer also accepts. strconv.Quote would emit Go escapes like \x93 that
+// mini-C rejects, breaking the print→re-parse round trip on non-printable
+// input (found by FuzzParse).
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
 }

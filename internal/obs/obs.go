@@ -168,6 +168,18 @@ func describeStandard(r *Registry) {
 	r.Describe("server_rejected_frames_total", "Frames rejected for framing/header errors (not checksum).")
 	r.Describe("server_records_expected", "Records the ranks claim to have sent (from frame headers), summed over ranks.")
 	r.Describe("server_records_ingested", "Records actually decoded into the server log; expected-ingested is the coverage gap.")
+	r.Describe("server_wal_entries_total", "Entries appended to the analysis server's write-ahead log.")
+	r.Describe("server_wal_bytes_total", "Bytes appended to the write-ahead log (framing included).")
+	r.Describe("server_wal_syncs_total", "WAL fsyncs issued (group commit flushes).")
+	r.Describe("server_snapshots_total", "Checkpoints taken: snapshot written, WAL segment rotated.")
+	r.Describe("server_snapshot_bytes", "Size of the most recent snapshot.")
+	r.Describe("server_recoveries_total", "Crash recoveries completed (snapshot load + WAL replay).")
+	r.Describe("server_wal_truncated_bytes_total", "WAL bytes discarded at recovery as torn or corrupt tails.")
+	r.Describe("server_replayed_frames_total", "Frames re-ingested from the WAL during crash recovery.")
+	r.Describe("server_heartbeats_total", "Liveness heartbeats ingested from rank connections.")
+	r.Describe("server_ranks_alive", "Ranks whose liveness lease is current (or who hold no lease).")
+	r.Describe("server_ranks_suspect", "Ranks silent past one lease but not yet declared dead.")
+	r.Describe("server_ranks_dead", "Ranks silent past the dead threshold, excluded from the watermark.")
 	r.Describe("transport_frames_total", "Fresh frames handed to the lossy link by rank conns.")
 	r.Describe("transport_acked_total", "Frame deliveries acknowledged by the link (incl. parked retries).")
 	r.Describe("transport_retries_total", "Failed delivery attempts that were retried with backoff.")
@@ -178,6 +190,7 @@ func describeStandard(r *Registry) {
 	r.Describe("transport_server_down_rejects_total", "Delivery attempts rejected while the server was crashed/stalled.")
 	r.Describe("transport_parked_total", "Frames parked in a retransmit buffer after exhausting retries.")
 	r.Describe("transport_records_lost_total", "Records lost to drop-oldest backpressure or abandoned at close.")
+	r.Describe("transport_heartbeats_total", "Liveness heartbeats delivered to the server by rank conns.")
 	r.Describe("mpi_collectives_total", "Collective operations completed, by kind.")
 	r.Describe("mpi_p2p_messages_total", "Point-to-point messages sent.")
 	r.Describe("mpi_p2p_bytes_total", "Point-to-point payload bytes sent.")

@@ -85,6 +85,21 @@ func newAnalyzer() *analyzer {
 	return a
 }
 
+// reset drops every epoch in place, stripe by stripe. Used by crash
+// recovery (recover.go): the analyzer object itself survives — concurrent
+// queries hold references to it — and the recovered record log is refolded
+// from scratch.
+func (a *analyzer) reset() {
+	for i := range a.stripes {
+		st := &a.stripes[i]
+		st.mu.Lock()
+		st.epochs = make(map[epochKey]*epoch)
+		st.mu.Unlock()
+	}
+	a.open.Store(0)
+	a.obsOpen.Set(0)
+}
+
 func (a *analyzer) setObs(o *obs.Obs) {
 	a.obsOpen = o.Gauge("server_epochs_open")
 	a.obsClosed = o.Counter("server_epochs_closed_total")

@@ -75,6 +75,16 @@ type Server struct {
 	// an is the incremental inter-process analyzer (epoch.go).
 	an *analyzer
 
+	// dur is the optional WAL + snapshot layer (wal.go); nil when the server
+	// is purely in-memory. down is set between Crash and Recover, making
+	// Receive fail fast with ErrServerDown.
+	dur  *durability
+	down atomic.Bool
+
+	// heartbeats counts liveness frames folded (liveness.go); kept out of
+	// Messages and Coverage, which describe record delivery only.
+	heartbeats atomic.Int64
+
 	// Frame rejections happen before a trustworthy rank exists, so they are
 	// accounted globally rather than per shard.
 	checksumErrors atomic.Int64
@@ -86,15 +96,19 @@ type Server struct {
 	ingestedRecords atomic.Int64
 
 	// Observability handles (nil-safe no-ops when obs is off).
-	obsMessages *obs.Counter
-	obsBytes    *obs.Counter
-	obsRecords  *obs.Counter
-	obsBatch    *obs.Histogram
-	obsDup      *obs.Counter
-	obsCRC      *obs.Counter
-	obsRejected *obs.Counter
-	obsExpected *obs.Gauge
-	obsIngested *obs.Gauge
+	obsMessages   *obs.Counter
+	obsBytes      *obs.Counter
+	obsRecords    *obs.Counter
+	obsBatch      *obs.Histogram
+	obsDup        *obs.Counter
+	obsCRC        *obs.Counter
+	obsRejected   *obs.Counter
+	obsExpected   *obs.Gauge
+	obsIngested   *obs.Gauge
+	obsHeartbeats *obs.Counter
+	obsAlive      *obs.Gauge
+	obsSuspect    *obs.Gauge
+	obsDead       *obs.Gauge
 }
 
 // New creates an empty analysis server with DefaultShards ingest shards.
@@ -126,6 +140,7 @@ func NewSharded(n int) *Server {
 		s.shards[i] = &shard{
 			flows:   make(map[int]*rankFlow),
 			perRank: make(map[int]*RankProgress),
+			live:    make(map[int]*rankLive),
 		}
 	}
 	return s
@@ -152,6 +167,10 @@ func (s *Server) SetObs(o *obs.Obs) {
 	s.obsRejected = o.Counter("server_rejected_frames_total")
 	s.obsExpected = o.Gauge("server_records_expected")
 	s.obsIngested = o.Gauge("server_records_ingested")
+	s.obsHeartbeats = o.Counter("server_heartbeats_total")
+	s.obsAlive = o.Gauge("server_ranks_alive")
+	s.obsSuspect = o.Gauge("server_ranks_suspect")
+	s.obsDead = o.Gauge("server_ranks_dead")
 	o.Gauge("server_shards").Set(float64(len(s.shards)))
 	for i, sh := range s.shards {
 		label := strconv.Itoa(i)
@@ -159,6 +178,9 @@ func (s *Server) SetObs(o *obs.Obs) {
 		sh.obsFrames = o.Gauge("server_shard_frames", "shard", label)
 	}
 	s.an.setObs(o)
+	if s.dur != nil {
+		s.dur.setObs(o)
+	}
 }
 
 // Receive ingests one encoded frame: validate (length, magic, bounded
@@ -167,18 +189,92 @@ func (s *Server) SetObs(o *obs.Obs) {
 // per-message temporary slice), then fold them into the epoch analyzer.
 // Duplicate frames are acknowledged (nil error) but not re-ingested;
 // corrupted or malformed frames return an error without touching any log.
+// Heartbeat frames (liveness.go) fold into the sender's lease state and are
+// not counted as messages.
+//
+// With durability attached, every outcome — ingest, duplicate, rejection,
+// heartbeat — is journaled to the WAL before Receive returns, under a
+// shared lock that excludes Crash/Recover/Checkpoint, so an acknowledged
+// frame is never half-applied when a crash captures the disk.
 func (s *Server) Receive(encoded []byte) error {
+	d := s.dur
+	if d == nil {
+		return s.receiveLocked(encoded)
+	}
+	if s.down.Load() {
+		return ErrServerDown
+	}
+	d.stateMu.RLock()
+	if s.down.Load() { // re-check: Crash may have won the lock race
+		d.stateMu.RUnlock()
+		return ErrServerDown
+	}
+	err := s.receiveLocked(encoded)
+	d.mu.Lock()
+	snapDue := d.snapDue
+	d.mu.Unlock()
+	d.stateMu.RUnlock()
+	// An automatic checkpoint needs the exclusive lock, so it runs after
+	// the shared hold is released. Concurrent Receives may all see snapDue;
+	// the first checkpoint clears it and the rest re-snapshot harmlessly
+	// (at worst one extra snapshot per racing frame).
+	if snapDue && err == nil {
+		return s.Checkpoint()
+	}
+	return err
+}
+
+// receiveLocked is Receive's body; with durability the caller holds the
+// stateMu read lock.
+func (s *Server) receiveLocked(encoded []byte) error {
+	if IsHeartbeat(encoded) {
+		rank, nowNs, leaseNs, err := parseHeartbeat(encoded)
+		if err != nil {
+			s.rejectedFrames.Add(1)
+			s.obsRejected.Inc()
+			if s.dur != nil {
+				if werr := s.dur.logBadFrame(false); werr != nil {
+					return werr
+				}
+			}
+			return err
+		}
+		return s.receiveHeartbeat(rank, nowNs, leaseNs, true)
+	}
 	h, err := ParseFrame(encoded)
 	if err != nil {
-		if errors.Is(err, ErrChecksum) {
+		checksum := errors.Is(err, ErrChecksum)
+		if checksum {
 			s.checksumErrors.Add(1)
 			s.obsCRC.Inc()
 		} else {
 			s.rejectedFrames.Add(1)
 			s.obsRejected.Inc()
 		}
+		if s.dur != nil {
+			if werr := s.dur.logBadFrame(checksum); werr != nil {
+				return werr
+			}
+		}
 		return err
 	}
+	dup, ticket := s.ingestFrame(h, encoded, 0, true)
+	if s.dur != nil {
+		if dup {
+			return s.dur.logDup(h.Rank)
+		}
+		_, werr := s.dur.logFrame(ticket, encoded)
+		return werr
+	}
+	return nil
+}
+
+// ingestFrame applies one parsed, validated frame to the shard state and
+// the epoch analyzer. forceTicket non-zero replays the frame under its
+// original arrival ticket (WAL recovery); live=false additionally
+// suppresses the per-frame observability counters, which describe the
+// process's ingest history rather than its state.
+func (s *Server) ingestFrame(h FrameHeader, encoded []byte, forceTicket uint64, live bool) (dup bool, ticket uint64) {
 	sh := s.shardFor(h.Rank)
 	sh.mu.Lock()
 	fl := sh.flows[h.Rank]
@@ -198,9 +294,11 @@ func (s *Server) Receive(encoded []byte) error {
 	if fl.seen(h.Seq) {
 		sh.dupFrames++
 		sh.mu.Unlock()
-		s.obsDup.Inc()
-		s.setCoverageGauges()
-		return nil
+		if live {
+			s.obsDup.Inc()
+			s.setCoverageGauges()
+		}
+		return true, 0
 	}
 	fl.markSeen(h.Seq)
 	fl.ingestedFrames++
@@ -208,7 +306,16 @@ func (s *Server) Receive(encoded []byte) error {
 	sh.ingestedRecords += int64(h.Count)
 	s.ingestedRecords.Add(int64(h.Count))
 
-	ticket := s.ticket.Add(1)
+	if forceTicket != 0 {
+		ticket = forceTicket
+		// Replay runs under the exclusive stateMu, so a plain
+		// load-compare-store cannot race another ticket assignment.
+		if ticket > s.ticket.Load() {
+			s.ticket.Store(ticket)
+		}
+	} else {
+		ticket = s.ticket.Add(1)
+	}
 	start := len(sh.records)
 	sh.records = appendDecoded(sh.records, encoded, h.Count)
 	recs := sh.records[start:]
@@ -238,14 +345,16 @@ func (s *Server) Receive(encoded []byte) error {
 	// by (sensor, group, slice).
 	s.an.fold(recs)
 
-	s.obsMessages.Inc()
-	s.obsBytes.Add(int64(len(encoded)))
-	s.obsRecords.Add(int64(len(recs)))
-	s.obsBatch.ObserveInt(int64(len(encoded)))
-	sh.obsRecords.Set(float64(shardRecords))
-	sh.obsFrames.Set(float64(shardFrames))
-	s.setCoverageGauges()
-	return nil
+	if live {
+		s.obsMessages.Inc()
+		s.obsBytes.Add(int64(len(encoded)))
+		s.obsRecords.Add(int64(len(recs)))
+		s.obsBatch.ObserveInt(int64(len(encoded)))
+		sh.obsRecords.Set(float64(shardRecords))
+		sh.obsFrames.Set(float64(shardFrames))
+		s.setCoverageGauges()
+	}
+	return false, ticket
 }
 
 func (s *Server) setCoverageGauges() {
@@ -515,22 +624,58 @@ func (s *Server) InterProcessOutliers(threshold float64) []Outlier {
 }
 
 // watermark returns the earliest latest-slice over every rank that has
-// reported — the virtual instant every sender is known to have progressed
-// past. Epochs for slices strictly before it are sealed; a reordered frame
-// arriving later still reopens its epoch, so the watermark is a performance
-// hint, never a correctness gate.
+// reported and is not lease-expired — the virtual instant every live
+// sender is known to have progressed past. Epochs for slices strictly
+// before it are sealed; a reordered frame arriving later still reopens its
+// epoch, so the watermark is a performance hint, never a correctness gate.
+//
+// Ranks the lease state machine classifies Dead (liveness.go) are excluded:
+// a rank that stopped reporting would otherwise pin the watermark forever,
+// so no epoch would ever close and the analyzer's open set would grow for
+// the rest of the run. Without leases (the in-process path) every rank is
+// Alive and this is exactly the old all-ranks minimum.
 func (s *Server) watermark() (int64, bool) {
+	// Fast path: until a heartbeat arrives no rank has a lease, so none can
+	// be dead and the watermark is the plain all-ranks minimum. This keeps
+	// lease-free queries allocation-free instead of paying livenessView's
+	// per-rank merge maps on every poll racing ingest (heartbeat frames are
+	// the only writers of shard live tables, so heartbeats==0 implies every
+	// lease is zero).
+	if s.heartbeats.Load() == 0 {
+		wm := int64(math.MaxInt64)
+		have := false
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for _, rp := range sh.perRank {
+				if !have || rp.LatestSliceNs < wm {
+					wm = rp.LatestSliceNs
+					have = true
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if !have {
+			return 0, false
+		}
+		return wm, true
+	}
+	v := s.livenessView()
+	dead := make(map[int]bool)
+	for _, rl := range v.ranks {
+		if rl.State == Dead {
+			dead[rl.Rank] = true
+		}
+	}
 	wm := int64(math.MaxInt64)
 	have := false
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for _, rp := range sh.perRank {
-			if !have || rp.LatestSliceNs < wm {
-				wm = rp.LatestSliceNs
-				have = true
-			}
+	for rank, latest := range v.latest {
+		if dead[rank] {
+			continue
 		}
-		sh.mu.Unlock()
+		if !have || latest < wm {
+			wm = latest
+			have = true
+		}
 	}
 	if !have {
 		return 0, false
@@ -539,23 +684,52 @@ func (s *Server) watermark() (int64, bool) {
 }
 
 // OutlierReport pairs the inter-process outliers with the delivery coverage
-// they were computed under, so a consumer of partial data sees "found these,
-// but 12% of records never arrived" instead of a silently thinner answer.
+// and rank liveness they were computed under, so a consumer of partial data
+// sees "found these, but 12% of records never arrived and rank 3 is dead"
+// instead of a silently thinner answer.
 type OutlierReport struct {
 	Outliers []Outlier
 	Coverage Coverage
-	// Confidence is the fraction of sent records the analysis saw
-	// (Coverage.Fraction): 1.0 means the log is complete.
+
+	// Liveness is every known rank's lease state; DeadRanks lists the ranks
+	// whose leases expired past recovery (in rank order). Degraded is set
+	// when any rank is dead: the verdict intentionally excludes senders that
+	// stopped reporting rather than stalling on them.
+	Liveness  []RankLiveness
+	DeadRanks []int
+	Degraded  bool
+
+	// LivenessConfidence is the fraction of known ranks still contributing
+	// (alive or suspect); 1.0 when no rank is dead.
+	LivenessConfidence float64
+
+	// Confidence combines delivery and liveness: Coverage.Fraction() ×
+	// LivenessConfidence. 1.0 means a complete log from a fully live fleet.
 	Confidence float64
 }
 
 // InterProcessReport runs InterProcessOutliers and stamps the result with
-// the current coverage.
+// the current coverage and liveness. With a permanently dead rank the
+// report is degraded, not stalled: the dead rank is named, excluded from
+// the watermark, and discounted from Confidence.
 func (s *Server) InterProcessReport(threshold float64) OutlierReport {
 	cov := s.Coverage()
-	return OutlierReport{
-		Outliers:   s.InterProcessOutliers(threshold),
-		Coverage:   cov,
-		Confidence: cov.Fraction(),
+	v := s.livenessView()
+	rep := OutlierReport{
+		Outliers: s.InterProcessOutliers(threshold),
+		Coverage: cov,
+		Liveness: v.ranks,
 	}
+	for _, rl := range v.ranks {
+		if rl.State == Dead {
+			rep.DeadRanks = append(rep.DeadRanks, rl.Rank)
+		}
+	}
+	rep.Degraded = len(rep.DeadRanks) > 0
+	rep.LivenessConfidence = 1
+	if n := len(v.ranks); n > 0 {
+		rep.LivenessConfidence = float64(n-len(rep.DeadRanks)) / float64(n)
+	}
+	rep.Confidence = cov.Fraction() * rep.LivenessConfidence
+	return rep
 }

@@ -36,6 +36,10 @@ type shard struct {
 	// perRank is the incremental progress state for live dashboards.
 	perRank map[int]*RankProgress
 
+	// live is the per-rank lease state (liveness.go): newest heartbeat stamp
+	// and the lease it carried, for ranks routed to this shard.
+	live map[int]*rankLive
+
 	bytesReceived   int64
 	messages        int64
 	latestSliceNs   int64

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"vsensor/internal/obs"
+	"vsensor/internal/storage"
+)
+
+// The write-ahead log. Every state transition the server's recovery cares
+// about — an ingested frame (with its arrival ticket), an absorbed
+// duplicate, a rejected frame, a heartbeat — is appended to the current WAL
+// segment before the caller is acknowledged, so a crash that wipes the
+// in-memory server loses at most the unsynced log tail, and Recover()
+// rebuilds everything else by replay (recover.go).
+//
+// Entry framing (little endian):
+//
+//	off 0: u32 length    payload bytes that follow the 8-byte entry header
+//	off 4: u32 crc       IEEE CRC32 over the payload
+//	off 8: payload       u8 kind, u64 lsn, kind-specific body
+//
+// The LSN is a strictly increasing per-server sequence shared by every
+// entry kind; snapshots record the LSN they cover, so replay skips entries
+// a snapshot already reflects even when old segments survive compaction.
+// Reading stops at the first entry whose length or CRC does not check out:
+// a torn or bit-rotten tail truncates the log there, and everything after
+// it — even if intact — is discarded, keeping recovery a strict prefix of
+// the acknowledged history (clients re-send past their last durable ack).
+//
+// Segments: entries append to "wal.<gen>"; a checkpoint (snapshot.go)
+// starts generation gen+1 and deletes segments older than gen, so at most
+// two segments — the one the newest snapshot supersedes and the live one —
+// exist at a time, which is exactly what falling back to the previous
+// snapshot needs.
+const (
+	walEntryHeader = 8
+
+	walKindFrame     = 1 // u64 ticket, raw frame bytes
+	walKindDup       = 2 // u32 rank
+	walKindChecksum  = 3 // no body: a frame rejected by CRC
+	walKindReject    = 4 // no body: a frame rejected for framing errors
+	walKindHeartbeat = 5 // u32 rank, u64 virtual now, u64 lease ns
+)
+
+// maxWALEntry bounds a decoded entry's claimed payload length: the largest
+// legitimate entry is a frame entry around a maximum-size frame.
+const maxWALEntry = walEntryHeader + 16 + frameHeaderSize + MaxFrameRecords*recordWireSize
+
+// DurabilityConfig tunes the WAL + snapshot layer.
+type DurabilityConfig struct {
+	// SyncEvery is how many WAL entries may accumulate before an fsync;
+	// <= 1 syncs every entry (ack implies durable — the default, and the
+	// mode under which transport-level exactly-once survives real crashes).
+	// Larger values model group commit: acknowledged-but-unsynced tail
+	// entries can be lost at a crash and must be re-sent by clients.
+	SyncEvery int
+
+	// SnapshotEvery is how many frames are ingested between automatic
+	// checkpoints (snapshot + WAL segment rotation). 0 selects
+	// DefaultSnapshotEvery; negative disables automatic checkpoints
+	// (Checkpoint can still be called explicitly).
+	SnapshotEvery int
+
+	// Disk is the storage device; nil creates a fresh fault-free disk.
+	Disk *storage.Disk
+}
+
+// DefaultSnapshotEvery is the automatic checkpoint cadence in frames.
+const DefaultSnapshotEvery = 256
+
+// durability is the server's WAL/snapshot state. All fields except stateMu
+// are guarded by mu; stateMu serializes ingest (read side) against crash,
+// recovery, and checkpoint (write side).
+type durability struct {
+	// stateMu is held shared for every Receive and exclusively by
+	// Crash/Recover/Checkpoint, so a wipe or a state capture never
+	// interleaves with a half-applied frame.
+	stateMu sync.RWMutex
+
+	mu   sync.Mutex
+	disk *storage.Disk
+	cfg  DurabilityConfig
+
+	gen       uint64 // current WAL segment generation == checkpoint count
+	lsn       uint64 // last assigned log sequence number
+	sinceSync int    // entries appended since the last fsync
+	frames    int    // frames appended since the last checkpoint
+	snapDue   bool   // set when frames crosses SnapshotEvery; cleared by Checkpoint
+	buf       []byte // reusable entry encode buffer
+
+	// Lifetime counters (survive Crash; they describe the device, not the
+	// server state).
+	entries    int64
+	bytes      int64
+	syncs      int64
+	snapshots  int64
+	recoveries int64
+	lastRec    RecoveryStats
+
+	// Observability handles (nil-safe no-ops when obs is off).
+	obsEntries   *obs.Counter
+	obsBytes     *obs.Counter
+	obsSyncs     *obs.Counter
+	obsSnapshots *obs.Counter
+	obsSnapBytes *obs.Gauge
+	obsRecovered *obs.Counter
+	obsTruncated *obs.Counter
+	obsReplayed  *obs.Counter
+}
+
+func walSegmentName(gen uint64) string { return fmt.Sprintf("wal.%d", gen) }
+
+// snapName alternates between two snapshot slots by generation parity, so
+// the previous snapshot survives until the next checkpoint overwrites its
+// slot — the fallback when the newest snapshot is bit-rotten.
+func snapName(gen uint64) string {
+	if gen%2 == 0 {
+		return "snap.a"
+	}
+	return "snap.b"
+}
+
+// appendEntry frames one payload and appends it to the live segment,
+// syncing per the configured cadence. Caller holds d.mu.
+func (d *durability) appendEntry(payload []byte) error {
+	var hdr [walEntryHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	seg := walSegmentName(d.gen)
+	if err := d.disk.Append(seg, hdr[:]); err != nil {
+		return err
+	}
+	if err := d.disk.Append(seg, payload); err != nil {
+		return err
+	}
+	d.entries++
+	d.bytes += int64(walEntryHeader + len(payload))
+	d.obsEntries.Inc()
+	d.obsBytes.Add(int64(walEntryHeader + len(payload)))
+	d.sinceSync++
+	if d.cfg.SyncEvery <= 1 || d.sinceSync >= d.cfg.SyncEvery {
+		if err := d.disk.Sync(seg); err != nil {
+			return err
+		}
+		d.sinceSync = 0
+		d.syncs++
+		d.obsSyncs.Inc()
+	}
+	return nil
+}
+
+// entryHead serializes the common payload prefix (kind + next LSN) into
+// d.buf. Caller holds d.mu.
+func (d *durability) entryHead(kind byte) []byte {
+	d.lsn++
+	b := d.buf[:0]
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint64(b, d.lsn)
+	return b
+}
+
+// logFrame appends a frame entry (arrival ticket + raw frame bytes) and
+// reports whether an automatic checkpoint is now due. The caller performs
+// the checkpoint after releasing its shared stateMu hold.
+func (d *durability) logFrame(ticket uint64, encoded []byte) (snapDue bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.entryHead(walKindFrame)
+	b = binary.LittleEndian.AppendUint64(b, ticket)
+	b = append(b, encoded...)
+	d.buf = b
+	if err := d.appendEntry(b); err != nil {
+		return false, err
+	}
+	d.frames++
+	every := d.cfg.SnapshotEvery
+	if every == 0 {
+		every = DefaultSnapshotEvery
+	}
+	if every > 0 && d.frames >= every && !d.snapDue {
+		d.snapDue = true
+	}
+	return d.snapDue, nil
+}
+
+// logDup appends a duplicate-frame event for rank.
+func (d *durability) logDup(rank int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.entryHead(walKindDup)
+	b = binary.LittleEndian.AppendUint32(b, uint32(rank))
+	d.buf = b
+	return d.appendEntry(b)
+}
+
+// logBadFrame appends a rejection event (checksum or framing).
+func (d *durability) logBadFrame(checksum bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kind := byte(walKindReject)
+	if checksum {
+		kind = walKindChecksum
+	}
+	b := d.entryHead(kind)
+	d.buf = b
+	return d.appendEntry(b)
+}
+
+// logHeartbeat appends a liveness heartbeat event.
+func (d *durability) logHeartbeat(rank int, nowNs, leaseNs int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.entryHead(walKindHeartbeat)
+	b = binary.LittleEndian.AppendUint32(b, uint32(rank))
+	b = binary.LittleEndian.AppendUint64(b, uint64(nowNs))
+	b = binary.LittleEndian.AppendUint64(b, uint64(leaseNs))
+	d.buf = b
+	return d.appendEntry(b)
+}
+
+// walEntry is one decoded log entry.
+type walEntry struct {
+	kind byte
+	lsn  uint64
+	body []byte // kind-specific bytes, aliasing the segment buffer
+}
+
+// scanWAL decodes entries from raw segment bytes, stopping at the first
+// entry that fails validation (short header, hostile length, CRC mismatch,
+// or a truncated payload). It returns the valid prefix, how many bytes of
+// the segment it consumed, and whether it stopped early (truncation).
+func scanWAL(data []byte) (entries []walEntry, consumed int, truncated bool) {
+	off := 0
+	for {
+		if off == len(data) {
+			return entries, off, false
+		}
+		if len(data)-off < walEntryHeader {
+			return entries, off, true
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n < 9 || n > maxWALEntry || len(data)-off-walEntryHeader < n {
+			return entries, off, true
+		}
+		payload := data[off+walEntryHeader : off+walEntryHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4:]) {
+			return entries, off, true
+		}
+		entries = append(entries, walEntry{
+			kind: payload[0],
+			lsn:  binary.LittleEndian.Uint64(payload[1:]),
+			body: payload[9:],
+		})
+		off += walEntryHeader + n
+	}
+}
+
+// DurabilityStats describes the WAL/snapshot layer for dashboards and
+// /status.
+type DurabilityStats struct {
+	Enabled       bool
+	Generation    uint64 // current WAL segment / checkpoint generation
+	LSN           uint64 // last assigned log sequence number
+	WALEntries    int64
+	WALBytes      int64
+	Syncs         int64
+	Snapshots     int64
+	Recoveries    int64
+	DiskBytes     int64 // total bytes on the backing device
+	LastRecovery  RecoveryStats
+	SnapshotEvery int
+	SyncEvery     int
+}
+
+// DurabilityStats returns the durability layer's state; the zero value when
+// durability is off.
+func (s *Server) DurabilityStats() DurabilityStats {
+	d := s.dur
+	if d == nil {
+		return DurabilityStats{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	every := d.cfg.SnapshotEvery
+	if every == 0 {
+		every = DefaultSnapshotEvery
+	}
+	sync := d.cfg.SyncEvery
+	if sync <= 1 {
+		sync = 1
+	}
+	return DurabilityStats{
+		Enabled:       true,
+		Generation:    d.gen,
+		LSN:           d.lsn,
+		WALEntries:    d.entries,
+		WALBytes:      d.bytes,
+		Syncs:         d.syncs,
+		Snapshots:     d.snapshots,
+		Recoveries:    d.recoveries,
+		DiskBytes:     d.disk.Size(),
+		LastRecovery:  d.lastRec,
+		SnapshotEvery: every,
+		SyncEvery:     sync,
+	}
+}
+
+// Disk returns the backing storage device (nil when durability is off) —
+// chaos harnesses crash it directly.
+func (s *Server) Disk() *storage.Disk {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.disk
+}
+
+// AttachDurability enables the WAL + snapshot layer over disk (a fresh
+// fault-free disk when cfg.Disk is nil). Must be called before any frame is
+// ingested; attaching twice or after ingest panics — durability is a
+// construction-time decision.
+func (s *Server) AttachDurability(cfg DurabilityConfig) {
+	if s.dur != nil {
+		panic("server: durability already attached")
+	}
+	if s.ticket.Load() != 0 {
+		panic("server: AttachDurability after ingest started")
+	}
+	disk := cfg.Disk
+	if disk == nil {
+		disk = storage.NewDisk(storage.Faults{})
+	}
+	s.dur = &durability{disk: disk, cfg: cfg}
+}
+
+// setDurObs attaches the durability metric handles. Called from SetObs.
+func (d *durability) setObs(o *obs.Obs) {
+	d.obsEntries = o.Counter("server_wal_entries_total")
+	d.obsBytes = o.Counter("server_wal_bytes_total")
+	d.obsSyncs = o.Counter("server_wal_syncs_total")
+	d.obsSnapshots = o.Counter("server_snapshots_total")
+	d.obsSnapBytes = o.Gauge("server_snapshot_bytes")
+	d.obsRecovered = o.Counter("server_recoveries_total")
+	d.obsTruncated = o.Counter("server_wal_truncated_bytes_total")
+	d.obsReplayed = o.Counter("server_replayed_frames_total")
+}

@@ -1,0 +1,253 @@
+// Package storage is a simulated, fault-injectable persistence device for
+// the analysis server's durability layer (WAL + snapshots). The in-process
+// server of earlier PRs never loses state, so its "crash recovery" was
+// untestable fiction; this package gives the reproduction a disk with the
+// failure modes real write-ahead logs are built to survive:
+//
+//   - Writes land in an unsynced region first (the page cache). A crash
+//     discards whatever was not fsynced — or, under the torn-write fault,
+//     keeps an arbitrary byte prefix of it, the classic partially-persisted
+//     append that forces WAL readers to truncate at the first bad CRC.
+//   - Sync moves the unsynced region into durable bytes — unless the
+//     sync-loss fault makes it lie: it reports success while the data stays
+//     volatile, the fsync-error-swallowed bug of real storage stacks.
+//   - A crash can flip a random bit in a file's durable bytes (bit rot),
+//     which recovery must detect by checksum rather than trust.
+//
+// All faults are probabilities drawn from a stream seeded by Faults.Seed,
+// so a crash schedule reproduces exactly across runs. The zero Faults
+// value is an honest disk: Sync is truthful and a crash loses exactly the
+// unsynced tails.
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Faults configures the disk's seeded failure injection. Probabilities are
+// in [0,1]; the zero value injects nothing.
+type Faults struct {
+	// Seed derives the fault stream; crash outcomes are deterministic per
+	// (Seed, operation sequence).
+	Seed int64
+
+	// TornWrite is the probability, per file with unsynced data at crash
+	// time, that a byte prefix of the unsynced tail survives instead of the
+	// whole tail vanishing — a partially persisted append.
+	TornWrite float64
+
+	// SyncLoss is the probability a Sync call claims success while leaving
+	// the data unsynced (lost if a crash follows before a later, honest
+	// Sync).
+	SyncLoss float64
+
+	// BitRot is the probability, per file at crash time, that one random
+	// bit of the file's durable bytes is flipped.
+	BitRot float64
+}
+
+// Validate rejects out-of-range rates.
+func (f Faults) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"tornwrite", f.TornWrite}, {"syncloss", f.SyncLoss}, {"bitrot", f.BitRot}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("storage: %s rate %g out of [0,1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// file is one stored object: durable bytes survive a crash; unsynced bytes
+// are the page-cache tail that a crash discards (or tears).
+type file struct {
+	durable  []byte
+	unsynced []byte
+}
+
+// view returns what a running process reads: durable bytes plus the cached
+// unsynced tail.
+func (f *file) view() []byte {
+	out := make([]byte, 0, len(f.durable)+len(f.unsynced))
+	out = append(out, f.durable...)
+	return append(out, f.unsynced...)
+}
+
+// Stats counts the disk's operation history, for tests and observability.
+type Stats struct {
+	Appends     int64
+	AppendBytes int64
+	Syncs       int64
+	SyncsLost   int64 // Syncs that lied (sync-loss fault)
+	Crashes     int64
+	TornKept    int64 // bytes of unsynced data a torn write preserved
+	BitFlips    int64
+	Renames     int64
+	Removes     int64
+}
+
+// Disk is the fault-injectable device. Safe for concurrent use.
+type Disk struct {
+	mu     sync.Mutex
+	files  map[string]*file
+	rng    *rand.Rand
+	faults Faults
+	stats  Stats
+}
+
+// NewDisk creates an empty disk with the given fault plan. Panics on an
+// invalid plan (rates out of range) — fault plans are test/CLI inputs that
+// should have been validated already.
+func NewDisk(f Faults) *Disk {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	return &Disk{
+		files:  make(map[string]*file),
+		rng:    rand.New(rand.NewSource(f.Seed ^ 0x5deece66d)),
+		faults: f,
+	}
+}
+
+// Append buffers p onto the end of name, creating it if absent. The bytes
+// are volatile (lost or torn at crash) until a truthful Sync.
+func (d *Disk) Append(name string, p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[name]
+	if f == nil {
+		f = &file{}
+		d.files[name] = f
+	}
+	f.unsynced = append(f.unsynced, p...)
+	d.stats.Appends++
+	d.stats.AppendBytes += int64(len(p))
+	return nil
+}
+
+// Sync makes name's unsynced bytes durable. Under the sync-loss fault it
+// may lie: report success and leave the tail volatile.
+func (d *Disk) Sync(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[name]
+	if f == nil {
+		return fmt.Errorf("storage: sync %q: no such file", name)
+	}
+	d.stats.Syncs++
+	if d.faults.SyncLoss > 0 && d.rng.Float64() < d.faults.SyncLoss {
+		d.stats.SyncsLost++
+		return nil
+	}
+	f.durable = append(f.durable, f.unsynced...)
+	f.unsynced = f.unsynced[:0]
+	return nil
+}
+
+// ReadFile returns the running-process view of name: durable bytes plus the
+// cached unsynced tail. The returned slice is a copy.
+func (d *Disk) ReadFile(name string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[name]
+	if f == nil {
+		return nil, fmt.Errorf("storage: read %q: no such file", name)
+	}
+	return f.view(), nil
+}
+
+// Rename atomically and durably renames old to new, replacing any existing
+// new — the commit primitive snapshots rely on. Metadata operations are
+// modeled as journaled by the filesystem: a crash never observes a half
+// rename.
+func (d *Disk) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[oldName]
+	if f == nil {
+		return fmt.Errorf("storage: rename %q: no such file", oldName)
+	}
+	delete(d.files, oldName)
+	d.files[newName] = f
+	d.stats.Renames++
+	return nil
+}
+
+// Remove deletes name; removing a missing file is not an error (idempotent
+// cleanup).
+func (d *Disk) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; ok {
+		delete(d.files, name)
+		d.stats.Removes++
+	}
+	return nil
+}
+
+// List returns the stored file names in sorted order.
+func (d *Disk) List() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Crash simulates losing the machine: every file's unsynced tail is
+// discarded — or torn, keeping a random byte prefix, under the torn-write
+// fault — and durable bytes may suffer a single-bit flip under the bit-rot
+// fault. The disk remains usable afterwards; recovery reads what survived.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Crashes++
+	// Iterate in sorted order so the fault stream is deterministic: map
+	// iteration order must not decide which file tears.
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := d.files[name]
+		if len(f.unsynced) > 0 {
+			if d.faults.TornWrite > 0 && d.rng.Float64() < d.faults.TornWrite {
+				keep := d.rng.Intn(len(f.unsynced) + 1)
+				f.durable = append(f.durable, f.unsynced[:keep]...)
+				d.stats.TornKept += int64(keep)
+			}
+			f.unsynced = nil
+		}
+		if len(f.durable) > 0 && d.faults.BitRot > 0 && d.rng.Float64() < d.faults.BitRot {
+			bit := d.rng.Intn(len(f.durable) * 8)
+			f.durable[bit/8] ^= 1 << (bit % 8)
+			d.stats.BitFlips++
+		}
+	}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Size returns the total bytes stored (durable + unsynced) across files.
+func (d *Disk) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, f := range d.files {
+		n += int64(len(f.durable) + len(f.unsynced))
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppendSyncCrash(t *testing.T) {
+	d := NewDisk(Faults{})
+	if err := d.Append("wal", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync("wal"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append("wal", []byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	// Reads see the cached (unsynced) tail.
+	got, err := d.ReadFile("wal")
+	if err != nil || !bytes.Equal(got, []byte("abcdef")) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	// An honest crash loses exactly the unsynced tail.
+	d.Crash()
+	got, err = d.ReadFile("wal")
+	if err != nil || !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("post-crash read = %q, %v (want synced prefix only)", got, err)
+	}
+}
+
+func TestRenameAtomicDurable(t *testing.T) {
+	d := NewDisk(Faults{})
+	d.Append("snap.tmp", []byte("state"))
+	if err := d.Sync("snap.tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("snap.tmp", "snap.a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadFile("snap.tmp"); err == nil {
+		t.Fatal("old name still readable after rename")
+	}
+	d.Crash()
+	got, err := d.ReadFile("snap.a")
+	if err != nil || !bytes.Equal(got, []byte("state")) {
+		t.Fatalf("renamed file lost at crash: %q, %v", got, err)
+	}
+	// Rename replaces an existing target.
+	d.Append("snap.tmp", []byte("newer"))
+	d.Sync("snap.tmp")
+	if err := d.Rename("snap.tmp", "snap.a"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.ReadFile("snap.a")
+	if !bytes.Equal(got, []byte("newer")) {
+		t.Fatalf("rename did not replace: %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := NewDisk(Faults{})
+	if _, err := d.ReadFile("missing"); err == nil {
+		t.Error("read of missing file succeeded")
+	}
+	if err := d.Sync("missing"); err == nil {
+		t.Error("sync of missing file succeeded")
+	}
+	if err := d.Rename("missing", "x"); err == nil {
+		t.Error("rename of missing file succeeded")
+	}
+	if err := d.Remove("missing"); err != nil {
+		t.Errorf("remove of missing file errored: %v", err)
+	}
+	if err := (Faults{TornWrite: 2}).Validate(); err == nil {
+		t.Error("out-of-range fault rate accepted")
+	}
+}
+
+func TestTornWriteKeepsPrefix(t *testing.T) {
+	// With TornWrite=1 every crash keeps some prefix (possibly empty) of the
+	// unsynced tail; the durable base is never damaged.
+	for seed := int64(0); seed < 20; seed++ {
+		d := NewDisk(Faults{Seed: seed, TornWrite: 1})
+		d.Append("wal", []byte("synced|"))
+		d.Sync("wal")
+		tail := []byte("0123456789")
+		d.Append("wal", tail)
+		d.Crash()
+		got, err := d.ReadFile("wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(got, []byte("synced|")) {
+			t.Fatalf("seed %d: durable prefix damaged: %q", seed, got)
+		}
+		rest := got[len("synced|"):]
+		if !bytes.HasPrefix(tail, rest) {
+			t.Fatalf("seed %d: torn tail %q is not a prefix of %q", seed, rest, tail)
+		}
+	}
+}
+
+func TestSyncLossLosesAckedData(t *testing.T) {
+	d := NewDisk(Faults{Seed: 7, SyncLoss: 1})
+	d.Append("wal", []byte("abc"))
+	if err := d.Sync("wal"); err != nil {
+		t.Fatalf("lying sync must still report success: %v", err)
+	}
+	d.Crash()
+	got, err := d.ReadFile("wal")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("sync-loss data survived crash: %q, %v", got, err)
+	}
+	if st := d.Stats(); st.SyncsLost != 1 {
+		t.Errorf("stats = %+v, want 1 lost sync", st)
+	}
+}
+
+func TestBitRotFlipsOneBit(t *testing.T) {
+	d := NewDisk(Faults{Seed: 3, BitRot: 1})
+	orig := []byte("abcdefgh")
+	d.Append("f", orig)
+	d.Sync("f")
+	d.Crash()
+	got, _ := d.ReadFile("f")
+	diff := 0
+	for i := range got {
+		b := got[i] ^ orig[i]
+		for ; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit rot flipped %d bits, want exactly 1 (%q vs %q)", diff, got, orig)
+	}
+	if st := d.Stats(); st.BitFlips != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeterministicFaultStream(t *testing.T) {
+	run := func() []byte {
+		d := NewDisk(Faults{Seed: 99, TornWrite: 0.7, BitRot: 0.5})
+		d.Append("wal", bytes.Repeat([]byte("x"), 64))
+		d.Sync("wal")
+		d.Append("wal", bytes.Repeat([]byte("y"), 64))
+		d.Crash()
+		got, _ := d.ReadFile("wal")
+		return got
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Errorf("same seed, different crash outcome:\n%q\n%q", a, b)
+	}
+}
+
+func TestListAndSize(t *testing.T) {
+	d := NewDisk(Faults{})
+	d.Append("b", []byte("22"))
+	d.Append("a", []byte("1"))
+	names := d.List()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("list = %v", names)
+	}
+	if d.Size() != 3 {
+		t.Errorf("size = %d", d.Size())
+	}
+	d.Remove("b")
+	if got := d.List(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("list after remove = %v", got)
+	}
+}

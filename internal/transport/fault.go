@@ -65,15 +65,24 @@ type FaultPlan struct {
 	// server is down; afterwards it restarts (with its journal intact) and
 	// accepts frames again.
 	CrashDownFrames int64
+
+	// DeadRank and DeadAfterFrames model a permanently failed sender: once
+	// rank DeadRank has flushed DeadAfterFrames frames, its connection goes
+	// silent — no more frames, no heartbeats, records discarded (and counted
+	// lost). DeadAfterFrames 0 disables the fault; the server's liveness
+	// leases (server.RankLiveness) are what detect the silence.
+	DeadRank        int
+	DeadAfterFrames int64
 }
 
 // Zero reports whether the plan injects no faults at all.
 func (p FaultPlan) Zero() bool {
 	return p.Drop == 0 && p.Dup == 0 && p.Reorder == 0 && p.Corrupt == 0 &&
-		p.DelayNs == 0 && p.CrashAfterFrames == 0
+		p.DelayNs == 0 && p.CrashAfterFrames == 0 && p.CrashDownFrames == 0 &&
+		p.DeadAfterFrames == 0
 }
 
-// Validate rejects out-of-range rates.
+// Validate rejects out-of-range rates and inconsistent fault combinations.
 func (p FaultPlan) Validate() error {
 	for _, r := range []struct {
 		name string
@@ -85,6 +94,15 @@ func (p FaultPlan) Validate() error {
 	}
 	if p.DelayNs < 0 || p.CrashAfterFrames < 0 || p.CrashDownFrames < 0 {
 		return fmt.Errorf("transport: negative delay/crash parameter")
+	}
+	if p.CrashDownFrames > 0 && p.CrashAfterFrames == 0 {
+		return fmt.Errorf("transport: crashdown=%d without crashafter (the window has no start)", p.CrashDownFrames)
+	}
+	if p.DeadRank < 0 || p.DeadAfterFrames < 0 {
+		return fmt.Errorf("transport: negative deadrank/deadafter parameter")
+	}
+	if p.DeadRank > 0 && p.DeadAfterFrames == 0 {
+		return fmt.Errorf("transport: deadrank=%d without deadafter (the rank would never die)", p.DeadRank)
 	}
 	return nil
 }
@@ -98,6 +116,7 @@ func ParsePlan(spec string) (FaultPlan, error) {
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
+	sawDeadRank := false
 	for _, part := range strings.Split(spec, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
@@ -120,6 +139,13 @@ func ParsePlan(spec string) (FaultPlan, error) {
 			p.CrashAfterFrames, err = strconv.ParseInt(val, 10, 64)
 		case "crashdown":
 			p.CrashDownFrames, err = strconv.ParseInt(val, 10, 64)
+		case "deadrank":
+			var r int64
+			r, err = strconv.ParseInt(val, 10, 32)
+			p.DeadRank = int(r)
+			sawDeadRank = true
+		case "deadafter":
+			p.DeadAfterFrames, err = strconv.ParseInt(val, 10, 64)
 		case "delay":
 			var d time.Duration
 			d, err = time.ParseDuration(val)
@@ -130,6 +156,11 @@ func ParsePlan(spec string) (FaultPlan, error) {
 		if err != nil {
 			return p, fmt.Errorf("transport: bad value for %s: %v", key, err)
 		}
+	}
+	// Validate's struct-level rule cannot see an explicit deadrank=0, so the
+	// parser enforces the pairing itself.
+	if sawDeadRank && p.DeadAfterFrames == 0 {
+		return p, fmt.Errorf("transport: deadrank without deadafter (the rank would never die)")
 	}
 	if err := p.Validate(); err != nil {
 		return p, err
@@ -160,6 +191,10 @@ func (p FaultPlan) String() string {
 	}
 	if p.CrashDownFrames != 0 {
 		parts = append(parts, fmt.Sprintf("crashdown=%d", p.CrashDownFrames))
+	}
+	if p.DeadAfterFrames != 0 {
+		parts = append(parts, fmt.Sprintf("deadrank=%d", p.DeadRank))
+		parts = append(parts, fmt.Sprintf("deadafter=%d", p.DeadAfterFrames))
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"vsensor/internal/detect"
@@ -40,6 +41,14 @@ type Config struct {
 	// CloseAttempts bounds per-frame delivery attempts during Close's
 	// final drain, when there is no later flush to retry from (default 64).
 	CloseAttempts int
+
+	// LeaseNs enables liveness heartbeats: the Conn promises the server a
+	// fresh heartbeat within this much virtual time and emits one at least
+	// every LeaseNs/2 as it flushes. The server's lease state machine
+	// (server.RankLiveness) marks the rank suspect one lease behind the
+	// cluster frontier and dead at three. 0 (the default) disables
+	// heartbeats — ranks are then always considered alive.
+	LeaseNs int64
 }
 
 // Defaults for Config fields left zero.
@@ -89,17 +98,27 @@ type Link struct {
 
 	attempts atomic.Int64 // delivery attempts that reached the "network"
 
+	// Crash hooks: with a durable server attached (SetCrashHooks), entering
+	// the crash window actually crashes the server (wiping its memory) and
+	// leaving it runs recovery — instead of the stateless reject-only window
+	// of a purely in-memory server. Each fires exactly once.
+	onCrash     func()
+	onRecover   func()
+	crashOnce   sync.Once
+	recoverOnce sync.Once
+
 	// Observability handles (nil-safe no-ops when obs is off).
-	obsFrames    *obs.Counter
-	obsAcked     *obs.Counter
-	obsRetries   *obs.Counter
-	obsDropped   *obs.Counter
-	obsCorrupted *obs.Counter
-	obsDuped     *obs.Counter
-	obsReordered *obs.Counter
-	obsRejects   *obs.Counter
-	obsParked    *obs.Counter
-	obsLost      *obs.Counter
+	obsFrames     *obs.Counter
+	obsAcked      *obs.Counter
+	obsRetries    *obs.Counter
+	obsDropped    *obs.Counter
+	obsCorrupted  *obs.Counter
+	obsDuped      *obs.Counter
+	obsReordered  *obs.Counter
+	obsRejects    *obs.Counter
+	obsParked     *obs.Counter
+	obsLost       *obs.Counter
+	obsHeartbeats *obs.Counter
 }
 
 // NewLink wraps srv behind plan. A zero plan is a perfect (but still
@@ -110,6 +129,24 @@ func NewLink(srv *server.Server, plan FaultPlan) *Link {
 
 // Plan returns the link's fault plan.
 func (l *Link) Plan() FaultPlan { return l.plan }
+
+// SetCrashHooks makes the crash-restart window stateful: onCrash runs once
+// when the first delivery attempt enters the window (a durable server
+// crashes its disk and wipes memory there), onRecover runs once on the
+// first attempt past it (the server replays its journal). Without hooks
+// the window only rejects deliveries, as before. Call before the run
+// starts.
+func (l *Link) SetCrashHooks(onCrash, onRecover func()) {
+	noop := func() {}
+	if onCrash == nil {
+		onCrash = noop
+	}
+	if onRecover == nil {
+		onRecover = noop
+	}
+	l.onCrash = onCrash
+	l.onRecover = onRecover
+}
 
 // Attempts returns how many delivery attempts reached the link so far.
 func (l *Link) Attempts() int64 { return l.attempts.Load() }
@@ -129,6 +166,7 @@ func (l *Link) SetObs(o *obs.Obs) {
 	l.obsRejects = o.Counter("transport_server_down_rejects_total")
 	l.obsParked = o.Counter("transport_parked_total")
 	l.obsLost = o.Counter("transport_records_lost_total")
+	l.obsHeartbeats = o.Counter("transport_heartbeats_total")
 }
 
 // deliver is one attempt reaching the network: it applies the crash window
@@ -140,11 +178,20 @@ func (l *Link) SetObs(o *obs.Obs) {
 // frames from different ranks without contention.
 func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool) bool {
 	attempts := l.attempts.Add(1)
-	if l.plan.CrashAfterFrames > 0 &&
-		attempts > l.plan.CrashAfterFrames &&
-		attempts <= l.plan.CrashAfterFrames+l.plan.CrashDownFrames {
-		l.obsRejects.Inc()
-		return false
+	if l.plan.CrashAfterFrames > 0 && attempts > l.plan.CrashAfterFrames {
+		if attempts <= l.plan.CrashAfterFrames+l.plan.CrashDownFrames {
+			if l.onCrash != nil {
+				l.crashOnce.Do(l.onCrash)
+			}
+			l.obsRejects.Inc()
+			return false
+		}
+		if l.plan.CrashDownFrames > 0 && l.onRecover != nil {
+			// The window also crashed the server even if no attempt landed
+			// inside it (the once below covers that race too).
+			l.crashOnce.Do(l.onCrash)
+			l.recoverOnce.Do(l.onRecover)
+		}
 	}
 	if corrupt != nil {
 		// The damaged copy reaches the server, which rejects it by CRC;
@@ -210,6 +257,13 @@ type Conn struct {
 	// this conn's goroutine (deliver/release).
 	held []byte
 
+	// hbEnc is the reusable heartbeat wire buffer; lastHBNs is the virtual
+	// time of the last heartbeat that reached the server.
+	hbEnc      []byte
+	lastHBNs   int64
+	sentHB     bool
+	heartbeats int64
+
 	framesSent  int64
 	recordsSent int64
 	bytesSent   int64
@@ -247,9 +301,63 @@ func (c *Conn) charge(ns int64) {
 	}
 }
 
+// silenced reports whether the dead-rank fault has permanently killed this
+// connection: rank DeadRank goes quiet after flushing DeadAfterFrames
+// frames — no frames, no heartbeats, no virtual-time burn. The server's
+// liveness leases are what notice.
+func (c *Conn) silenced() bool {
+	p := &c.link.plan
+	return p.DeadAfterFrames > 0 && c.rank == p.DeadRank && c.seq >= uint64(p.DeadAfterFrames)
+}
+
+// maybeHeartbeat emits a liveness heartbeat when the lease cadence is due:
+// at least every LeaseNs/2 of virtual time, plus one immediately on the
+// first call so the server learns the lease early. Heartbeats bypass the
+// fault dice and the link's attempt counter — they are tiny, constantly
+// retried frames whose loss the next one repairs, and modeling their
+// individual fates would perturb every existing crashafter schedule — but
+// they do respect the crash window: a down server hears nothing.
+func (c *Conn) maybeHeartbeat() {
+	lease := c.cfg.LeaseNs
+	if lease <= 0 || c.clock == nil || c.silenced() {
+		return
+	}
+	now := c.clock.Now()
+	if c.sentHB && now < c.lastHBNs+lease/2 {
+		return
+	}
+	c.hbEnc = server.AppendHeartbeat(c.hbEnc[:0], c.rank, now, lease)
+	if c.link.deliverHeartbeat(c.hbEnc) {
+		c.sentHB = true
+		c.lastHBNs = now
+		c.heartbeats++
+	}
+}
+
+// deliverHeartbeat hands a heartbeat frame to the server unless the crash
+// window is open. It does not advance the attempt counter (see
+// maybeHeartbeat).
+func (l *Link) deliverHeartbeat(hb []byte) bool {
+	a := l.attempts.Load()
+	if l.plan.CrashAfterFrames > 0 && a >= l.plan.CrashAfterFrames &&
+		a < l.plan.CrashAfterFrames+l.plan.CrashDownFrames {
+		return false
+	}
+	if err := l.srv.Receive(hb); err != nil {
+		return false
+	}
+	l.obsHeartbeats.Inc()
+	return true
+}
+
 // OnSlice buffers one record, flushing when the batch is full
 // (detect.Emitter).
 func (c *Conn) OnSlice(r detect.SliceRecord) error {
+	if c.silenced() {
+		c.lostRecords++
+		c.link.obsLost.Inc()
+		return nil
+	}
 	c.buf = append(c.buf, r)
 	if len(c.buf) >= c.cfg.BatchSize {
 		return c.Flush()
@@ -261,6 +369,11 @@ func (c *Conn) OnSlice(r detect.SliceRecord) error {
 // new sequenced frame. The returned error reports backpressure loss
 // (drop-oldest evictions), not transient failures — those are retried.
 func (c *Conn) Flush() error {
+	if c.silenced() {
+		c.dropAllSilently()
+		return nil
+	}
+	c.maybeHeartbeat()
 	err := c.drainParked(c.cfg.MaxRetries)
 	if len(c.buf) == 0 {
 		return err
@@ -381,10 +494,41 @@ func (c *Conn) drainParked(maxRetries int) error {
 	return err
 }
 
+// dropAllSilently discards everything a dead rank still holds — buffered
+// records, parked retransmits, the held reordered frame — counting the
+// records as lost. A dead process sends nothing, not even its backlog.
+func (c *Conn) dropAllSilently() {
+	lost := int64(len(c.buf))
+	c.buf = c.buf[:0]
+	for _, f := range c.parked {
+		if h, err := server.ParseFrame(f); err == nil {
+			lost += int64(h.Count)
+		}
+		c.lostFrames++
+	}
+	c.parked = nil
+	if c.held != nil {
+		if h, err := server.ParseFrame(c.held); err == nil {
+			lost += int64(h.Count)
+		}
+		c.held = nil
+		c.lostFrames++
+	}
+	if lost > 0 {
+		c.lostRecords += lost
+		c.link.obsLost.Add(lost)
+	}
+}
+
 // Close flushes buffered records, makes a final persistent attempt at every
 // parked frame (CloseAttempts each), releases any held reordered frame,
-// and reports frames that were abandoned as lost.
+// and reports frames that were abandoned as lost. A dead rank's Close
+// discards silently instead — the process is gone.
 func (c *Conn) Close() error {
+	if c.silenced() {
+		c.dropAllSilently()
+		return nil
+	}
 	err := c.Flush()
 	if derr := c.drainParked(c.cfg.CloseAttempts); derr != nil && err == nil {
 		err = derr
@@ -420,6 +564,7 @@ type ConnStats struct {
 	LostFrames  int64 // frames evicted or abandoned (records lost)
 	LostRecords int64
 	WaitNs      int64 // virtual time charged for delays/timeouts/backoff
+	Heartbeats  int64 // liveness heartbeats that reached the server
 }
 
 // Stats returns the connection's delivery accounting.
@@ -434,5 +579,6 @@ func (c *Conn) Stats() ConnStats {
 		LostFrames:  c.lostFrames,
 		LostRecords: c.lostRecords,
 		WaitNs:      c.waitNs,
+		Heartbeats:  c.heartbeats,
 	}
 }

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Full repository check: build, vet, race-enabled tests (including the
-# transport chaos test and the sharded-server differential conformance
-# property), the coverage gate against the seed baseline, a race-enabled
-# benchmark smoke, a coverage-guided fuzz smoke over every fuzz target, then
-# the observability / VM / transport / analysis-server benchmarks.
+# transport chaos test, the sharded-server differential conformance
+# property, and the kill-and-recover WAL/snapshot conformance gate), the
+# coverage gate against the seed baseline, a race-enabled benchmark smoke,
+# a coverage-guided fuzz smoke over every fuzz target, then the
+# observability / VM / transport / analysis-server benchmarks.
 # Benchmark results are written to BENCH_obs.json, BENCH_vm.json,
 # BENCH_transport.json, and BENCH_server.json so successive PRs can diff
 # overhead, interpreter-speed, record-path, and ingest-throughput numbers.
@@ -35,6 +36,9 @@ go test -race -run 'TestChaosExactlyOnce$' -count 1 ./internal/transport
 echo "== race-enabled differential conformance (sharded engine vs batch recompute)"
 go test -race -run 'TestDifferentialConformance$|TestRecordsSnapshotUnderIngest$' -count 1 ./internal/server
 
+echo "== race-enabled kill-and-recover conformance (WAL+snapshot recovery vs never-crashed server)"
+go test -race -run 'TestKillRecoverConformance$' -count 1 ./internal/server
+
 echo "== coverage gate (per-package deltas vs seed baseline)"
 sh scripts/cover.sh
 
@@ -44,6 +48,7 @@ go test -race -run '^$' -bench 'BenchmarkInterpHotLoop$' -benchtime 1x ./interna
 echo "== fuzz smoke ($fuzztime per target)"
 go test -run '^$' -fuzz 'FuzzBatchRoundTrip$' -fuzztime "$fuzztime" ./internal/server
 go test -run '^$' -fuzz 'FuzzCheckBatch$' -fuzztime "$fuzztime" ./internal/server
+go test -run '^$' -fuzz 'FuzzWALReplay$' -fuzztime "$fuzztime" ./internal/server
 go test -run '^$' -fuzz 'FuzzParse$' -fuzztime "$fuzztime" ./internal/minic
 go test -run '^$' -fuzz 'FuzzLex$' -fuzztime "$fuzztime" ./internal/minic
 

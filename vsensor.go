@@ -86,6 +86,13 @@ type Options struct {
 	// are charged to the ranks' virtual clocks.
 	Faults *transport.FaultPlan
 
+	// Durability attaches the analysis server's WAL + snapshot layer
+	// (internal/storage-backed). With it, the Faults crash window becomes a
+	// real crash: the server's memory is wiped, its disk crashes (losing
+	// unsynced tails), and recovery rebuilds state from snapshot + WAL
+	// replay before ingest resumes. Nil keeps the purely in-memory server.
+	Durability *server.DurabilityConfig
+
 	// ProbeCostNs is the virtual cost of each Tick/Tock probe (what makes
 	// overhead non-zero). Default 25ns.
 	ProbeCostNs float64
@@ -226,6 +233,9 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		rep.Instrumented = instrument.Apply(rep.Analysis, opt.Instrument)
 		isp.End()
 		rep.Server = server.NewSharded(opt.ServerShards)
+		if opt.Durability != nil {
+			rep.Server.AttachDurability(*opt.Durability)
+		}
 		rep.Server.SetObs(o)
 		opt.Detect.Obs = o
 		vcfg.ProbeCostNs = opt.ProbeCostNs
@@ -240,6 +250,15 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 			}
 			rep.Link = transport.NewLink(rep.Server, plan)
 			rep.Link.SetObs(o)
+			if opt.Durability != nil {
+				// A durable server makes the crash window stateful: entering
+				// it wipes the server, leaving it runs WAL recovery.
+				srv := rep.Server
+				rep.Link.SetCrashHooks(
+					func() { _ = srv.Crash() },
+					func() { _, _ = srv.Recover() },
+				)
+			}
 		}
 		tcfg := transport.Config{}
 		if opt.Transport != nil {
@@ -352,6 +371,11 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 				st["server_shards"] = srv.Shards()
 				st["per_shard"] = srv.PerShardCoverage()
 				st["epochs"] = srv.EpochStats()
+				st["liveness"] = srv.LivenessSummary()
+				if ds := srv.DurabilityStats(); ds.Enabled {
+					st["durability"] = ds
+					st["down"] = srv.Down()
+				}
 			}
 			return st
 		})
@@ -465,6 +489,26 @@ func (r *Report) Coverage() server.Coverage {
 		return server.Coverage{}
 	}
 	return r.Server.Coverage()
+}
+
+// Durability returns the analysis server's WAL/snapshot statistics; the
+// zero value when durability was not enabled (or the run was
+// uninstrumented).
+func (r *Report) Durability() server.DurabilityStats {
+	if r.Server == nil {
+		return server.DurabilityStats{}
+	}
+	return r.Server.DurabilityStats()
+}
+
+// Liveness returns every rank's lease state at the end of the run (empty
+// without a server). Ranks that never negotiated a lease are always
+// reported alive.
+func (r *Report) Liveness() []server.RankLiveness {
+	if r.Server == nil {
+		return nil
+	}
+	return r.Server.Liveness()
 }
 
 // TotalSeconds returns the job's virtual execution time in seconds.
