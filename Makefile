@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server check clean
+.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server bench-lineage check clean
 
 build:
 	$(GO) build ./...
@@ -69,11 +69,19 @@ bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestParallel$$|BenchmarkIngestSingleLock$$' \
 	    -benchmem -benchtime 2s ./internal/server
 
+# Lineage-overhead benchmarks: streaming ingest with record-lineage tracing
+# off vs on (1/256 sampling) at 64 and 4096 ranks; scripts/check.sh writes
+# the same set to BENCH_lineage.json and gates the 4096-rank overhead at 5%.
+bench-lineage:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestLineage$$' \
+	    -benchmem -benchtime 2s ./internal/server
+
 # The full gate: build + vet + race tests + race chaos + race conformance +
 # coverage gate + fuzz smoke + bench suites (writes BENCH_obs.json,
-# BENCH_vm.json, BENCH_transport.json, BENCH_server.json).
+# BENCH_vm.json, BENCH_transport.json, BENCH_server.json,
+# BENCH_lineage.json) with the lineage ingest-overhead gate.
 check:
 	scripts/check.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json cover.out vsensor.test
+	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json BENCH_lineage.json cover.out vsensor.test

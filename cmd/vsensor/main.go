@@ -5,12 +5,15 @@
 //	vsensor analyze    [flags] prog.mc   — identify v-sensors, print a table
 //	vsensor instrument [flags] prog.mc   — emit instrumented source
 //	vsensor run        [flags] prog.mc   — run with on-line detection
+//	vsensor trace      [flags] run.json  — print sampled record journeys from a trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +41,7 @@ run         execute on the simulated cluster with on-line detection
 validate    check fixed-workload property (PMU ratios, message sizes)
 scenario    run a built-in evaluation scenario ('scenario list' to list)
 report      regenerate the variance report from saved run data
+trace       print per-record lineage timelines from a -trace-json file
 
 flags:
 `)
@@ -71,6 +75,12 @@ var (
 	retryTimeout = flag.Duration("retry-timeout", 0, "virtual ack timeout charged per failed transport attempt (0 = default 50µs)")
 	retryBackoff = flag.Duration("retry-backoff", 0, "initial transport retry backoff, doubling per retry (0 = default 20µs)")
 	bufferCap    = flag.Int("buffer-cap", 0, "transport retransmit-buffer cap per rank; oldest frame dropped beyond it (0 = default 64)")
+
+	lineage      = flag.Bool("lineage", false, "enable record-lineage tracing: deterministically sample frames and record every hop of their journey in the flight recorder")
+	lineageEvery = flag.Uint64("lineage-every", 0, "sample one frame in N for lineage (0 = default 256; 1 traces every frame)")
+	lineageSeed  = flag.Uint64("lineage-seed", 0, "lineage sampler seed; same seed + workload = same sampled set")
+	flightCap    = flag.Int("flight-cap", 0, "flight-recorder span capacity, rounded up to a power of two (0 = default 4096)")
+	traceID      = flag.String("trace-id", "", "restrict 'vsensor trace' to one hex trace ID")
 
 	wal           = flag.Bool("wal", false, "make the analysis server durable: WAL + snapshots; crashafter faults wipe and recover it")
 	snapshotEvery = flag.Int("snapshot-every", 0, "frames between automatic server checkpoints; needs -wal (0 = default 256, negative disables)")
@@ -118,6 +128,43 @@ func applyTransport(opts *vsensor.Options) {
 	if *wal {
 		opts.Durability = &server.DurabilityConfig{SnapshotEvery: *snapshotEvery}
 	}
+	applyLineage(opts)
+}
+
+// applyLineage maps the -lineage knobs onto the run options.
+func applyLineage(opts *vsensor.Options) {
+	if !*lineage {
+		if *lineageEvery != 0 || *lineageSeed != 0 || *flightCap != 0 {
+			fatal(fmt.Errorf("-lineage-every/-lineage-seed/-flight-cap need -lineage"))
+		}
+		return
+	}
+	if *flightCap < 0 {
+		fatal(fmt.Errorf("bad -flight-cap %d: capacity cannot be negative", *flightCap))
+	}
+	opts.Lineage = &obs.LineageConfig{
+		SampleEvery: *lineageEvery,
+		Seed:        *lineageSeed,
+		FlightCap:   *flightCap,
+	}
+}
+
+// printLineage reports the flight recorder's view after a lineage-enabled
+// run.
+func printLineage(rep *vsensor.Report) {
+	lin := rep.Lineage()
+	if lin == nil {
+		return
+	}
+	if rep.Server != nil {
+		// Evaluate the final inter-process verdict so sampled journeys end
+		// with their epoch close/verdict spans before the recorder is read
+		// (epochs only close when a query passes the watermark over them).
+		_ = rep.Server.InterProcessOutliers(0.8)
+	}
+	st := lin.Stats()
+	fmt.Printf("lineage: sampled %d frames (1 in %d, seed %d), %d spans recorded (flight cap %d)\n",
+		st.SampledFrames, st.SampleEvery, st.Seed, st.Spans, st.FlightCap)
 }
 
 // printCoverage reports delivery coverage after a transport-routed run,
@@ -174,13 +221,19 @@ func setupObs() (*obs.Obs, func()) {
 			if err != nil {
 				fatal(err)
 			}
-			if err := o.Tracer().WriteChrome(f); err != nil {
+			// With lineage on, the sampled records' journeys ride along as
+			// their own process row in the Chrome trace.
+			if err := o.Tracer().WriteChromeMerged(f, o.Lineage()); err != nil {
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("wrote %s (%d spans)\n", *traceJSON, o.Tracer().Len())
+			extra := ""
+			if flight, _ := o.Lineage().Snapshot(nil, 0); len(flight) > 0 {
+				extra = fmt.Sprintf(" + %d lineage spans", len(flight))
+			}
+			fmt.Printf("wrote %s (%d spans%s)\n", *traceJSON, o.Tracer().Len(), extra)
 		}
 		if srv != nil {
 			srv.Close()
@@ -199,6 +252,10 @@ func main() {
 	}
 	if cmd == "report" {
 		doReport(flag.Arg(0))
+		return
+	}
+	if cmd == "trace" {
+		doTrace(flag.Arg(0))
 		return
 	}
 	if cmd == "scenario" {
@@ -296,6 +353,7 @@ func doScenario(name string) {
 	}
 	defer finishObs()
 	printCoverage(rep)
+	printLineage(rep)
 	if baseline != nil {
 		fmt.Printf("baseline: %.3f ms, injected: %.3f ms (%.2fx)\n",
 			baseline.TotalSeconds()*1e3, rep.TotalSeconds()*1e3,
@@ -335,6 +393,89 @@ func doReport(path string) {
 				fmt.Println()
 				fmt.Print(m.ASCII(32, 78))
 			}
+		}
+	}
+}
+
+// doTrace prints per-record lineage timelines from a Chrome trace_event
+// file written by -trace-json on a lineage-enabled run. Events carrying a
+// lineage trace ID (the sampled-records process row) are grouped by that ID
+// and replayed as a relative-time journey: one line per hop, in order.
+func doTrace(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(fmt.Errorf("%s: not a Chrome trace_event file: %w", path, err))
+	}
+	type hop struct {
+		ts, dur float64
+		stage   string
+		rank    int
+		try     float64
+		arg     float64
+		hasTry  bool
+		hasArg  bool
+	}
+	journeys := make(map[string][]hop)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Args == nil {
+			continue
+		}
+		id, ok := ev.Args["trace"].(string)
+		if !ok || id == "" {
+			continue
+		}
+		if *traceID != "" && !strings.EqualFold(strings.TrimLeft(id, "0"), strings.TrimLeft(*traceID, "0")) {
+			continue
+		}
+		h := hop{ts: ev.Ts, dur: ev.Dur, stage: ev.Name, rank: ev.Tid}
+		if v, ok := ev.Args["try"].(float64); ok {
+			h.try, h.hasTry = v, true
+		}
+		if v, ok := ev.Args["arg"].(float64); ok {
+			h.arg, h.hasArg = v, true
+		}
+		journeys[id] = append(journeys[id], h)
+	}
+	if len(journeys) == 0 {
+		fmt.Printf("%s: no lineage spans (was the run started with -lineage and -trace-json?)\n", path)
+		return
+	}
+	ids := make([]string, 0, len(journeys))
+	for id := range journeys {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Printf("%d sampled record journey(s) in %s\n", len(ids), path)
+	for _, id := range ids {
+		hops := journeys[id]
+		sort.SliceStable(hops, func(i, j int) bool { return hops[i].ts < hops[j].ts })
+		fmt.Printf("\ntrace %s (%d hops)\n", id, len(hops))
+		t0 := hops[0].ts
+		for _, h := range hops {
+			line := fmt.Sprintf("  %+10.1fµs  %-13s rank %d", h.ts-t0, h.stage, h.rank)
+			if h.hasTry {
+				line += fmt.Sprintf("  try %d", int(h.try))
+			}
+			if h.dur > 0 {
+				line += fmt.Sprintf("  (%.1fµs)", h.dur)
+			}
+			if h.hasArg {
+				line += fmt.Sprintf("  arg %d", int64(h.arg))
+			}
+			fmt.Println(line)
 		}
 	}
 }
@@ -420,6 +561,7 @@ func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
 	fmt.Printf("sensors: %s, server data: %d bytes in %d messages\n",
 		rep.Instrumented.TypeSummary(), rep.DataVolume(), rep.Server.Messages())
 	printCoverage(rep)
+	printLineage(rep)
 	events := rep.Events()
 	fmt.Printf("per-process variance events: %d\n", len(events))
 	fmt.Print(rep.ReportText(*col, rpn))

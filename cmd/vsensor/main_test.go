@@ -248,3 +248,123 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestLineageFlagValidation pins the lineage flag-gating errors.
+func TestLineageFlagValidation(t *testing.T) {
+	tiny := filepath.Join("testdata", "tiny.mc")
+	tests := []struct {
+		name       string
+		args       []string
+		wantStderr string
+	}{
+		{
+			name:       "lineage-every without lineage",
+			args:       []string{"run", "-lineage-every", "16", tiny},
+			wantStderr: "need -lineage",
+		},
+		{
+			name:       "flight-cap without lineage",
+			args:       []string{"run", "-flight-cap", "1024", tiny},
+			wantStderr: "need -lineage",
+		},
+		{
+			name:       "negative flight cap",
+			args:       []string{"run", "-lineage", "-flight-cap", "-8", tiny},
+			wantStderr: "flight-cap",
+		},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, stderr, code := runCLI(t, tt.args...)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+			}
+			if !strings.Contains(stderr, tt.wantStderr) {
+				t.Errorf("stderr %q does not contain %q", stderr, tt.wantStderr)
+			}
+		})
+	}
+}
+
+// TestLineageEndToEndCLI drives a faulty -lineage run through the CLI,
+// checks the lineage summary line, then feeds the emitted Chrome trace to
+// `vsensor trace` and checks at least one journey renders with its hops.
+func TestLineageEndToEndCLI(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	stdout, stderr, code := runCLI(t,
+		"run", "-q", "-ranks", "8", "-batch", "4", "-slice", "50us",
+		"-faults", "drop=0.2,dup=0.05,seed=7",
+		"-wal", "-lineage", "-lineage-every", "4",
+		"-trace-json", trace,
+		filepath.Join("testdata", "tiny.mc"))
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	lineageLine := ""
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "lineage: sampled") {
+			lineageLine = line
+			break
+		}
+	}
+	if lineageLine == "" {
+		t.Fatalf("stdout missing 'lineage: sampled' summary:\n%s", stdout)
+	}
+	if strings.Contains(lineageLine, "sampled 0 frames") {
+		t.Fatalf("lineage run sampled nothing: %q", lineageLine)
+	}
+	if !strings.Contains(lineageLine, "(1 in 4, seed 0)") {
+		t.Errorf("lineage line does not echo the sampling config: %q", lineageLine)
+	}
+
+	// The trace subcommand must reconstruct journeys from the emitted file.
+	stdout, stderr, code = runCLI(t, "trace", trace)
+	if code != 0 {
+		t.Fatalf("trace exit code = %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "sampled record journey(s)") {
+		t.Fatalf("trace output missing journey count:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "server_ingest") || !strings.Contains(stdout, "enqueue") {
+		t.Errorf("trace output missing expected hop stages:\n%s", stdout)
+	}
+
+	// Filtering by a trace ID that appears in the output keeps exactly that
+	// journey; filtering by a bogus ID reports none.
+	var id string
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "trace ") {
+			id = strings.Fields(line)[1]
+			break
+		}
+	}
+	if id == "" {
+		t.Fatalf("no 'trace <id>' header in output:\n%s", stdout)
+	}
+	stdout, _, code = runCLI(t, "trace", "-trace-id", id, trace)
+	if code != 0 || !strings.Contains(stdout, "1 sampled record journey(s)") {
+		t.Errorf("trace -trace-id %s: code %d output:\n%s", id, code, stdout)
+	}
+	stdout, _, code = runCLI(t, "trace", "-trace-id", "ffffffffffffffff", trace)
+	if code != 0 || !strings.Contains(stdout, "no lineage spans") {
+		t.Errorf("bogus -trace-id: code %d output:\n%s", code, stdout)
+	}
+}
+
+// TestTraceCommandErrors pins the trace subcommand's failure modes.
+func TestTraceCommandErrors(t *testing.T) {
+	if _, stderr, code := runCLI(t, "trace", "no-such-trace.json"); code != 1 ||
+		!strings.Contains(stderr, "no-such-trace.json") {
+		t.Errorf("missing file: code %d stderr %q", code, stderr)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, code := runCLI(t, "trace", bad); code != 1 ||
+		!strings.Contains(stderr, "not a Chrome trace_event file") {
+		t.Errorf("bad file: code %d stderr %q", code, stderr)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	vsensor "vsensor"
 	"vsensor/internal/apps"
 	"vsensor/internal/cluster"
+	"vsensor/internal/obs"
 	"vsensor/internal/transport"
 )
 
@@ -30,7 +31,7 @@ func main() {
 	)
 	app := apps.MustGet("CG", apps.Scale{Iters: 60, Work: 80})
 
-	run := func(faults *transport.FaultPlan) *vsensor.Report {
+	run := func(faults *transport.FaultPlan, lineage *obs.LineageConfig) *vsensor.Report {
 		cl := cluster.New(cluster.Config{Nodes: ranks / ranksPerNode, RanksPerNode: ranksPerNode})
 		cl.SetNodeMemSpeed(badNode, 0.55)
 		// Batch of 8 so ranks flush mid-run: retry and backoff delays on the
@@ -38,6 +39,7 @@ func main() {
 		// is still executing, not just at the final drain.
 		rep, err := vsensor.Run(app.Source, vsensor.Options{
 			Ranks: ranks, Cluster: cl, Faults: faults, BatchSize: 8,
+			Lineage: lineage,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -65,7 +67,7 @@ func main() {
 		return node, count
 	}
 
-	clean := run(nil)
+	clean := run(nil, nil)
 	cleanNodes := outliersByNode(clean)
 	cn, cc := dominant(cleanNodes)
 	fmt.Printf("direct record path:   %.3f ms, %d records, top outlier node %d (%d flags)\n",
@@ -75,7 +77,7 @@ func main() {
 		Seed: 7, Drop: 0.2, Dup: 0.08, Reorder: 0.1, Corrupt: 0.03,
 		DelayNs: 5_000, CrashAfterFrames: 40, CrashDownFrames: 15,
 	}
-	lossy := run(plan)
+	lossy := run(plan, nil)
 	lossyNodes := outliersByNode(lossy)
 	ln, lc := dominant(lossyNodes)
 	cov := lossy.Coverage()
@@ -94,6 +96,41 @@ func main() {
 		fmt.Printf("\nbad node %d still localized through the lossy link\n", badNode)
 	} else {
 		fmt.Printf("\nWARNING: bad node %d not dominant under the lossy link\n", badNode)
+	}
+
+	// Third leg: the same lossy run with record-lineage tracing sampling
+	// 1 in 64 frames. Sampled frames carry their trace ID in the wire
+	// format, so every hop — emit, enqueue, each delivery attempt and
+	// retry, server ingest, dedup, WAL, epoch close, verdict — lands in
+	// the flight recorder and can be replayed as a journey.
+	traced := run(plan, &obs.LineageConfig{SampleEvery: 64, Seed: 7})
+	traced.Server.InterProcessOutliers(0.85) // close epochs so journeys end in verdicts
+	lin := traced.Lineage()
+	st := lin.Stats()
+	fmt.Printf("\nlineage leg: sampled %d frames (1 in %d), %d spans in flight recorder\n",
+		st.SampledFrames, st.SampleEvery, st.Spans)
+
+	spans, _ := lin.Snapshot(nil, 0)
+	journeys := map[uint64]map[obs.Stage]bool{}
+	for _, sp := range spans {
+		m := journeys[sp.Trace]
+		if m == nil {
+			m = map[obs.Stage]bool{}
+			journeys[sp.Trace] = m
+		}
+		m[sp.Stage] = true
+	}
+	deepTrace, deep := uint64(0), 0
+	for tr, m := range journeys {
+		if len(m) > deep {
+			deepTrace, deep = tr, len(m)
+		}
+	}
+	fmt.Printf("  %d sampled journeys; deepest (trace %016x) crossed %d distinct stages\n",
+		len(journeys), deepTrace, deep)
+	if top, ok := lin.StageHistogram(obs.StageIngest).TopExemplar(); ok {
+		fmt.Printf("  slowest sampled ingest: trace %016x at %.0f ns — resolvable in /debug/flight\n",
+			top.Trace, top.Value)
 	}
 }
 

@@ -8,11 +8,17 @@ package detect
 import (
 	"sort"
 	"strconv"
+	"time"
 
 	"vsensor/internal/ir"
 	"vsensor/internal/obs"
 	"vsensor/internal/vm"
 )
+
+// nowUnixNs is the wall-clock source for lineage spans; only called when a
+// record is about to leave in a sampled frame, so the common path never
+// reads the clock.
+func nowUnixNs() int64 { return time.Now().UnixNano() }
 
 // Sensor is the static metadata the detector needs per instrumented sensor.
 type Sensor struct {
@@ -97,6 +103,15 @@ type Emitter interface {
 	OnSlice(SliceRecord) error
 }
 
+// TraceSource is implemented by emitters that participate in record-lineage
+// tracing (e.g. transport.Conn, server.Client): NextTrace reports the
+// lineage trace ID of the frame the next emitted record will travel in,
+// or 0 when that frame is unsampled or lineage is off. The detector uses it
+// to stamp an "emit" span at the moment a smoothed record leaves the rank.
+type TraceSource interface {
+	NextTrace() uint64
+}
+
 // VarianceEvent is a locally detected performance variance: a slice whose
 // normalized performance fell below the threshold.
 type VarianceEvent struct {
@@ -120,8 +135,10 @@ type Detector struct {
 	obs      map[int]*shortObs
 	disabled map[int]bool
 
-	emitter Emitter
-	events  []VarianceEvent
+	emitter  Emitter
+	traceSrc TraceSource  // emitter's lineage view, nil when not participating
+	lin      *obs.Lineage // record-lineage tracer (nil = lineage off)
+	events   []VarianceEvent
 
 	analyses int64 // number of slice analyses triggered (overhead metric)
 	dropped  int64 // records skipped due to disabled sensors
@@ -183,6 +200,11 @@ func New(rank int, sensors []Sensor, cfg Config, emitter Emitter) *Detector {
 		d.obsEvents = o.Counter("detect_variance_events_total")
 		d.obsDropped = o.Counter("detect_dropped_total")
 		d.obsEmitErrs = o.Counter("detect_emit_errors_total")
+		if d.lin = o.Lineage(); d.lin != nil {
+			if ts, ok := emitter.(TraceSource); ok {
+				d.traceSrc = ts
+			}
+		}
 	}
 	return d
 }
@@ -296,6 +318,13 @@ func (d *Detector) closeSlice(key groupKey, st *groupState) {
 		d.obsEvents.Inc()
 	}
 	if d.emitter != nil {
+		if d.traceSrc != nil {
+			// Stamp the emit hop with the trace of the frame this record
+			// will leave in — the first span of a sampled record's journey.
+			if trace := d.traceSrc.NextTrace(); trace != 0 {
+				d.lin.Record(trace, obs.StageEmit, d.rank, 0, nowUnixNs(), 0, int64(rec.Count))
+			}
+		}
 		if err := d.emitter.OnSlice(rec); err != nil {
 			d.emitErrs++
 			d.lastEmitErr = err

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"vsensor/internal/ir"
+	"vsensor/internal/obs"
 	"vsensor/internal/vm"
 )
 
@@ -272,3 +273,70 @@ func TestEmitterErrorsCounted(t *testing.T) {
 }
 
 var errEmit = errors.New("link down")
+
+// tracedCollector is a sliceCollector that also implements TraceSource and
+// vm.ClockBinder, modeling the transport conn surface.
+type tracedCollector struct {
+	sliceCollector
+	next  uint64
+	clock vm.Clock
+}
+
+func (c *tracedCollector) NextTrace() uint64     { return c.next }
+func (c *tracedCollector) BindClock(cl vm.Clock) { c.clock = cl }
+
+type stubClock struct{ now int64 }
+
+func (s *stubClock) Now() int64        { return s.now }
+func (s *stubClock) AdvanceTo(t int64) { s.now = t }
+
+// TestEmitSpanTagsLineage pins the detector's side of the lineage contract:
+// when the emitter is a TraceSource, every closed slice records an emit
+// span under the trace of the frame its records will leave in — and a zero
+// NextTrace (unsampled frame) records nothing.
+func TestEmitSpanTagsLineage(t *testing.T) {
+	o := obs.New()
+	lin := o.EnableLineage(obs.LineageConfig{SampleEvery: 1})
+	em := &tracedCollector{next: 0x77}
+	d := New(3, mkSensors(), Config{SliceNs: 1000, Obs: o}, em)
+	feed(d, 0, 0, 100, 50, 30, 0)
+	d.Finish()
+	spans, _ := lin.Snapshot(nil, 0)
+	emits := 0
+	for _, sp := range spans {
+		if sp.Stage != obs.StageEmit {
+			t.Fatalf("detector recorded non-emit span %+v", sp)
+		}
+		if sp.Trace != 0x77 || sp.Rank != 3 || sp.Arg <= 0 {
+			t.Fatalf("emit span %+v, want trace 0x77 rank 3 positive count", sp)
+		}
+		emits++
+	}
+	if emits == 0 || emits != len(em.recs) {
+		t.Fatalf("emit spans = %d, slices emitted = %d", emits, len(em.recs))
+	}
+
+	// Unsampled frames (NextTrace 0) must add nothing.
+	em2 := &tracedCollector{next: 0}
+	d2 := New(4, mkSensors(), Config{SliceNs: 1000, Obs: o}, em2)
+	feed(d2, 0, 0, 100, 50, 30, 0)
+	d2.Finish()
+	after, _ := lin.Snapshot(nil, 0)
+	if len(after) != len(spans) {
+		t.Fatalf("unsampled emits added %d spans", len(after)-len(spans))
+	}
+}
+
+// TestBindClockForwards pins that the detector forwards the rank clock to
+// a clock-binding emitter and leaves plain emitters alone.
+func TestBindClockForwards(t *testing.T) {
+	em := &tracedCollector{}
+	d := New(0, mkSensors(), Config{}, em)
+	cl := &stubClock{}
+	d.BindClock(cl)
+	if em.clock != vm.Clock(cl) {
+		t.Fatal("clock not forwarded to the binding emitter")
+	}
+	d2 := New(0, mkSensors(), Config{}, &sliceCollector{})
+	d2.BindClock(cl) // must not panic on a non-binding emitter
+}

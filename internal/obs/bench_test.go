@@ -62,13 +62,44 @@ func BenchmarkHistogramObserve(b *testing.B) {
 }
 
 // BenchmarkSpanStartEnd measures one full span (two time.Now calls plus a
-// mutex-guarded append) — cold-path by design, but worth tracking.
+// mutex-guarded append) — cold-path by design, but worth tracking. The span
+// slice is pre-reserved with Grow so the number reflects the span itself:
+// without it, the tracer's unbounded append amortizes its doubling copies
+// below 0.5 allocs/op (rounding to 0) while still reporting hundreds of
+// B/op — a self-contradictory result.
 func BenchmarkSpanStartEnd(b *testing.B) {
 	tr := NewTracer()
+	tr.Grow(b.N)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Start(0, "op").End()
 	}
+}
+
+// BenchmarkFlightRecord measures one flight-recorder ring write: an atomic
+// index claim plus a per-slot seqlock publish. This is the per-span cost a
+// sampled record pays at every hop, so it must stay allocation-free.
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlightRecorder(DefaultFlightCap)
+	sp := FlightSpan{Trace: 99, Rank: 3, Stage: StageIngest, StartNs: 1, DurNs: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Record(sp)
+	}
+}
+
+// BenchmarkLineageTraceID measures the sampling decision every frame pays
+// when lineage is on — two SplitMix64 mixes and a modulo.
+func BenchmarkLineageTraceID(b *testing.B) {
+	l := NewLineage(LineageConfig{SampleEvery: 256})
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= l.TraceID(i&0xfff, uint64(i))
+	}
+	_ = sink
 }
 
 // BenchmarkWritePrometheus measures a full exposition pass over a

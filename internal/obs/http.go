@@ -16,6 +16,8 @@ import (
 //	GET /status   — JSON snapshot (uptime + whatever SetStatus provides)
 //	GET /records  — incremental slice records; ?cursor=N resumes, response
 //	                carries the next cursor so each record is seen once
+//	GET /debug/flight — flight-recorder dump: stable lineage spans after
+//	                ?cursor=N plus per-stage histogram exemplars
 func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -24,7 +26,7 @@ func (o *Obs) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "vsensor introspection\n\n/metrics  Prometheus text format\n/status   JSON run snapshot\n/records  incremental slice records (?cursor=N)\n")
+		fmt.Fprint(w, "vsensor introspection\n\n/metrics  Prometheus text format\n/status   JSON run snapshot\n/records  incremental slice records (?cursor=N)\n/debug/flight  lineage flight recorder (?cursor=N)\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -59,6 +61,33 @@ func (o *Obs) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, map[string]any{"cursor": next, "records": recs})
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		lin := o.Lineage()
+		if lin == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		var cursor uint64
+		if q := r.URL.Query().Get("cursor"); q != "" {
+			n, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			cursor = n
+		}
+		spans, next := lin.Snapshot(nil, cursor)
+		if spans == nil {
+			spans = []FlightSpan{}
+		}
+		writeJSON(w, map[string]any{
+			"enabled":   true,
+			"stats":     lin.Stats(),
+			"cursor":    next,
+			"spans":     spans,
+			"exemplars": o.Registry().HistogramExemplars("lineage_stage_ns"),
+		})
 	})
 	return mux
 }

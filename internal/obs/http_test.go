@@ -212,3 +212,72 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+func TestFlightEndpoint(t *testing.T) {
+	o := New()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	// Lineage off: the endpoint reports disabled rather than 404ing, so
+	// dashboards can probe for the feature.
+	code, body := get(t, srv, "/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var off struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal([]byte(body), &off); err != nil || off.Enabled {
+		t.Fatalf("lineage-off body %q (err %v)", body, err)
+	}
+
+	lin := o.EnableLineage(LineageConfig{SampleEvery: 1, FlightCap: 64})
+	lin.Record(0xabc, StageIngest, 3, 0, 100, 50, 8)
+	lin.Record(0xabc, StageWALAppend, 3, 0, 160, 10, 40)
+	lin.Record(0xdef, StageIngest, 5, 2, 200, 75, 1)
+
+	code, body = get(t, srv, "/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var on struct {
+		Enabled   bool                  `json:"enabled"`
+		Cursor    uint64                `json:"cursor"`
+		Spans     []FlightSpan          `json:"spans"`
+		Stats     LineageStats          `json:"stats"`
+		Exemplars map[string][]Exemplar `json:"exemplars"`
+	}
+	if err := json.Unmarshal([]byte(body), &on); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if !on.Enabled || len(on.Spans) != 3 || on.Cursor != 3 {
+		t.Fatalf("enabled=%v spans=%d cursor=%d, want true/3/3", on.Enabled, len(on.Spans), on.Cursor)
+	}
+	if on.Spans[0].Trace != 0xabc || on.Spans[0].Stage != StageIngest || on.Spans[0].DurNs != 50 {
+		t.Fatalf("span 0 = %+v", on.Spans[0])
+	}
+	if on.Stats.FlightCap != 64 || on.Stats.Spans != 3 {
+		t.Fatalf("stats = %+v", on.Stats)
+	}
+	// The ingest histogram's exemplar resolves to a recorded trace.
+	exs := on.Exemplars[`stage="server_ingest"`]
+	if len(exs) == 0 || (exs[len(exs)-1].Trace != 0xabc && exs[len(exs)-1].Trace != 0xdef) {
+		t.Fatalf("server_ingest exemplars = %+v", exs)
+	}
+
+	// Cursor resume: no spans after the returned cursor.
+	code, body = get(t, srv, "/debug/flight?cursor="+itoa(int(on.Cursor)))
+	if code != http.StatusOK {
+		t.Fatalf("resume status = %d", code)
+	}
+	var resumed struct {
+		Spans []FlightSpan `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &resumed); err != nil || len(resumed.Spans) != 0 {
+		t.Fatalf("resume returned %d spans (err %v)", len(resumed.Spans), err)
+	}
+
+	if code, _ := get(t, srv, "/debug/flight?cursor=nope"); code != http.StatusBadRequest {
+		t.Fatalf("bad cursor status = %d", code)
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,6 +15,7 @@ type Obs struct {
 	reg    *Registry
 	tracer *Tracer
 	start  time.Time
+	lin    atomic.Pointer[Lineage] // nil until EnableLineage
 
 	mu        sync.Mutex
 	statusFn  func() any
@@ -91,6 +93,28 @@ func (o *Obs) NameThread(tid int, name string) {
 		return
 	}
 	o.tracer.NameThread(tid, name)
+}
+
+// EnableLineage turns on record-lineage tracing: it builds the sampler,
+// flight-recorder ring, and per-stage exemplar histograms, and makes them
+// visible to /debug/flight and the Chrome exporter. Idempotent in spirit —
+// calling it again replaces the tracer (fresh ring, same registry families).
+func (o *Obs) EnableLineage(cfg LineageConfig) *Lineage {
+	if o == nil {
+		return nil
+	}
+	l := newLineage(cfg, o.reg)
+	o.lin.Store(l)
+	return l
+}
+
+// Lineage returns the record-lineage tracer, or nil when lineage is off —
+// and a nil *Lineage is itself a valid no-op handle.
+func (o *Obs) Lineage() *Lineage {
+	if o == nil {
+		return nil
+	}
+	return o.lin.Load()
 }
 
 // SetStatus installs the function backing the /status endpoint. The facade
@@ -196,4 +220,6 @@ func describeStandard(r *Registry) {
 	r.Describe("mpi_p2p_bytes_total", "Point-to-point payload bytes sent.")
 	r.Describe("cluster_cost_calls_total", "Cost-model evaluations, by kind (compute/p2p/collective/io).")
 	r.Describe("run_ranks", "Rank count of the current (or last) pipeline run.")
+	r.Describe("lineage_stage_ns", "Per-stage latency of sampled record lineages; outlier buckets carry exemplar trace IDs.")
+	r.Describe("lineage_sampled_frames_total", "Frames stamped with a lineage trace ID (roughly 1/SampleEvery of all frames).")
 }

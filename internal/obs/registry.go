@@ -259,6 +259,28 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// ex holds one exemplar per bucket (last trace ID that landed there),
+	// published under a tiny per-slot seqlock so readers never see a trace
+	// paired with another observation's value. Only ObserveExemplar touches
+	// it; plain Observe costs nothing extra.
+	ex []exemplarSlot
+}
+
+// exemplarSlot pairs a trace ID with the observed value that put it in the
+// bucket. ver is a seqlock: even = stable, odd = write in progress.
+type exemplarSlot struct {
+	ver   atomic.Uint64
+	trace uint64
+	bits  uint64 // float64 bits of the observed value
+}
+
+// Exemplar is one bucket's exported exemplar.
+type Exemplar struct {
+	Bucket     int     `json:"bucket"`
+	UpperBound float64 `json:"le"` // +Inf rendered as math.Inf(1)
+	Count      int64   `json:"count"`
+	Trace      uint64  `json:"trace"`
+	Value      float64 `json:"value"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -269,7 +291,11 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+		ex:     make([]exemplarSlot, len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -295,6 +321,89 @@ func (h *Histogram) Observe(v float64) {
 // ObserveInt records one integer value (convenience for ns / byte counts).
 func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
 
+// ObserveExemplar records one value and, when trace is nonzero, stamps it
+// as the bucket's exemplar — the trace ID a latency outlier in that bucket
+// resolves to. The exemplar write is a short per-slot seqlock, taken only
+// on this (sampled) path.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	if trace == 0 {
+		return
+	}
+	e := &h.ex[i]
+	for {
+		ver := e.ver.Load()
+		if ver&1 != 0 {
+			continue // another sampled writer holds the slot; rare
+		}
+		if !e.ver.CompareAndSwap(ver, ver+1) {
+			continue
+		}
+		e.trace = trace
+		e.bits = math.Float64bits(v)
+		e.ver.Add(1)
+		return
+	}
+}
+
+// Exemplars returns the stable exemplars of every non-empty bucket,
+// ascending by bucket. Slots mid-write are skipped rather than returned
+// torn.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]Exemplar, 0, len(h.ex))
+	for i := range h.ex {
+		e := &h.ex[i]
+		v1 := e.ver.Load()
+		if v1&1 != 0 {
+			continue
+		}
+		trace, bits := e.trace, e.bits
+		if e.ver.Load() != v1 || trace == 0 {
+			continue
+		}
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out = append(out, Exemplar{
+			Bucket:     i,
+			UpperBound: bound,
+			Count:      h.counts[i].Load(),
+			Trace:      trace,
+			Value:      math.Float64frombits(bits),
+		})
+	}
+	return out
+}
+
+// TopExemplar returns the exemplar of the highest non-empty bucket that has
+// one — the trace ID behind the worst observed latency.
+func (h *Histogram) TopExemplar() (Exemplar, bool) {
+	ex := h.Exemplars()
+	if len(ex) == 0 {
+		return Exemplar{}, false
+	}
+	return ex[len(ex)-1], true
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -309,6 +418,35 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// HistogramExemplars sweeps one histogram family and returns each child's
+// exemplars keyed by its canonical label string (e.g. `stage="wal_sync"`).
+// Children with no exemplars are omitted.
+func (r *Registry) HistogramExemplars(name string) map[string][]Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	var hs map[string]*Histogram
+	if f != nil && f.typ == typeHistogram {
+		hs = make(map[string]*Histogram, len(f.children))
+		for key, ch := range f.children {
+			hs[key] = ch.h
+		}
+	}
+	r.mu.Unlock()
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make(map[string][]Exemplar, len(hs))
+	for key, h := range hs {
+		if ex := h.Exemplars(); len(ex) > 0 {
+			out[key] = ex
+		}
+	}
+	return out
 }
 
 // ---------- exposition ----------

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -56,6 +57,22 @@ func (t *Tracer) NameThread(tid int, name string) {
 	}
 	t.mu.Lock()
 	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// Grow pre-reserves capacity for n additional spans, so a caller that knows
+// its span volume up front (benchmarks, bounded replays) avoids the
+// amortized slice-doubling copies that End would otherwise pay.
+func (t *Tracer) Grow(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if free := cap(t.spans) - len(t.spans); free < n {
+		grown := make([]spanRecord, len(t.spans), len(t.spans)+n)
+		copy(grown, t.spans)
+		t.spans = grown
+	}
 	t.mu.Unlock()
 }
 
@@ -148,6 +165,19 @@ type chromeTrace struct {
 // WriteChrome exports every completed span (and thread-name metadata) as
 // Chrome trace_event JSON.
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	return t.WriteChromeMerged(w, nil)
+}
+
+// lineagePid is the Chrome-trace process id under which lineage spans are
+// grouped (pipeline spans live under pid 1, one row per rank under pid 2).
+const lineagePid = 2
+
+// WriteChromeMerged exports the tracer's spans plus, when lin is non-nil,
+// every stable span in the lineage flight recorder: each sampled record's
+// journey appears as stage slices on the emitting rank's row of a separate
+// "lineage" process, with the trace ID in the args so rows correlate with
+// /debug/flight and histogram exemplars.
+func (t *Tracer) WriteChromeMerged(w io.Writer, lin *Lineage) error {
 	if t == nil {
 		return nil
 	}
@@ -179,7 +209,38 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			Args: s.args,
 		})
 	}
+	epochNs := t.epoch.UnixNano()
 	t.mu.Unlock()
+
+	if flight, _ := lin.Snapshot(nil, 0); len(flight) > 0 {
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  lineagePid,
+			Args: map[string]string{"name": "lineage (sampled records)"},
+		})
+		for _, sp := range flight {
+			dur := float64(sp.DurNs) / float64(time.Microsecond)
+			args := map[string]string{
+				"trace": fmt.Sprintf("%016x", sp.Trace),
+			}
+			if sp.Try != 0 {
+				args["try"] = fmt.Sprintf("%d", sp.Try)
+			}
+			if sp.Arg != 0 {
+				args["arg"] = fmt.Sprintf("%d", sp.Arg)
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Stage.String(),
+				Ph:   "X",
+				Ts:   float64(sp.StartNs-epochNs) / float64(time.Microsecond),
+				Dur:  &dur,
+				Pid:  lineagePid,
+				Tid:  int(sp.Rank),
+				Args: args,
+			})
+		}
+	}
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"vsensor/internal/detect"
+	"vsensor/internal/obs"
 )
 
 // The benchmarks model the production streaming shape: many ranks deliver
@@ -80,7 +81,11 @@ func (a shardedIngester) Outliers(threshold float64) []Outlier {
 // buildBenchFrames pre-encodes the whole session: frames[rank][slice] holds
 // benchSensors records for that rank at that slice. Values are arranged so
 // some slices genuinely contain outliers (rank 0 runs slow).
-func buildBenchFrames(ranks int) [][][]byte {
+func buildBenchFrames(ranks int) [][][]byte { return buildBenchFramesTraced(ranks, nil) }
+
+// buildBenchFramesTraced additionally stamps frames with lineage trace IDs
+// per lin's deterministic sampler (nil lin = plain vSF1 frames).
+func buildBenchFramesTraced(ranks int, lin *obs.Lineage) [][][]byte {
 	frames := make([][][]byte, ranks)
 	recs := make([]detect.SliceRecord, benchSensors)
 	for rank := 0; rank < ranks; rank++ {
@@ -101,7 +106,11 @@ func buildBenchFrames(ranks int) [][][]byte {
 				}
 			}
 			cum += uint64(len(recs))
-			perRank[sl] = AppendFrame(nil, FrameHeader{Rank: rank, Seq: uint64(sl) + 1, CumRecords: cum}, recs)
+			h := FrameHeader{Rank: rank, Seq: uint64(sl) + 1, CumRecords: cum}
+			if lin != nil {
+				h.TraceID = lin.TraceID(rank, h.Seq)
+			}
+			perRank[sl] = AppendFrame(nil, h, recs)
 		}
 		frames[rank] = perRank
 	}
@@ -162,6 +171,45 @@ func BenchmarkIngestParallel(b *testing.B) {
 			}
 			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 		})
+	}
+}
+
+// BenchmarkIngestLineage measures the lineage tax on the streaming ingest
+// workload. Both modes attach the observability layer; "on" additionally
+// enables record-lineage tracing and stamps frames at the production
+// sampling rate (1 in obs.DefaultSampleEvery), so the on/off delta is the
+// cost of lineage itself — the trace peek on every frame plus span
+// recording on the sampled ones. scripts/check.sh gates the delta at 5%
+// for ranks=4096.
+func BenchmarkIngestLineage(b *testing.B) {
+	for _, ranks := range []int{64, 4096} {
+		for _, on := range []bool{false, true} {
+			mode := "off"
+			if on {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("lineage=%s/ranks=%d", mode, ranks), func(b *testing.B) {
+				var frames [][][]byte
+				if on {
+					frames = buildBenchFramesTraced(ranks, obs.NewLineage(obs.LineageConfig{}))
+				} else {
+					frames = buildBenchFrames(ranks)
+				}
+				records := ranks * benchFramesPerRank * benchSensors
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := NewSharded(DefaultShards)
+					o := obs.New()
+					if on {
+						o.EnableLineage(obs.LineageConfig{})
+					}
+					s.SetObs(o)
+					runStreamingSession(b, shardedIngester{s}, frames)
+				}
+				b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			})
+		}
 	}
 }
 

@@ -5,10 +5,16 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vsensor/internal/detect"
 	"vsensor/internal/obs"
 )
+
+// nowUnixNs is the wall-clock source for lineage spans. It is only called
+// on sampled paths (a nonzero trace with lineage enabled), so the unsampled
+// hot path never pays a clock read.
+func nowUnixNs() int64 { return time.Now().UnixNano() }
 
 // The incremental inter-process analyzer. Instead of recomputing
 // InterProcessOutliers as a full post-hoc scan over the entire record log,
@@ -58,6 +64,13 @@ type epoch struct {
 	closed         bool
 	closeThreshold float64
 	cached         []Outlier
+
+	// trace is the lineage trace ID of the last sampled record folded into
+	// this epoch (0 when none was sampled), and traceRank the rank that sent
+	// it — enough to attribute epoch close/reopen/verdict spans to a
+	// journey a human can follow end to end.
+	trace     uint64
+	traceRank int32
 }
 
 type epochStripe struct {
@@ -75,6 +88,7 @@ type analyzer struct {
 	obsClosed  *obs.Counter   // server_epochs_closed_total
 	obsReopens *obs.Counter   // server_epoch_reopens_total
 	obsLag     *obs.Histogram // server_epoch_lag_ns: watermark - slice at close
+	lin        *obs.Lineage   // record-lineage tracer (nil = lineage off)
 }
 
 func newAnalyzer() *analyzer {
@@ -105,6 +119,7 @@ func (a *analyzer) setObs(o *obs.Obs) {
 	a.obsClosed = o.Counter("server_epochs_closed_total")
 	a.obsReopens = o.Counter("server_epoch_reopens_total")
 	a.obsLag = o.Histogram("server_epoch_lag_ns")
+	a.lin = o.Lineage()
 }
 
 func stripeOf(k epochKey) uint64 {
@@ -116,8 +131,12 @@ func stripeOf(k epochKey) uint64 {
 
 // fold merges newly ingested records into their epochs. Called outside the
 // ingest shard's lock; stripes are keyed by (sensor, group, slice), so two
-// shards folding different sensors or slices proceed in parallel.
-func (a *analyzer) fold(recs []detect.SliceRecord) {
+// shards folding different sensors or slices proceed in parallel. trace is
+// the frame's lineage trace ID (0 = unsampled); live=false (WAL replay,
+// snapshot refold) still threads the trace into the epoch but records no
+// spans — replay reconstructs state, not history.
+func (a *analyzer) fold(recs []detect.SliceRecord, trace uint64, live bool) {
+	lin := a.lin
 	for i := range recs {
 		r := &recs[i]
 		k := epochKey{sensor: int32(r.Sensor), group: int32(r.Group), slice: r.SliceNs}
@@ -134,6 +153,19 @@ func (a *analyzer) fold(recs []detect.SliceRecord) {
 			ep.cached = nil
 			a.open.Add(1)
 			a.obsReopens.Inc()
+			if live && lin != nil {
+				// Attribute the reopen to the late record's own trace when
+				// it is sampled, else to the epoch's remembered journey.
+				tr := trace
+				if tr == 0 {
+					tr = ep.trace
+				}
+				lin.Record(tr, obs.StageEpochReopen, r.Rank, 0, nowUnixNs(), 0, k.slice)
+			}
+		}
+		if trace != 0 {
+			ep.trace = trace
+			ep.traceRank = int32(r.Rank)
 		}
 		ep.entries = append(ep.entries, epochEntry{rank: int32(r.Rank), avg: r.AvgNs})
 		ep.sum += r.AvgNs
@@ -173,6 +205,11 @@ func (a *analyzer) outliers(threshold float64, watermark int64, haveWatermark bo
 					a.open.Add(-1)
 					a.obsClosed.Inc()
 					a.obsLag.ObserveInt(watermark - k.slice)
+					if lin := a.lin; lin != nil && ep.trace != 0 {
+						now := nowUnixNs()
+						lin.Record(ep.trace, obs.StageEpochClose, int(ep.traceRank), 0, now, 0, int64(len(ep.entries)))
+						lin.Record(ep.trace, obs.StageVerdict, int(ep.traceRank), 0, now, 0, int64(len(res)))
+					}
 				}
 				ep.closed = true
 				ep.closeThreshold = threshold

@@ -280,7 +280,7 @@ func (s *Server) installSnapshot(st *snapState) {
 		recs := sh.records
 		sh.mu.Unlock()
 		// Fold outside the shard lock: the installed prefix is immutable.
-		s.an.fold(recs)
+		s.an.fold(recs, 0, false)
 	}
 	s.ticket.Store(st.ticket)
 	s.checksumErrors.Store(st.checksumErrors)

@@ -24,6 +24,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -94,6 +95,10 @@ type Server struct {
 	// bookkeeping so the obs gauges never need a cross-shard sweep.
 	expectedRecords atomic.Int64
 	ingestedRecords atomic.Int64
+
+	// lin is the record-lineage tracer (nil when lineage is off). Set from
+	// SetObs; the unsampled/off ingest path pays only nil checks.
+	lin *obs.Lineage
 
 	// Observability handles (nil-safe no-ops when obs is off).
 	obsMessages   *obs.Counter
@@ -177,6 +182,7 @@ func (s *Server) SetObs(o *obs.Obs) {
 		sh.obsRecords = o.Gauge("server_shard_records", "shard", label)
 		sh.obsFrames = o.Gauge("server_shard_frames", "shard", label)
 	}
+	s.lin = o.Lineage()
 	s.an.setObs(o)
 	if s.dur != nil {
 		s.dur.setObs(o)
@@ -219,6 +225,15 @@ func (s *Server) Receive(encoded []byte) error {
 	// the first checkpoint clears it and the rest re-snapshot harmlessly
 	// (at worst one extra snapshot per racing frame).
 	if snapDue && err == nil {
+		if lin := s.lin; lin != nil {
+			if trace := TraceOf(encoded); trace != 0 {
+				rank := int(binary.LittleEndian.Uint32(encoded[4:]))
+				t0 := nowUnixNs()
+				cerr := s.Checkpoint()
+				lin.Record(trace, obs.StageSnapshot, rank, 0, t0, nowUnixNs()-t0, 0)
+				return cerr
+			}
+		}
 		return s.Checkpoint()
 	}
 	return err
@@ -258,15 +273,33 @@ func (s *Server) receiveLocked(encoded []byte) error {
 		}
 		return err
 	}
+	// Time the full live ingest only for sampled frames: the nonzero-trace
+	// check is a few byte loads, so unsampled frames skip both clock reads.
+	lin := s.lin
+	traced := lin != nil && h.TraceID != 0
+	var t0 int64
+	if traced {
+		t0 = nowUnixNs()
+	}
 	dup, ticket := s.ingestFrame(h, encoded, 0, true)
+	var werr error
 	if s.dur != nil {
 		if dup {
-			return s.dur.logDup(h.Rank)
+			werr = s.dur.logDup(h.Rank)
+		} else {
+			_, werr = s.dur.logFrame(ticket, encoded, h.TraceID)
 		}
-		_, werr := s.dur.logFrame(ticket, encoded)
-		return werr
 	}
-	return nil
+	if traced {
+		now := nowUnixNs()
+		dupArg := int64(0)
+		if dup {
+			dupArg = 1
+		}
+		lin.Record(h.TraceID, obs.StageDedup, h.Rank, 0, now, 0, dupArg)
+		lin.Record(h.TraceID, obs.StageIngest, h.Rank, 0, t0, now-t0, int64(h.Count))
+	}
+	return werr
 }
 
 // ingestFrame applies one parsed, validated frame to the shard state and
@@ -343,7 +376,7 @@ func (s *Server) ingestFrame(h FrameHeader, encoded []byte, forceTicket uint64, 
 	// Fold into the epoch analyzer outside the shard lock: the committed
 	// sub-log prefix is immutable, and the analyzer stripes its own locks
 	// by (sensor, group, slice).
-	s.an.fold(recs)
+	s.an.fold(recs, h.TraceID, live)
 
 	if live {
 		s.obsMessages.Inc()
@@ -486,6 +519,11 @@ func (c *Client) Flush() error {
 	c.seq++
 	c.cum += uint64(len(c.buf))
 	h := FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
+	if lin := c.server.lin; lin != nil {
+		if h.TraceID = lin.TraceID(c.rank, c.seq); h.TraceID != 0 {
+			lin.FrameSampled()
+		}
+	}
 	c.enc = AppendFrame(c.enc[:0], h, c.buf)
 	n := len(c.buf)
 	c.buf = c.buf[:0]
@@ -495,6 +533,18 @@ func (c *Client) Flush() error {
 	c.sent += int64(n)
 	c.bytesSent += int64(len(c.enc))
 	return nil
+}
+
+// NextTrace reports the lineage trace ID the *next* flushed frame will
+// carry (0 when unsampled or lineage is off). Records buffered now leave in
+// frame seq+1, so the detector can tag its emit span with the same trace
+// the wire will see. Implements detect.TraceSource.
+func (c *Client) NextTrace() uint64 {
+	lin := c.server.lin
+	if lin == nil {
+		return 0
+	}
+	return lin.TraceID(c.rank, c.seq+1)
 }
 
 // BytesSent returns the client's total encoded payload bytes.

@@ -47,8 +47,9 @@ const (
 )
 
 // maxWALEntry bounds a decoded entry's claimed payload length: the largest
-// legitimate entry is a frame entry around a maximum-size frame.
-const maxWALEntry = walEntryHeader + 16 + frameHeaderSize + MaxFrameRecords*recordWireSize
+// legitimate entry is a frame entry around a maximum-size frame (with the
+// vSF2 lineage extension).
+const maxWALEntry = walEntryHeader + 16 + frameHeaderSize + frameTraceSize + MaxFrameRecords*recordWireSize
 
 // DurabilityConfig tunes the WAL + snapshot layer.
 type DurabilityConfig struct {
@@ -110,6 +111,7 @@ type durability struct {
 	obsRecovered *obs.Counter
 	obsTruncated *obs.Counter
 	obsReplayed  *obs.Counter
+	lin          *obs.Lineage // record-lineage tracer (nil = lineage off)
 }
 
 func walSegmentName(gen uint64) string { return fmt.Sprintf("wal.%d", gen) }
@@ -125,8 +127,18 @@ func snapName(gen uint64) string {
 }
 
 // appendEntry frames one payload and appends it to the live segment,
-// syncing per the configured cadence. Caller holds d.mu.
-func (d *durability) appendEntry(payload []byte) error {
+// syncing per the configured cadence. Caller holds d.mu. trace/rank carry
+// the entry's lineage context (trace 0 for unsampled or non-frame entries):
+// a sampled frame records a wal_append span over the two device appends and,
+// when this entry triggers the group-commit fsync, a wal_sync span over it —
+// so a lineage shows whether the record's frame paid the sync or rode an
+// earlier one.
+func (d *durability) appendEntry(payload []byte, trace uint64, rank int) error {
+	traced := d.lin != nil && trace != 0
+	var t0 int64
+	if traced {
+		t0 = nowUnixNs()
+	}
 	var hdr [walEntryHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
@@ -141,14 +153,24 @@ func (d *durability) appendEntry(payload []byte) error {
 	d.bytes += int64(walEntryHeader + len(payload))
 	d.obsEntries.Inc()
 	d.obsBytes.Add(int64(walEntryHeader + len(payload)))
+	if traced {
+		d.lin.Record(trace, obs.StageWALAppend, rank, 0, t0, nowUnixNs()-t0, int64(len(payload)))
+	}
 	d.sinceSync++
 	if d.cfg.SyncEvery <= 1 || d.sinceSync >= d.cfg.SyncEvery {
+		var s0 int64
+		if traced {
+			s0 = nowUnixNs()
+		}
 		if err := d.disk.Sync(seg); err != nil {
 			return err
 		}
 		d.sinceSync = 0
 		d.syncs++
 		d.obsSyncs.Inc()
+		if traced {
+			d.lin.Record(trace, obs.StageWALSync, rank, 0, s0, nowUnixNs()-s0, 0)
+		}
 	}
 	return nil
 }
@@ -165,15 +187,20 @@ func (d *durability) entryHead(kind byte) []byte {
 
 // logFrame appends a frame entry (arrival ticket + raw frame bytes) and
 // reports whether an automatic checkpoint is now due. The caller performs
-// the checkpoint after releasing its shared stateMu hold.
-func (d *durability) logFrame(ticket uint64, encoded []byte) (snapDue bool, err error) {
+// the checkpoint after releasing its shared stateMu hold. trace is the
+// frame's lineage trace ID (0 = unsampled) for the WAL append/sync spans.
+func (d *durability) logFrame(ticket uint64, encoded []byte, trace uint64) (snapDue bool, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	b := d.entryHead(walKindFrame)
 	b = binary.LittleEndian.AppendUint64(b, ticket)
 	b = append(b, encoded...)
 	d.buf = b
-	if err := d.appendEntry(b); err != nil {
+	rank := 0
+	if trace != 0 && len(encoded) >= 8 {
+		rank = int(binary.LittleEndian.Uint32(encoded[4:]))
+	}
+	if err := d.appendEntry(b, trace, rank); err != nil {
 		return false, err
 	}
 	d.frames++
@@ -194,7 +221,7 @@ func (d *durability) logDup(rank int) error {
 	b := d.entryHead(walKindDup)
 	b = binary.LittleEndian.AppendUint32(b, uint32(rank))
 	d.buf = b
-	return d.appendEntry(b)
+	return d.appendEntry(b, 0, 0)
 }
 
 // logBadFrame appends a rejection event (checksum or framing).
@@ -207,7 +234,7 @@ func (d *durability) logBadFrame(checksum bool) error {
 	}
 	b := d.entryHead(kind)
 	d.buf = b
-	return d.appendEntry(b)
+	return d.appendEntry(b, 0, 0)
 }
 
 // logHeartbeat appends a liveness heartbeat event.
@@ -219,7 +246,7 @@ func (d *durability) logHeartbeat(rank int, nowNs, leaseNs int64) error {
 	b = binary.LittleEndian.AppendUint64(b, uint64(nowNs))
 	b = binary.LittleEndian.AppendUint64(b, uint64(leaseNs))
 	d.buf = b
-	return d.appendEntry(b)
+	return d.appendEntry(b, 0, 0)
 }
 
 // walEntry is one decoded log entry.
@@ -346,4 +373,5 @@ func (d *durability) setObs(o *obs.Obs) {
 	d.obsRecovered = o.Counter("server_recoveries_total")
 	d.obsTruncated = o.Counter("server_wal_truncated_bytes_total")
 	d.obsReplayed = o.Counter("server_replayed_frames_total")
+	d.lin = o.Lineage()
 }

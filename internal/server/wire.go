@@ -25,13 +25,27 @@ import (
 // Per record: u32 sensor, u32 group, u32 rank, i64 slice, i32 count,
 // f64 avgNs, f64 avgInstr.
 //
+// The "vSF2" variant carries the record-lineage extension — a u64 trace ID
+// between the base header and the payload:
+//
+//	off 32: u64 traceID     nonzero lineage trace ID
+//	off 40: payload         count * recordWireSize bytes
+//
+// The CRC of a vSF2 frame covers header[0:28] + frame[32:] (trace ID and
+// payload), so corruption of the extension field is caught like any other
+// bit flip. AppendFrame emits vSF2 only when the header carries a nonzero
+// TraceID: with lineage off (or for the 255/256 unsampled frames) the bytes
+// on the wire are exactly the vSF1 encoding, keeping goldens bit-identical.
+//
 // The sequence number lets the server deduplicate retransmissions and track
 // per-rank delivery gaps; cumRecords lets it compute how many records it
 // *should* have seen from a rank even when frames are still missing; the CRC
 // rejects bit-corrupted frames before any of the header is trusted.
 const (
 	frameMagic      = 0x76534631 // "vSF1"
+	frameMagic2     = 0x76534632 // "vSF2" — vSF1 + u64 trace ID at off 32
 	frameHeaderSize = 32
+	frameTraceSize  = 8
 	recordWireSize  = 4 + 4 + 4 + 8 + 4 + 8 + 8
 )
 
@@ -48,20 +62,33 @@ const MaxFrameRank = 1 << 22
 // transport's bit-corruption failure mode, as opposed to a framing error.
 var ErrChecksum = errors.New("server: frame checksum mismatch")
 
-// FrameHeader is the decoded per-frame metadata.
+// FrameHeader is the decoded per-frame metadata. TraceID is the optional
+// lineage extension: zero means unsampled/absent (the frame encodes as
+// vSF1), nonzero selects the vSF2 encoding.
 type FrameHeader struct {
 	Rank       int
 	Seq        uint64
 	CumRecords uint64
 	Count      int
+	TraceID    uint64
+}
+
+// headerLen returns the encoded header size for this header's variant.
+func (h FrameHeader) headerLen() int {
+	if h.TraceID != 0 {
+		return frameHeaderSize + frameTraceSize
+	}
+	return frameHeaderSize
 }
 
 // AppendFrame serializes a frame onto dst (usually a reused buffer with len
 // 0) and returns the extended slice. h.Count is taken from len(recs); the
-// CRC is computed here.
+// CRC is computed here. A zero h.TraceID produces the exact vSF1 bytes this
+// function always produced; a nonzero one produces the vSF2 extension.
 func AppendFrame(dst []byte, h FrameHeader, recs []detect.SliceRecord) []byte {
 	start := len(dst)
-	need := frameHeaderSize + len(recs)*recordWireSize
+	hdrLen := h.headerLen()
+	need := hdrLen + len(recs)*recordWireSize
 	if cap(dst)-start < need {
 		grown := make([]byte, start, start+need)
 		copy(grown, dst)
@@ -69,12 +96,19 @@ func AppendFrame(dst []byte, h FrameHeader, recs []detect.SliceRecord) []byte {
 	}
 	dst = dst[:start+need]
 	hdr := dst[start:]
-	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	magic := uint32(frameMagic)
+	if h.TraceID != 0 {
+		magic = frameMagic2
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(h.Rank))
 	binary.LittleEndian.PutUint64(hdr[8:], h.Seq)
 	binary.LittleEndian.PutUint64(hdr[16:], h.CumRecords)
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(recs)))
-	off := start + frameHeaderSize
+	if h.TraceID != 0 {
+		binary.LittleEndian.PutUint64(hdr[frameHeaderSize:], h.TraceID)
+	}
+	off := start + hdrLen
 	for _, r := range recs {
 		binary.LittleEndian.PutUint32(dst[off:], uint32(r.Sensor))
 		binary.LittleEndian.PutUint32(dst[off+4:], uint32(r.Group))
@@ -101,7 +135,15 @@ func ParseFrame(data []byte) (FrameHeader, error) {
 	if len(data) < frameHeaderSize {
 		return h, fmt.Errorf("server: short frame (%d bytes, header is %d)", len(data), frameHeaderSize)
 	}
-	if m := binary.LittleEndian.Uint32(data[0:]); m != frameMagic {
+	hdrLen := frameHeaderSize
+	switch m := binary.LittleEndian.Uint32(data[0:]); m {
+	case frameMagic:
+	case frameMagic2:
+		hdrLen = frameHeaderSize + frameTraceSize
+		if len(data) < hdrLen {
+			return h, fmt.Errorf("server: short vSF2 frame (%d bytes, header is %d)", len(data), hdrLen)
+		}
+	default:
 		return h, fmt.Errorf("server: bad frame magic %#x", m)
 	}
 	n := binary.LittleEndian.Uint32(data[24:])
@@ -110,7 +152,7 @@ func ParseFrame(data []byte) (FrameHeader, error) {
 		// buffer from it.
 		return h, fmt.Errorf("server: frame claims %d records (max %d)", n, MaxFrameRecords)
 	}
-	want := frameHeaderSize + int(n)*recordWireSize
+	want := hdrLen + int(n)*recordWireSize
 	if len(data) != want {
 		return h, fmt.Errorf("server: frame length %d, want %d for %d records", len(data), want, n)
 	}
@@ -128,6 +170,14 @@ func ParseFrame(data []byte) (FrameHeader, error) {
 	if h.CumRecords < uint64(h.Count) {
 		return h, fmt.Errorf("server: frame cumRecords %d < count %d", h.CumRecords, h.Count)
 	}
+	if hdrLen > frameHeaderSize {
+		h.TraceID = binary.LittleEndian.Uint64(data[frameHeaderSize:])
+		if h.TraceID == 0 {
+			// Canonical-encoding rule: a zero trace belongs in vSF1. One
+			// valid encoding per frame keeps dedup byte-comparisons sane.
+			return h, fmt.Errorf("server: vSF2 frame with zero trace ID")
+		}
+	}
 	crc := crc32.ChecksumIEEE(data[:28])
 	crc = crc32.Update(crc, crc32.IEEETable, data[frameHeaderSize:])
 	if got := binary.LittleEndian.Uint32(data[28:]); got != crc {
@@ -136,9 +186,24 @@ func ParseFrame(data []byte) (FrameHeader, error) {
 	return h, nil
 }
 
-// appendDecoded deserializes a parsed frame's n records onto out.
+// TraceOf extracts the lineage trace ID from an already-validated encoded
+// frame without reparsing it (0 for vSF1 or anything unrecognizable). Used
+// on retransmit paths that hold raw bytes, e.g. parked-frame drains.
+func TraceOf(data []byte) uint64 {
+	if len(data) < frameHeaderSize+frameTraceSize ||
+		binary.LittleEndian.Uint32(data[0:]) != frameMagic2 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(data[frameHeaderSize:])
+}
+
+// appendDecoded deserializes a parsed frame's n records onto out. data must
+// have passed ParseFrame, whose framing check ties the magic to the length.
 func appendDecoded(out []detect.SliceRecord, data []byte, n int) []detect.SliceRecord {
 	off := frameHeaderSize
+	if binary.LittleEndian.Uint32(data[0:]) == frameMagic2 {
+		off += frameTraceSize
+	}
 	for i := 0; i < n; i++ {
 		out = append(out, detect.SliceRecord{
 			Sensor:   int(binary.LittleEndian.Uint32(data[off:])),

@@ -5,12 +5,17 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vsensor/internal/detect"
 	"vsensor/internal/obs"
 	"vsensor/internal/server"
 	"vsensor/internal/vm"
 )
+
+// nowUnixNs is the wall-clock source for lineage spans; only called on
+// sampled paths, so the unsampled hot path never reads the clock.
+func nowUnixNs() int64 { return time.Now().UnixNano() }
 
 // Config tunes the reliable client side of the link.
 type Config struct {
@@ -107,6 +112,9 @@ type Link struct {
 	crashOnce   sync.Once
 	recoverOnce sync.Once
 
+	// lin is the record-lineage tracer (nil = lineage off), set from SetObs.
+	lin *obs.Lineage
+
 	// Observability handles (nil-safe no-ops when obs is off).
 	obsFrames     *obs.Counter
 	obsAcked      *obs.Counter
@@ -167,6 +175,7 @@ func (l *Link) SetObs(o *obs.Obs) {
 	l.obsParked = o.Counter("transport_parked_total")
 	l.obsLost = o.Counter("transport_records_lost_total")
 	l.obsHeartbeats = o.Counter("transport_heartbeats_total")
+	l.lin = o.Lineage()
 }
 
 // deliver is one attempt reaching the network: it applies the crash window
@@ -365,6 +374,16 @@ func (c *Conn) OnSlice(r detect.SliceRecord) error {
 	return nil
 }
 
+// NextTrace returns the lineage trace ID of the frame the next buffered
+// record will leave in, or 0 when unsampled or lineage is off. Records
+// buffered now leave in frame seq+1. Implements detect.TraceSource.
+func (c *Conn) NextTrace() uint64 {
+	if lin := c.link.lin; lin != nil {
+		return lin.TraceID(c.rank, c.seq+1)
+	}
+	return 0
+}
+
 // Flush first retries parked frames, then sends the buffered records as one
 // new sequenced frame. The returned error reports backpressure loss
 // (drop-oldest evictions), not transient failures — those are retried.
@@ -381,6 +400,12 @@ func (c *Conn) Flush() error {
 	c.seq++
 	c.cum += uint64(len(c.buf))
 	h := server.FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
+	if lin := c.link.lin; lin != nil {
+		if h.TraceID = lin.TraceID(c.rank, c.seq); h.TraceID != 0 {
+			lin.FrameSampled()
+			lin.Record(h.TraceID, obs.StageEnqueue, c.rank, 0, nowUnixNs(), 0, int64(len(c.buf)))
+		}
+	}
 	c.enc = server.AppendFrame(c.enc[:0], h, c.buf)
 	c.recordsSent += int64(len(c.buf))
 	c.buf = c.buf[:0]
@@ -395,20 +420,39 @@ func (c *Conn) Flush() error {
 // exhaustion the frame parks in the retransmit buffer; the returned error
 // is non-nil only when parking evicted an older frame (data loss).
 func (c *Conn) transmit(frame []byte, maxRetries int) error {
+	lin := c.link.lin
+	var trace uint64
+	if lin != nil {
+		trace = server.TraceOf(frame)
+	}
 	backoff := c.cfg.BackoffBaseNs
 	for try := 0; ; try++ {
+		var t0 int64
+		if trace != 0 {
+			t0 = nowUnixNs()
+		}
 		if c.attempt(frame) {
+			if trace != 0 {
+				lin.Record(trace, obs.StageAttempt, c.rank, try+1, t0, nowUnixNs()-t0, 1)
+			}
 			c.framesSent++
 			c.bytesSent += int64(len(frame))
 			c.link.obsAcked.Inc()
 			return nil
+		}
+		if trace != 0 {
+			lin.Record(trace, obs.StageAttempt, c.rank, try+1, t0, nowUnixNs()-t0, 0)
 		}
 		if try >= maxRetries {
 			return c.park(frame)
 		}
 		c.retries++
 		c.link.obsRetries.Inc()
-		c.charge(c.cfg.TimeoutNs + backoff)
+		charged := c.cfg.TimeoutNs + backoff
+		c.charge(charged)
+		if trace != 0 {
+			lin.Record(trace, obs.StageRetry, c.rank, try+1, nowUnixNs(), 0, charged)
+		}
 		backoff *= 2
 		if backoff > c.cfg.BackoffMaxNs {
 			backoff = c.cfg.BackoffMaxNs
@@ -465,18 +509,39 @@ func (c *Conn) park(frame []byte) error {
 // frame that still cannot be delivered (preserving order).
 func (c *Conn) drainParked(maxRetries int) error {
 	var err error
+	lin := c.link.lin
 	for len(c.parked) > 0 {
 		frame := c.parked[0]
+		// Parked frames hold raw bytes; re-derive the lineage trace from the
+		// encoded frame so retransmit attempts stay on the record's journey.
+		var trace uint64
+		if lin != nil {
+			trace = server.TraceOf(frame)
+		}
 		backoff := c.cfg.BackoffBaseNs
 		ok := false
 		for try := 0; try <= maxRetries; try++ {
+			var t0 int64
+			if trace != 0 {
+				t0 = nowUnixNs()
+			}
 			if c.attempt(frame) {
+				if trace != 0 {
+					lin.Record(trace, obs.StageAttempt, c.rank, try+1, t0, nowUnixNs()-t0, 1)
+				}
 				ok = true
 				break
 			}
+			if trace != 0 {
+				lin.Record(trace, obs.StageAttempt, c.rank, try+1, t0, nowUnixNs()-t0, 0)
+			}
 			c.retries++
 			c.link.obsRetries.Inc()
-			c.charge(c.cfg.TimeoutNs + backoff)
+			charged := c.cfg.TimeoutNs + backoff
+			c.charge(charged)
+			if trace != 0 {
+				lin.Record(trace, obs.StageRetry, c.rank, try+1, nowUnixNs(), 0, charged)
+			}
 			backoff *= 2
 			if backoff > c.cfg.BackoffMaxNs {
 				backoff = c.cfg.BackoffMaxNs

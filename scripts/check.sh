@@ -6,12 +6,15 @@
 # a coverage-guided fuzz smoke over every fuzz target, then the
 # observability / VM / transport / analysis-server benchmarks.
 # Benchmark results are written to BENCH_obs.json, BENCH_vm.json,
-# BENCH_transport.json, and BENCH_server.json so successive PRs can diff
-# overhead, interpreter-speed, record-path, and ingest-throughput numbers.
+# BENCH_transport.json, BENCH_server.json, and BENCH_lineage.json so
+# successive PRs can diff overhead, interpreter-speed, record-path,
+# ingest-throughput, and lineage-overhead numbers. The lineage suite also
+# gates: ingest at 4096 ranks with lineage on (1/256 sampling) must stay
+# within LINEAGE_MAX_PCT (default 5) percent of lineage off.
 #
 # FUZZTIME (default 10s) is the budget per fuzz target.
 #
-# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json] [server-output.json]
+# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json] [server-output.json] [lineage-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,7 +22,9 @@ obs_out="${1:-BENCH_obs.json}"
 vm_out="${2:-BENCH_vm.json}"
 transport_out="${3:-BENCH_transport.json}"
 server_out="${4:-BENCH_server.json}"
+lineage_out="${5:-BENCH_lineage.json}"
 fuzztime="${FUZZTIME:-10s}"
+lineage_max_pct="${LINEAGE_MAX_PCT:-5}"
 
 echo "== go build ./..."
 go build ./...
@@ -100,3 +105,28 @@ bench_json 'BenchmarkFrameRoundTrip$|BenchmarkConnFlush$|BenchmarkConnFlushFault
 echo "== analysis-server ingest benchmarks (sharded engine vs single-lock baseline)"
 bench_json 'BenchmarkIngestParallel$|BenchmarkIngestSingleLock$' \
     ./internal/server "$server_out"
+
+echo "== lineage-overhead benchmarks (ingest with record tracing off vs on)"
+bench_json 'BenchmarkIngestLineage$' ./internal/server "$lineage_out"
+
+echo "== lineage ingest-overhead gate (on vs off at 4096 ranks, max ${lineage_max_pct}%)"
+awk -v max="$lineage_max_pct" '
+/"BenchmarkIngestLineage\/lineage=off\/ranks=4096"/ {
+    if (match($0, /"ns_per_op": [0-9.e+]+/))
+        off = substr($0, RSTART + 13, RLENGTH - 13) + 0
+}
+/"BenchmarkIngestLineage\/lineage=on\/ranks=4096"/ {
+    if (match($0, /"ns_per_op": [0-9.e+]+/))
+        on = substr($0, RSTART + 13, RLENGTH - 13) + 0
+}
+END {
+    if (off <= 0 || on <= 0) {
+        print "lineage gate: missing ranks=4096 results"; exit 1
+    }
+    pct = (on - off) * 100 / off
+    printf "lineage overhead at 4096 ranks: off %.0f ns/op, on %.0f ns/op (%+.2f%%)\n", off, on, pct
+    if (pct > max) {
+        printf "FAIL: lineage overhead %.2f%% exceeds %s%% budget\n", pct, max
+        exit 1
+    }
+}' "$lineage_out"

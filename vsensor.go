@@ -113,6 +113,18 @@ type Options struct {
 	// Trace attaches the ITAC-style baseline tracer.
 	Trace bool
 
+	// Lineage enables end-to-end record-lineage tracing: a seeded
+	// deterministic sampler stamps ~1/SampleEvery frames with a trace ID
+	// that travels in the wire format (the vSF2 extension), and every hop
+	// of a sampled record's journey — emit, enqueue, delivery attempts and
+	// retries, server ingest, dedup, WAL append/sync, snapshot, epoch
+	// close, verdict — lands in a bounded in-memory flight recorder
+	// (obs.FlightRecorder) with per-stage latency histograms + exemplars.
+	// Requires Obs; one is created automatically when nil. Nil disables
+	// lineage entirely — the wire bytes are then exactly the lineage-off
+	// encoding and no hop ever reads the clock.
+	Lineage *obs.LineageConfig
+
 	// Obs attaches the self-observability layer (internal/obs): pipeline
 	// stage spans, per-rank execution spans, metric families across the
 	// vm/detect/server/mpisim/cluster packages, and — via obs.Serve — a
@@ -145,6 +157,8 @@ type Report struct {
 	Records      []vm.Record // raw sensor records if collected
 	Profiler     *profiler.Profile
 	Tracer       *tracer.Trace
+
+	lin *obs.Lineage // record-lineage tracer, nil unless Options.Lineage
 }
 
 // Compile parses, resolves, and semantically checks a mini-C program.
@@ -205,9 +219,16 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		opt.ProbeCostNs = DefaultProbeCostNs
 	}
 	o := opt.Obs
+	if opt.Lineage != nil {
+		if o == nil {
+			o = obs.New()
+			opt.Obs = o
+		}
+		o.EnableLineage(*opt.Lineage)
+	}
 	o.NameThread(0, "pipeline")
 	o.Gauge("run_ranks").Set(float64(opt.Ranks))
-	rep := &Report{Program: prog}
+	rep := &Report{Program: prog, lin: o.Lineage()}
 
 	sp := o.Span(0, "identify")
 	rep.Analysis = analysis.AnalyzeWith(prog, opt.Analysis)
@@ -377,6 +398,9 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 					st["down"] = srv.Down()
 				}
 			}
+			if lin := o.Lineage(); lin != nil {
+				st["lineage"] = lin.Stats()
+			}
 			return st
 		})
 		if srv != nil {
@@ -510,6 +534,13 @@ func (r *Report) Liveness() []server.RankLiveness {
 	}
 	return r.Server.Liveness()
 }
+
+// Lineage returns the run's record-lineage tracer, nil unless
+// Options.Lineage enabled it. Use it to snapshot the flight recorder
+// (Snapshot), read per-stage latency histograms (StageHistogram), or
+// export a sampled record's journey into a Chrome trace
+// (obs.Tracer.WriteChromeMerged).
+func (r *Report) Lineage() *obs.Lineage { return r.lin }
 
 // TotalSeconds returns the job's virtual execution time in seconds.
 func (r *Report) TotalSeconds() float64 {
