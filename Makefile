@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server bench-lineage check clean
+.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server bench-lineage bench-load check clean
 
 build:
 	$(GO) build ./...
@@ -76,12 +76,21 @@ bench-lineage:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestLineage$$' \
 	    -benchmem -benchtime 2s ./internal/server
 
+# Durable-ingest load harness: the identical workload driven through the
+# per-op, group-commit, and coalesced WAL encoders at 64/512/4096 ranks
+# with a modeled device fsync latency. Writes BENCH_load.json;
+# scripts/check.sh runs the same suite and gates group-commit's 4096-rank
+# speedup over per-op.
+bench-load:
+	sh scripts/bench_load.sh
+
 # The full gate: build + vet + race tests + race chaos + race conformance +
 # coverage gate + fuzz smoke + bench suites (writes BENCH_obs.json,
 # BENCH_vm.json, BENCH_transport.json, BENCH_server.json,
-# BENCH_lineage.json) with the lineage ingest-overhead gate.
+# BENCH_lineage.json, BENCH_load.json) with the lineage ingest-overhead
+# gate and the group-commit speedup gate.
 check:
 	scripts/check.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json BENCH_lineage.json cover.out vsensor.test
+	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json BENCH_lineage.json BENCH_load.json cover.out vsensor.test

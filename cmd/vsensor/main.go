@@ -84,6 +84,9 @@ var (
 
 	wal           = flag.Bool("wal", false, "make the analysis server durable: WAL + snapshots; crashafter faults wipe and recover it")
 	snapshotEvery = flag.Int("snapshot-every", 0, "frames between automatic server checkpoints; needs -wal (0 = default 256, negative disables)")
+	syncEvery     = flag.Int("sync-every", 0, "WAL entries between disk syncs; needs -wal (0 = default 1: sync per delivery outcome)")
+	flushEvery    = flag.Int("flush-every", 0, "delivery outcomes per WAL commit group, one write+sync each; needs -wal (0 = default 1: per-op)")
+	coalesce      = flag.Bool("coalesce", false, "collapse runs of heartbeat/duplicate/reject outcomes into count-delta WAL entries; needs -wal, implies group commit")
 	lease         = flag.Duration("lease", 0, "rank liveness lease; ranks heartbeat every lease/2, go suspect after 1 lease of silence, dead after 3")
 )
 
@@ -104,6 +107,15 @@ func applyTransport(opts *vsensor.Options) {
 	opts.BatchSize = *batchSize
 	if *snapshotEvery != 0 && !*wal {
 		fatal(fmt.Errorf("-snapshot-every %d needs -wal (there is no journal to checkpoint)", *snapshotEvery))
+	}
+	if *syncEvery < 0 {
+		fatal(fmt.Errorf("bad -sync-every %d: sync cadence cannot be negative", *syncEvery))
+	}
+	if *flushEvery < 0 {
+		fatal(fmt.Errorf("bad -flush-every %d: commit-group size cannot be negative", *flushEvery))
+	}
+	if (*syncEvery != 0 || *flushEvery != 0 || *coalesce) && !*wal {
+		fatal(fmt.Errorf("-sync-every/-flush-every/-coalesce need -wal (there is no journal to tune)"))
 	}
 	if *lease < 0 {
 		fatal(fmt.Errorf("bad -lease %s: lease cannot be negative", *lease))
@@ -126,7 +138,12 @@ func applyTransport(opts *vsensor.Options) {
 		}
 	}
 	if *wal {
-		opts.Durability = &server.DurabilityConfig{SnapshotEvery: *snapshotEvery}
+		opts.Durability = &server.DurabilityConfig{
+			SnapshotEvery: *snapshotEvery,
+			SyncEvery:     *syncEvery,
+			FlushEvery:    *flushEvery,
+			Coalesce:      *coalesce,
+		}
 	}
 	applyLineage(opts)
 }
@@ -180,6 +197,10 @@ func printCoverage(rep *vsensor.Report) {
 	if ds := rep.Durability(); ds.Enabled {
 		fmt.Printf("durability: gen %d, lsn %d, %d WAL entries (%d bytes, %d syncs), %d snapshots, %d recoveries\n",
 			ds.Generation, ds.LSN, ds.WALEntries, ds.WALBytes, ds.Syncs, ds.Snapshots, ds.Recoveries)
+		if ds.FlushEvery > 1 {
+			fmt.Printf("group commit: %d outcomes/group, %d group commits, %d outcomes coalesced (coalesce=%v)\n",
+				ds.FlushEvery, ds.GroupCommits, ds.CoalescedEntries, ds.Coalesce)
+		}
 		if ds.Recoveries > 0 {
 			lr := ds.LastRecovery
 			fmt.Printf("last recovery: snapshot gen %d + %d WAL entries replayed (%d frames, %d records, %d bytes truncated)\n",

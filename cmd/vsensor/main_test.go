@@ -136,6 +136,36 @@ func TestFlagParsing(t *testing.T) {
 			wantStderr: "lease cannot be negative",
 		},
 		{
+			name:       "negative sync-every",
+			args:       []string{"run", "-wal", "-sync-every", "-1", tiny},
+			wantCode:   1,
+			wantStderr: "sync cadence cannot be negative",
+		},
+		{
+			name:       "negative flush-every",
+			args:       []string{"run", "-wal", "-flush-every", "-8", tiny},
+			wantCode:   1,
+			wantStderr: "commit-group size cannot be negative",
+		},
+		{
+			name:       "sync-every without wal",
+			args:       []string{"run", "-sync-every", "4", tiny},
+			wantCode:   1,
+			wantStderr: "need -wal",
+		},
+		{
+			name:       "flush-every without wal",
+			args:       []string{"run", "-flush-every", "64", tiny},
+			wantCode:   1,
+			wantStderr: "need -wal",
+		},
+		{
+			name:       "coalesce without wal",
+			args:       []string{"run", "-coalesce", tiny},
+			wantCode:   1,
+			wantStderr: "need -wal",
+		},
+		{
 			name:       "deadrank without deadafter",
 			args:       []string{"run", "-faults", "deadrank=2", tiny},
 			wantCode:   1,
@@ -229,6 +259,31 @@ func TestRunDurableEndToEnd(t *testing.T) {
 		"liveness:",
 		"1 dead",
 		"DEGRADED verdict: dead ranks [5]",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestRunGroupCommitEndToEnd drives a -wal run with group commit and
+// outcome coalescing through the CLI, including a mid-run crash, and
+// checks that the tuned journal still recovers and reports its effective
+// configuration in the durability summary.
+func TestRunGroupCommitEndToEnd(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"run", "-q", "-ranks", "8", "-server-shards", "2",
+		"-slice", "20us", "-batch", "4",
+		"-faults", "drop=0.1,seed=11,crashafter=20,crashdown=8",
+		"-wal", "-snapshot-every", "32", "-flush-every", "16", "-coalesce", "-lease", "50us",
+		filepath.Join("testdata", "tiny.mc"))
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"durability: gen",
+		"recoveries",
+		"group commits",
 	} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("stdout missing %q:\n%s", want, stdout)

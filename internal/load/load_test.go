@@ -1,0 +1,119 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The schedule is the experiment's control variable: the same config must
+// produce byte-identical ops so variants differ only in durability config.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Defaults(8)
+	a, b := BuildSchedule(cfg), BuildSchedule(cfg)
+	if a.Ops != b.Ops || a.Records != b.Records {
+		t.Fatalf("schedules disagree: %+v vs %+v", a, b)
+	}
+	for rank := range a.ops {
+		if len(a.ops[rank]) != len(b.ops[rank]) {
+			t.Fatalf("rank %d op counts differ", rank)
+		}
+		for i := range a.ops[rank] {
+			if !bytes.Equal(a.ops[rank][i], b.ops[rank][i]) {
+				t.Fatalf("rank %d op %d differs", rank, i)
+			}
+		}
+	}
+	wantRecords := int64(cfg.Ranks * cfg.FramesPerRank * cfg.RecordsPerFrame)
+	if a.Records != wantRecords {
+		t.Errorf("records = %d, want %d", a.Records, wantRecords)
+	}
+	// frames + dups + heartbeats per rank
+	perRank := cfg.FramesPerRank*(1+cfg.HeartbeatsPerFrame) + cfg.FramesPerRank/cfg.DupEvery
+	if want := int64(cfg.Ranks * perRank); a.Ops != want {
+		t.Errorf("ops = %d, want %d", a.Ops, want)
+	}
+}
+
+func TestVariantDurability(t *testing.T) {
+	for _, v := range Variants() {
+		dur, err := VariantDurability(v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		switch v {
+		case "per-op":
+			if dur.FlushEvery != 0 || dur.Coalesce {
+				t.Errorf("per-op config = %+v, want zero", dur)
+			}
+		case "group":
+			if dur.FlushEvery <= 1 || dur.Coalesce {
+				t.Errorf("group config = %+v, want FlushEvery>1 without coalescing", dur)
+			}
+		case "coalesced":
+			if dur.FlushEvery <= 1 || !dur.Coalesce {
+				t.Errorf("coalesced config = %+v, want FlushEvery>1 with coalescing", dur)
+			}
+		}
+	}
+	if _, err := VariantDurability("bogus"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+// Every variant must fully ingest the same workload and report coherent
+// counters: the harness refuses to benchmark a lossy run, and the
+// comparison's key physical facts (per-op syncs every outcome; group
+// commit amortizes; coalescing journals fewer bytes) hold even at test
+// scale.
+func TestRunVariantsIngestEverything(t *testing.T) {
+	cfg := Defaults(16)
+	cfg.Workers = 4
+	sched := BuildSchedule(cfg)
+	results := map[string]Result{}
+	for _, v := range Variants() {
+		res, err := RunVariant(v, cfg, sched)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if res.Records != sched.Records || res.Ops != sched.Ops {
+			t.Errorf("%s: result counts %d/%d, want %d/%d", v, res.Records, res.Ops, sched.Records, sched.Ops)
+		}
+		if res.RecordsPerSec <= 0 || res.ElapsedNs <= 0 {
+			t.Errorf("%s: degenerate throughput %+v", v, res)
+		}
+		if res.P50Ns > res.P95Ns || res.P95Ns > res.P99Ns {
+			t.Errorf("%s: percentiles out of order %d/%d/%d", v, res.P50Ns, res.P95Ns, res.P99Ns)
+		}
+		results[v] = res
+	}
+	perOp, group, coal := results["per-op"], results["group"], results["coalesced"]
+	if perOp.Syncs != sched.Ops {
+		t.Errorf("per-op synced %d times, want one per outcome (%d)", perOp.Syncs, sched.Ops)
+	}
+	if group.Syncs >= perOp.Syncs || group.GroupCommits == 0 {
+		t.Errorf("group commit did not amortize: %d syncs vs per-op %d, %d groups",
+			group.Syncs, perOp.Syncs, group.GroupCommits)
+	}
+	if coal.CoalescedEntries == 0 {
+		t.Errorf("coalesced run collapsed no outcomes: %+v", coal)
+	}
+	if coal.WALBytes >= group.WALBytes {
+		t.Errorf("coalescing journaled %d bytes, group-commit %d: no reduction", coal.WALBytes, group.WALBytes)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    int
+		want int64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%d = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 95); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+}

@@ -40,11 +40,14 @@ type RecoveryStats struct {
 	SnapshotLSN      uint64
 
 	// LSN is the last log sequence number reflected in the recovered state;
-	// clients resume re-sending after it.
+	// clients resume re-sending after it. LSNs count delivery outcomes, so
+	// with no snapshot LSN == OutcomesReplayed even when coalesced entries
+	// cover many outcomes each.
 	LSN uint64
 
 	SegmentsScanned    int
 	WALEntriesReplayed int
+	OutcomesReplayed   int64 // delivery outcomes the replayed entries cover
 	FramesReplayed     int   // walKindFrame entries re-ingested
 	RecordsRecovered   int64 // records in the rebuilt log (snapshot + replay)
 	TruncatedBytes     int64 // WAL bytes discarded at the truncation point
@@ -91,6 +94,9 @@ func (s *Server) Crash() error {
 	d.sinceSync = 0
 	d.frames = 0
 	d.snapDue = false
+	// Staged-but-unflushed group-commit entries die with the process: they
+	// were acked under the relaxed contract and clients will re-send them.
+	d.enc.reset()
 	d.mu.Unlock()
 	return nil
 }
@@ -163,13 +169,25 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		rs.SegmentsScanned++
 		entries, consumed, truncated := scanWAL(data)
 		for _, e := range entries {
+			span, ok := e.outcomeSpan()
+			if !ok {
+				// A coalesced entry with a hostile or truncated count field
+				// is corruption; truncate here.
+				stopped = true
+				break
+			}
 			if e.lsn < nextLSN {
 				continue // the snapshot already reflects this entry
 			}
-			if e.lsn > nextLSN {
-				// An LSN gap: an earlier segment's tail was acknowledged but
-				// lost (lying fsync). Everything from here on is beyond the
-				// recoverable prefix.
+			if e.lsn-nextLSN != span-1 {
+				// The entry must cover exactly the outcomes [nextLSN,
+				// nextLSN+span-1]. Covering later ones is an LSN gap — an
+				// earlier segment's tail was acknowledged but lost (lying
+				// fsync). Covering earlier ones means a coalesced run
+				// straddles the snapshot boundary, which a correct
+				// checkpoint never produces (it closes runs first). Either
+				// way, everything from here on is beyond the recoverable
+				// prefix.
 				stopped = true
 				break
 			}
@@ -177,8 +195,9 @@ func (s *Server) Recover() (RecoveryStats, error) {
 				stopped = true
 				break
 			}
-			nextLSN++
+			nextLSN = e.lsn + 1
 			rs.WALEntriesReplayed++
+			rs.OutcomesReplayed += int64(span)
 		}
 		if truncated {
 			rs.TruncatedBytes += int64(len(data) - consumed)
@@ -313,9 +332,19 @@ func (s *Server) applyWALEntry(e walEntry, rs *RecoveryStats) bool {
 		}
 		rs.FramesReplayed++
 		return true
-	case walKindDup:
+	case walKindDup, walKindDupN:
+		// A duplicate frame never advances dedup state (seen implies the
+		// flow already covers its seq), so replaying a run of n duplicates
+		// is exactly n counter bumps on the rank's shard.
+		n := int64(1)
 		if len(e.body) < 4 {
 			return false
+		}
+		if e.kind == walKindDupN {
+			if len(e.body) < 8 {
+				return false
+			}
+			n = int64(binary.LittleEndian.Uint32(e.body[4:]))
 		}
 		rank := int(binary.LittleEndian.Uint32(e.body))
 		if rank > MaxFrameRank {
@@ -323,7 +352,7 @@ func (s *Server) applyWALEntry(e walEntry, rs *RecoveryStats) bool {
 		}
 		sh := s.shardFor(rank)
 		sh.mu.Lock()
-		sh.dupFrames++
+		sh.dupFrames += n
 		sh.mu.Unlock()
 		return true
 	case walKindChecksum:
@@ -332,8 +361,29 @@ func (s *Server) applyWALEntry(e walEntry, rs *RecoveryStats) bool {
 	case walKindReject:
 		s.rejectedFrames.Add(1)
 		return true
-	case walKindHeartbeat:
-		if len(e.body) < 20 {
+	case walKindChecksumN:
+		if len(e.body) < 4 {
+			return false
+		}
+		s.checksumErrors.Add(int64(binary.LittleEndian.Uint32(e.body)))
+		return true
+	case walKindRejectN:
+		if len(e.body) < 4 {
+			return false
+		}
+		s.rejectedFrames.Add(int64(binary.LittleEndian.Uint32(e.body)))
+		return true
+	case walKindHeartbeat, walKindHeartbeatN:
+		// A coalesced heartbeat run stores the fold of its heartbeats under
+		// receiveHeartbeat's own newest-now-wins rule, so applying the fold
+		// once plus count-1 extra counter bumps equals sequential replay.
+		n := int64(1)
+		if e.kind == walKindHeartbeatN {
+			if len(e.body) < 24 {
+				return false
+			}
+			n = int64(binary.LittleEndian.Uint32(e.body[20:]))
+		} else if len(e.body) < 20 {
 			return false
 		}
 		rank := int(binary.LittleEndian.Uint32(e.body))
@@ -343,6 +393,9 @@ func (s *Server) applyWALEntry(e walEntry, rs *RecoveryStats) bool {
 			return false
 		}
 		_ = s.receiveHeartbeat(rank, nowNs, leaseNs, false)
+		if n > 1 {
+			s.heartbeats.Add(n - 1)
+		}
 		return true
 	default:
 		return false

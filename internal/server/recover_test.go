@@ -22,17 +22,21 @@ import (
 //
 // The dense-LSN design makes "resume from the recovered LSN" well defined:
 // every Receive outcome (ingest, dup, checksum reject, framing reject,
-// heartbeat) appends exactly one WAL entry, so the recovered LSN IS the
-// count of delivery-schedule items whose effects survived. Redelivering
-// schedule[LSN:] replays the lost suffix through the identical state
-// machine.
+// heartbeat) advances the LSN by exactly one — a coalesced entry covers a
+// run of outcomes and carries the last one's LSN — so the recovered LSN IS
+// the count of delivery-schedule items whose effects survived.
+// Redelivering schedule[LSN:] replays the lost suffix through the
+// identical state machine, for the per-op, group-commit, and coalescing
+// encoders alike.
 
 // durableTrial is one randomized kill-and-recover scenario's tuning.
 type durableTrial struct {
-	syncEvery int
-	snapEvery int
-	faults    storage.Faults
-	crashes   []int // schedule indices at which the server crashes
+	syncEvery  int
+	flushEvery int  // > 1 selects the group-commit encoder
+	coalesce   bool // collapse chatter runs into count-delta entries
+	snapEvery  int
+	faults     storage.Faults
+	crashes    []int // schedule indices at which the server crashes
 }
 
 func TestKillRecoverConformance(t *testing.T) {
@@ -53,8 +57,10 @@ func TestKillRecoverConformance(t *testing.T) {
 				shuffle: rng.Intn(2) == 0,
 			}
 			trialCfg := durableTrial{
-				syncEvery: []int{0, 1, 4, 16}[rng.Intn(4)],
-				snapEvery: []int{0, -1, 3, 8, 32}[rng.Intn(5)],
+				syncEvery:  []int{0, 1, 4, 16}[rng.Intn(4)],
+				flushEvery: []int{0, 0, 2, 8, 32}[rng.Intn(5)],
+				coalesce:   rng.Intn(2) == 0,
+				snapEvery:  []int{0, -1, 3, 8, 32}[rng.Intn(5)],
 				faults: storage.Faults{
 					Seed:      0xBAD + int64(trial),
 					TornWrite: []float64{0, 0.5, 1}[rng.Intn(3)],
@@ -94,6 +100,8 @@ func TestKillRecoverConformance(t *testing.T) {
 			dur := NewSharded(shards)
 			dur.AttachDurability(DurabilityConfig{
 				SyncEvery:     trialCfg.syncEvery,
+				FlushEvery:    trialCfg.flushEvery,
+				Coalesce:      trialCfg.coalesce,
 				SnapshotEvery: trialCfg.snapEvery,
 				Disk:          storage.NewDisk(trialCfg.faults),
 			})

@@ -486,6 +486,8 @@ type Client struct {
 	cum       uint64
 	sent      int64
 	bytesSent int64
+	refused   bool  // last flush hit a down server; its records are still buffered
+	packed    int64 // flushes that delivered more than one flush interval
 }
 
 // NewClient connects a rank to the server. batchSize <= 0 selects the
@@ -506,34 +508,61 @@ func (c *Client) OnSlice(r detect.SliceRecord) error {
 	return nil
 }
 
-// Flush transfers the buffered records as one sequenced frame. The wire
-// buffer is reused across flushes, so a warm client allocates nothing per
-// batch. A delivery error (impossible for a self-encoded frame, but the
-// emitter contract allows it) is returned instead of panicking; the frame's
-// records are dropped rather than retried — retry belongs to
-// internal/transport.
+// Flush transfers the buffered records as sequenced frames — normally one,
+// chunked only when packing accumulated more than a frame can carry. The
+// wire buffer is reused across flushes, so a warm client allocates nothing
+// per batch.
+//
+// Backpressure packing: when the server is down (ErrServerDown, between
+// Crash and Recover), the flush's sequence number is rolled back and the
+// records stay buffered — a refused frame never touched the server's dedup
+// state, so the next flush may legally re-cut the same sequence number
+// around a bigger batch, packing multiple flush intervals into one frame.
+// Any other delivery error (impossible for a self-encoded frame, but the
+// emitter contract allows it) drops the chunk's records rather than
+// retrying — retry belongs to internal/transport.
 func (c *Client) Flush() error {
-	if len(c.buf) == 0 {
-		return nil
-	}
-	c.seq++
-	c.cum += uint64(len(c.buf))
-	h := FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
-	if lin := c.server.lin; lin != nil {
-		if h.TraceID = lin.TraceID(c.rank, c.seq); h.TraceID != 0 {
+	for len(c.buf) > 0 {
+		n := len(c.buf)
+		if n > MaxFrameRecords {
+			n = MaxFrameRecords
+		}
+		c.seq++
+		c.cum += uint64(n)
+		h := FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
+		lin := c.server.lin
+		if lin != nil {
+			h.TraceID = lin.TraceID(c.rank, c.seq)
+		}
+		c.enc = AppendFrame(c.enc[:0], h, c.buf[:n])
+		if err := c.server.Receive(c.enc); err != nil {
+			seq := c.seq
+			if errors.Is(err, ErrServerDown) {
+				c.seq--
+				c.cum -= uint64(n)
+				c.refused = true
+			} else {
+				c.buf = c.buf[:copy(c.buf, c.buf[n:])]
+			}
+			return fmt.Errorf("server: frame %d from rank %d rejected: %w", seq, c.rank, err)
+		}
+		if lin != nil && h.TraceID != 0 {
 			lin.FrameSampled()
 		}
+		if c.refused {
+			c.packed++
+			c.refused = false
+		}
+		c.sent += int64(n)
+		c.bytesSent += int64(len(c.enc))
+		c.buf = c.buf[:copy(c.buf, c.buf[n:])]
 	}
-	c.enc = AppendFrame(c.enc[:0], h, c.buf)
-	n := len(c.buf)
-	c.buf = c.buf[:0]
-	if err := c.server.Receive(c.enc); err != nil {
-		return fmt.Errorf("server: frame %d from rank %d rejected: %w", c.seq, c.rank, err)
-	}
-	c.sent += int64(n)
-	c.bytesSent += int64(len(c.enc))
 	return nil
 }
+
+// PackedFlushes reports how many flushes delivered records accumulated
+// across more than one flush interval (backpressure packing).
+func (c *Client) PackedFlushes() int64 { return c.packed }
 
 // NextTrace reports the lineage trace ID the *next* flushed frame will
 // carry (0 when unsampled or lineage is off). Records buffered now leave in

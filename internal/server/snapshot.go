@@ -318,6 +318,14 @@ func (s *Server) checkpointLocked() error {
 	d := s.dur
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Commit any staged group-commit entries (closing an open coalesced
+	// run) before capturing the snapshot LSN: the snapshot must cover a
+	// durable prefix, and a coalesced run must never straddle a checkpoint
+	// boundary — replay validates that each entry's covered range starts
+	// exactly at the snapshot's LSN + 1.
+	if err := d.enc.flush(); err != nil {
+		return err
+	}
 	newGen := d.gen + 1
 	enc := s.encodeSnapshot(newGen, d.lsn)
 	const tmp = "snap.tmp"

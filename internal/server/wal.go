@@ -23,13 +23,18 @@ import (
 //	off 4: u32 crc       IEEE CRC32 over the payload
 //	off 8: payload       u8 kind, u64 lsn, kind-specific body
 //
-// The LSN is a strictly increasing per-server sequence shared by every
-// entry kind; snapshots record the LSN they cover, so replay skips entries
-// a snapshot already reflects even when old segments survive compaction.
-// Reading stops at the first entry whose length or CRC does not check out:
-// a torn or bit-rotten tail truncates the log there, and everything after
-// it — even if intact — is discarded, keeping recovery a strict prefix of
-// the acknowledged history (clients re-send past their last durable ack).
+// The LSN is a strictly increasing per-server sequence counting *delivery
+// outcomes*, not entries: a coalesced entry (the N-suffixed kinds) covers a
+// run of `count` consecutive outcomes and carries the LSN of the last one,
+// so the LSN space stays dense — recovered LSN == delivery-schedule index —
+// even when steady-state chatter (heartbeats, duplicate frames, rejects)
+// collapses into O(1) journal bytes. Snapshots record the LSN they cover,
+// so replay skips entries a snapshot already reflects even when old
+// segments survive compaction. Reading stops at the first entry whose
+// length or CRC does not check out: a torn or bit-rotten tail truncates the
+// log there, and everything after it — even if intact — is discarded,
+// keeping recovery a strict prefix of the acknowledged history (clients
+// re-send past their last durable ack).
 //
 // Segments: entries append to "wal.<gen>"; a checkpoint (snapshot.go)
 // starts generation gen+1 and deletes segments older than gen, so at most
@@ -44,6 +49,14 @@ const (
 	walKindChecksum  = 3 // no body: a frame rejected by CRC
 	walKindReject    = 4 // no body: a frame rejected for framing errors
 	walKindHeartbeat = 5 // u32 rank, u64 virtual now, u64 lease ns
+
+	// Coalesced kinds: one entry standing for a run of `count` consecutive
+	// outcomes of the matching base kind. The entry's LSN is the LSN of the
+	// *last* outcome in the run.
+	walKindDupN       = 6 // u32 rank, u32 count
+	walKindChecksumN  = 7 // u32 count
+	walKindRejectN    = 8 // u32 count
+	walKindHeartbeatN = 9 // u32 rank, u64 folded now, u64 folded lease, u32 count
 )
 
 // maxWALEntry bounds a decoded entry's claimed payload length: the largest
@@ -51,14 +64,41 @@ const (
 // vSF2 lineage extension).
 const maxWALEntry = walEntryHeader + 16 + frameHeaderSize + frameTraceSize + MaxFrameRecords*recordWireSize
 
+// maxCoalesced bounds the count field of a coalesced entry; a hostile
+// segment claiming more outcomes per entry than any real run could produce
+// is treated as corruption (replay truncates there).
+const maxCoalesced = 1 << 30
+
 // DurabilityConfig tunes the WAL + snapshot layer.
 type DurabilityConfig struct {
 	// SyncEvery is how many WAL entries may accumulate before an fsync;
 	// <= 1 syncs every entry (ack implies durable — the default, and the
 	// mode under which transport-level exactly-once survives real crashes).
 	// Larger values model group commit: acknowledged-but-unsynced tail
-	// entries can be lost at a crash and must be re-sent by clients.
+	// entries can be lost at a crash and must be re-sent by clients. Only
+	// meaningful for the per-op encoder (FlushEvery <= 1): the group
+	// encoder syncs once per commit group instead.
 	SyncEvery int
+
+	// FlushEvery enables group commit: up to FlushEvery delivery outcomes
+	// accumulate in a staging buffer and hit the device as one write + one
+	// sync. <= 1 keeps the per-op encoder (every outcome is its own write,
+	// synced per SyncEvery). Staged-but-unflushed outcomes are lost at a
+	// crash — the same ack contract as SyncEvery > 1 — and clients re-send
+	// from the recovered LSN.
+	FlushEvery int
+
+	// FlushBytes caps the staging buffer in bytes: a commit group flushes
+	// when it covers FlushEvery outcomes *or* FlushBytes staged bytes,
+	// whichever comes first. 0 selects DefaultFlushBytes. Ignored by the
+	// per-op encoder.
+	FlushBytes int
+
+	// Coalesce collapses runs of heartbeat/dup/checksum/reject outcomes
+	// into count-delta entries (walKind*N), so steady-state chatter costs
+	// O(1) journal bytes per run instead of O(n). Implies group commit:
+	// when FlushEvery <= 1 it is raised to DefaultFlushEvery.
+	Coalesce bool
 
 	// SnapshotEvery is how many frames are ingested between automatic
 	// checkpoints (snapshot + WAL segment rotation). 0 selects
@@ -73,6 +113,28 @@ type DurabilityConfig struct {
 // DefaultSnapshotEvery is the automatic checkpoint cadence in frames.
 const DefaultSnapshotEvery = 256
 
+// DefaultFlushEvery is the group-commit window in outcomes when Coalesce
+// is set without an explicit FlushEvery.
+const DefaultFlushEvery = 64
+
+// DefaultFlushBytes is the group-commit staging cap in bytes.
+const DefaultFlushBytes = 1 << 16
+
+// walEncoder is the pluggable commit policy behind the append path. All
+// methods are called with d.mu held. frame/dup/badFrame/heartbeat each
+// record exactly one delivery outcome (advancing the LSN by one); flush
+// forces any staged entries onto the device; reset drops staged state
+// after a crash; staged reports what has been acked but not yet written.
+type walEncoder interface {
+	frame(ticket uint64, encoded []byte, trace uint64, rank int) error
+	dup(rank int) error
+	badFrame(checksum bool) error
+	heartbeat(rank int, nowNs, leaseNs int64) error
+	flush() error
+	reset()
+	staged() (entries int, bytes int64)
+}
+
 // durability is the server's WAL/snapshot state. All fields except stateMu
 // are guarded by mu; stateMu serializes ingest (read side) against crash,
 // recovery, and checkpoint (write side).
@@ -85,33 +147,40 @@ type durability struct {
 	mu   sync.Mutex
 	disk *storage.Disk
 	cfg  DurabilityConfig
+	enc  walEncoder
 
 	gen       uint64 // current WAL segment generation == checkpoint count
 	lsn       uint64 // last assigned log sequence number
-	sinceSync int    // entries appended since the last fsync
+	sinceSync int    // entries appended since the last fsync (per-op encoder)
 	frames    int    // frames appended since the last checkpoint
 	snapDue   bool   // set when frames crosses SnapshotEvery; cleared by Checkpoint
 	buf       []byte // reusable entry encode buffer
 
 	// Lifetime counters (survive Crash; they describe the device, not the
 	// server state).
-	entries    int64
-	bytes      int64
-	syncs      int64
-	snapshots  int64
-	recoveries int64
-	lastRec    RecoveryStats
+	entries      int64
+	bytes        int64
+	syncs        int64
+	groupCommits int64
+	coalesced    int64
+	snapshots    int64
+	recoveries   int64
+	lastRec      RecoveryStats
 
 	// Observability handles (nil-safe no-ops when obs is off).
-	obsEntries   *obs.Counter
-	obsBytes     *obs.Counter
-	obsSyncs     *obs.Counter
-	obsSnapshots *obs.Counter
-	obsSnapBytes *obs.Gauge
-	obsRecovered *obs.Counter
-	obsTruncated *obs.Counter
-	obsReplayed  *obs.Counter
-	lin          *obs.Lineage // record-lineage tracer (nil = lineage off)
+	obsEntries      *obs.Counter
+	obsBytes        *obs.Counter
+	obsSyncs        *obs.Counter
+	obsGroupCommits *obs.Counter
+	obsCoalesced    *obs.Counter
+	obsFlushBytes   *obs.Histogram
+	obsSyncWait     *obs.Histogram
+	obsSnapshots    *obs.Counter
+	obsSnapBytes    *obs.Gauge
+	obsRecovered    *obs.Counter
+	obsTruncated    *obs.Counter
+	obsReplayed     *obs.Counter
+	lin             *obs.Lineage // record-lineage tracer (nil = lineage off)
 }
 
 func walSegmentName(gen uint64) string { return fmt.Sprintf("wal.%d", gen) }
@@ -132,7 +201,7 @@ func snapName(gen uint64) string {
 // a sampled frame records a wal_append span over the two device appends and,
 // when this entry triggers the group-commit fsync, a wal_sync span over it —
 // so a lineage shows whether the record's frame paid the sync or rode an
-// earlier one.
+// earlier one. Used by the per-op encoder.
 func (d *durability) appendEntry(payload []byte, trace uint64, rank int) error {
 	traced := d.lin != nil && trace != 0
 	var t0 int64
@@ -175,14 +244,20 @@ func (d *durability) appendEntry(payload []byte, trace uint64, rank int) error {
 	return nil
 }
 
-// entryHead serializes the common payload prefix (kind + next LSN) into
-// d.buf. Caller holds d.mu.
-func (d *durability) entryHead(kind byte) []byte {
-	d.lsn++
+// entryAt serializes the common payload prefix (kind + an explicit LSN)
+// into d.buf. Caller holds d.mu.
+func (d *durability) entryAt(kind byte, lsn uint64) []byte {
 	b := d.buf[:0]
 	b = append(b, kind)
-	b = binary.LittleEndian.AppendUint64(b, d.lsn)
+	b = binary.LittleEndian.AppendUint64(b, lsn)
 	return b
+}
+
+// entryHead assigns the next LSN and serializes the payload prefix for an
+// entry covering exactly one outcome. Caller holds d.mu.
+func (d *durability) entryHead(kind byte) []byte {
+	d.lsn++
+	return d.entryAt(kind, d.lsn)
 }
 
 // logFrame appends a frame entry (arrival ticket + raw frame bytes) and
@@ -192,15 +267,11 @@ func (d *durability) entryHead(kind byte) []byte {
 func (d *durability) logFrame(ticket uint64, encoded []byte, trace uint64) (snapDue bool, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	b := d.entryHead(walKindFrame)
-	b = binary.LittleEndian.AppendUint64(b, ticket)
-	b = append(b, encoded...)
-	d.buf = b
 	rank := 0
 	if trace != 0 && len(encoded) >= 8 {
 		rank = int(binary.LittleEndian.Uint32(encoded[4:]))
 	}
-	if err := d.appendEntry(b, trace, rank); err != nil {
+	if err := d.enc.frame(ticket, encoded, trace, rank); err != nil {
 		return false, err
 	}
 	d.frames++
@@ -218,35 +289,21 @@ func (d *durability) logFrame(ticket uint64, encoded []byte, trace uint64) (snap
 func (d *durability) logDup(rank int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	b := d.entryHead(walKindDup)
-	b = binary.LittleEndian.AppendUint32(b, uint32(rank))
-	d.buf = b
-	return d.appendEntry(b, 0, 0)
+	return d.enc.dup(rank)
 }
 
 // logBadFrame appends a rejection event (checksum or framing).
 func (d *durability) logBadFrame(checksum bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	kind := byte(walKindReject)
-	if checksum {
-		kind = walKindChecksum
-	}
-	b := d.entryHead(kind)
-	d.buf = b
-	return d.appendEntry(b, 0, 0)
+	return d.enc.badFrame(checksum)
 }
 
 // logHeartbeat appends a liveness heartbeat event.
 func (d *durability) logHeartbeat(rank int, nowNs, leaseNs int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	b := d.entryHead(walKindHeartbeat)
-	b = binary.LittleEndian.AppendUint32(b, uint32(rank))
-	b = binary.LittleEndian.AppendUint64(b, uint64(nowNs))
-	b = binary.LittleEndian.AppendUint64(b, uint64(leaseNs))
-	d.buf = b
-	return d.appendEntry(b, 0, 0)
+	return d.enc.heartbeat(rank, nowNs, leaseNs)
 }
 
 // walEntry is one decoded log entry.
@@ -254,6 +311,37 @@ type walEntry struct {
 	kind byte
 	lsn  uint64
 	body []byte // kind-specific bytes, aliasing the segment buffer
+}
+
+// outcomeSpan reports how many delivery outcomes e covers: 1 for the
+// legacy per-outcome kinds, the count field for coalesced kinds. ok is
+// false when the body is too short to hold the count or the count is
+// outside [1, maxCoalesced] — replay treats that like corruption.
+func (e walEntry) outcomeSpan() (span uint64, ok bool) {
+	var c uint32
+	switch e.kind {
+	case walKindDupN:
+		if len(e.body) < 8 {
+			return 0, false
+		}
+		c = binary.LittleEndian.Uint32(e.body[4:])
+	case walKindChecksumN, walKindRejectN:
+		if len(e.body) < 4 {
+			return 0, false
+		}
+		c = binary.LittleEndian.Uint32(e.body)
+	case walKindHeartbeatN:
+		if len(e.body) < 24 {
+			return 0, false
+		}
+		c = binary.LittleEndian.Uint32(e.body[20:])
+	default:
+		return 1, true
+	}
+	if c < 1 || c > maxCoalesced {
+		return 0, false
+	}
+	return uint64(c), true
 }
 
 // scanWAL decodes entries from raw segment bytes, stopping at the first
@@ -289,18 +377,25 @@ func scanWAL(data []byte) (entries []walEntry, consumed int, truncated bool) {
 // DurabilityStats describes the WAL/snapshot layer for dashboards and
 // /status.
 type DurabilityStats struct {
-	Enabled       bool
-	Generation    uint64 // current WAL segment / checkpoint generation
-	LSN           uint64 // last assigned log sequence number
-	WALEntries    int64
-	WALBytes      int64
-	Syncs         int64
-	Snapshots     int64
-	Recoveries    int64
-	DiskBytes     int64 // total bytes on the backing device
-	LastRecovery  RecoveryStats
-	SnapshotEvery int
-	SyncEvery     int
+	Enabled          bool
+	Generation       uint64 // current WAL segment / checkpoint generation
+	LSN              uint64 // last assigned log sequence number
+	WALEntries       int64
+	WALBytes         int64
+	Syncs            int64
+	GroupCommits     int64 // commit groups flushed (group encoder only)
+	CoalescedEntries int64 // outcomes absorbed into an open coalesced run
+	StagedEntries    int   // entries acked but not yet written to the device
+	StagedBytes      int64
+	Snapshots        int64
+	Recoveries       int64
+	DiskBytes        int64 // total bytes on the backing device
+	LastRecovery     RecoveryStats
+	SnapshotEvery    int
+	SyncEvery        int
+	FlushEvery       int  // 1 = per-op encoder
+	FlushBytes       int  // 0 = per-op encoder
+	Coalesce         bool
 }
 
 // DurabilityStats returns the durability layer's state; the zero value when
@@ -320,19 +415,31 @@ func (s *Server) DurabilityStats() DurabilityStats {
 	if sync <= 1 {
 		sync = 1
 	}
+	flushEvery := d.cfg.FlushEvery
+	if flushEvery <= 1 {
+		flushEvery = 1
+	}
+	stagedEntries, stagedBytes := d.enc.staged()
 	return DurabilityStats{
-		Enabled:       true,
-		Generation:    d.gen,
-		LSN:           d.lsn,
-		WALEntries:    d.entries,
-		WALBytes:      d.bytes,
-		Syncs:         d.syncs,
-		Snapshots:     d.snapshots,
-		Recoveries:    d.recoveries,
-		DiskBytes:     d.disk.Size(),
-		LastRecovery:  d.lastRec,
-		SnapshotEvery: every,
-		SyncEvery:     sync,
+		Enabled:          true,
+		Generation:       d.gen,
+		LSN:              d.lsn,
+		WALEntries:       d.entries,
+		WALBytes:         d.bytes,
+		Syncs:            d.syncs,
+		GroupCommits:     d.groupCommits,
+		CoalescedEntries: d.coalesced,
+		StagedEntries:    stagedEntries,
+		StagedBytes:      stagedBytes,
+		Snapshots:        d.snapshots,
+		Recoveries:       d.recoveries,
+		DiskBytes:        d.disk.Size(),
+		LastRecovery:     d.lastRec,
+		SnapshotEvery:    every,
+		SyncEvery:        sync,
+		FlushEvery:       flushEvery,
+		FlushBytes:       d.cfg.FlushBytes,
+		Coalesce:         d.cfg.Coalesce,
 	}
 }
 
@@ -348,7 +455,9 @@ func (s *Server) Disk() *storage.Disk {
 // AttachDurability enables the WAL + snapshot layer over disk (a fresh
 // fault-free disk when cfg.Disk is nil). Must be called before any frame is
 // ingested; attaching twice or after ingest panics — durability is a
-// construction-time decision.
+// construction-time decision. FlushEvery > 1 (or Coalesce, which implies
+// it) selects the group-commit encoder; otherwise every outcome is its own
+// journal write, synced per SyncEvery.
 func (s *Server) AttachDurability(cfg DurabilityConfig) {
 	if s.dur != nil {
 		panic("server: durability already attached")
@@ -360,7 +469,25 @@ func (s *Server) AttachDurability(cfg DurabilityConfig) {
 	if disk == nil {
 		disk = storage.NewDisk(storage.Faults{})
 	}
-	s.dur = &durability{disk: disk, cfg: cfg}
+	if cfg.Coalesce && cfg.FlushEvery <= 1 {
+		cfg.FlushEvery = DefaultFlushEvery
+	}
+	d := &durability{disk: disk, cfg: cfg}
+	if cfg.FlushEvery > 1 {
+		if cfg.FlushBytes <= 0 {
+			d.cfg.FlushBytes = DefaultFlushBytes
+		}
+		d.enc = &groupEncoder{
+			d:          d,
+			coalesce:   cfg.Coalesce,
+			flushEvery: d.cfg.FlushEvery,
+			flushBytes: d.cfg.FlushBytes,
+		}
+	} else {
+		d.cfg.FlushBytes = 0
+		d.enc = &perOpEncoder{d: d}
+	}
+	s.dur = d
 }
 
 // setDurObs attaches the durability metric handles. Called from SetObs.
@@ -368,6 +495,10 @@ func (d *durability) setObs(o *obs.Obs) {
 	d.obsEntries = o.Counter("server_wal_entries_total")
 	d.obsBytes = o.Counter("server_wal_bytes_total")
 	d.obsSyncs = o.Counter("server_wal_syncs_total")
+	d.obsGroupCommits = o.Counter("wal_group_commits_total")
+	d.obsCoalesced = o.Counter("wal_coalesced_entries_total")
+	d.obsFlushBytes = o.Histogram("wal_flush_bytes")
+	d.obsSyncWait = o.Histogram("wal_sync_wait_ns")
 	d.obsSnapshots = o.Counter("server_snapshots_total")
 	d.obsSnapBytes = o.Gauge("server_snapshot_bytes")
 	d.obsRecovered = o.Counter("server_recoveries_total")

@@ -2,12 +2,24 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 
 	"vsensor/internal/detect"
 	"vsensor/internal/storage"
 )
+
+func u32(v uint32) []byte  { return binary.LittleEndian.AppendUint32(nil, v) }
+func u64b(v uint64) []byte { return binary.LittleEndian.AppendUint64(nil, v) }
+
+func testBody(parts ...[]byte) []byte {
+	var b []byte
+	for _, p := range parts {
+		b = append(b, p...)
+	}
+	return b
+}
 
 // FuzzWALReplay hands recovery an arbitrary byte string as the only WAL
 // segment on disk (no snapshot). Whatever the bytes claim, Recover must
@@ -29,6 +41,38 @@ func FuzzWALReplay(f *testing.F) {
 			f.Add(seg[:len(seg)-7]) // torn tail
 		}
 	}
+	// A segment written by the coalescing group-commit encoder: dup and
+	// heartbeat runs collapse into walKindDupN / walKindHeartbeatN entries
+	// alongside plain frames.
+	coalDisk := storage.NewDisk(storage.Faults{})
+	coalSrv := NewSharded(2)
+	coalSrv.AttachDurability(DurabilityConfig{SnapshotEvery: -1, Disk: coalDisk,
+		FlushEvery: 4, Coalesce: true})
+	for _, frame := range buildConformanceFrames(rng, 2, 2, 2) {
+		_ = coalSrv.Receive(frame)
+		_ = coalSrv.Receive(frame) // immediate redelivery: dup runs
+	}
+	for i := 0; i < 6; i++ {
+		_ = coalSrv.Receive(AppendHeartbeat(nil, 1, int64(1_000+i), 500))
+	}
+	_ = coalSrv.Checkpoint() // close the open run and flush the group
+	if seg, err := coalDisk.ReadFile("wal.0"); err == nil {
+		f.Add(seg)
+		if len(seg) > 10 {
+			f.Add(seg[:len(seg)-7]) // torn tail inside a commit group
+		}
+	}
+	// Hand-built coalesced entries: every N kind, including a run of one,
+	// a count that contradicts the LSN, and a hostile count.
+	var crafted []byte
+	crafted = appendTestEntry(crafted, walKindDupN, 3, testBody(u32(1), u32(3)))
+	crafted = appendTestEntry(crafted, walKindChecksumN, 5, testBody(u32(2)))
+	crafted = appendTestEntry(crafted, walKindRejectN, 6, testBody(u32(1)))
+	crafted = appendTestEntry(crafted, walKindHeartbeatN, 10, testBody(u32(1), u64b(1000), u64b(500), u32(4)))
+	f.Add(crafted)
+	f.Add(appendTestEntry(nil, walKindDupN, 1, testBody(u32(1), u32(2))))            // span past LSN 1
+	f.Add(appendTestEntry(nil, walKindHeartbeatN, 8, testBody(u32(1), u64b(1), u64b(1), u32(1<<31)))) // hostile count
+	f.Add(appendTestEntry(nil, walKindDupN, 2, testBody(u32(1))))                    // body too short for count
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0}, 64))
@@ -53,8 +97,14 @@ func FuzzWALReplay(f *testing.F) {
 			// prefix).
 			t.Fatalf("Recover on hostile segment: %v", err)
 		}
-		if rs.LSN != uint64(rs.WALEntriesReplayed) {
-			t.Fatalf("LSN %d != %d entries replayed (no snapshot)", rs.LSN, rs.WALEntriesReplayed)
+		// LSNs count delivery outcomes: a coalesced entry advances the LSN
+		// by its whole covered run, so entries replayed is a lower bound
+		// and outcomes replayed is exact.
+		if rs.LSN != uint64(rs.OutcomesReplayed) {
+			t.Fatalf("LSN %d != %d outcomes replayed (no snapshot)", rs.LSN, rs.OutcomesReplayed)
+		}
+		if rs.OutcomesReplayed < int64(rs.WALEntriesReplayed) {
+			t.Fatalf("outcomes %d < entries %d", rs.OutcomesReplayed, rs.WALEntriesReplayed)
 		}
 		if rs.TruncatedBytes < 0 || rs.TruncatedBytes > int64(len(seg)) {
 			t.Fatalf("truncated %d bytes of a %d-byte segment", rs.TruncatedBytes, len(seg))

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Faults configures the disk's seeded failure injection. Probabilities are
@@ -92,11 +93,12 @@ type Stats struct {
 
 // Disk is the fault-injectable device. Safe for concurrent use.
 type Disk struct {
-	mu     sync.Mutex
-	files  map[string]*file
-	rng    *rand.Rand
-	faults Faults
-	stats  Stats
+	mu          sync.Mutex
+	files       map[string]*file
+	rng         *rand.Rand
+	faults      Faults
+	stats       Stats
+	syncDelayNs int64
 }
 
 // NewDisk creates an empty disk with the given fault plan. Panics on an
@@ -129,6 +131,19 @@ func (d *Disk) Append(name string, p []byte) error {
 	return nil
 }
 
+// SetSyncDelayNs models the device's sync latency: every Sync call busy
+// waits this long while holding the disk lock, the way a real fsync
+// stalls its caller for the flush round trip. The default (0) keeps Sync
+// free, which is right for correctness tests but hides exactly the cost
+// that sync batching amortizes — load benchmarks set a realistic delay.
+// A busy wait rather than a sleep because sub-100µs sleeps round up to
+// scheduler granularity and would distort the model.
+func (d *Disk) SetSyncDelayNs(ns int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncDelayNs = ns
+}
+
 // Sync makes name's unsynced bytes durable. Under the sync-loss fault it
 // may lie: report success and leave the tail volatile.
 func (d *Disk) Sync(name string) error {
@@ -137,6 +152,10 @@ func (d *Disk) Sync(name string) error {
 	f := d.files[name]
 	if f == nil {
 		return fmt.Errorf("storage: sync %q: no such file", name)
+	}
+	if d.syncDelayNs > 0 {
+		for t0 := time.Now(); time.Since(t0).Nanoseconds() < d.syncDelayNs; {
+		}
 	}
 	d.stats.Syncs++
 	if d.faults.SyncLoss > 0 && d.rng.Float64() < d.faults.SyncLoss {

@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"testing"
+	"time"
 )
 
 func TestAppendSyncCrash(t *testing.T) {
@@ -26,6 +27,36 @@ func TestAppendSyncCrash(t *testing.T) {
 	got, err = d.ReadFile("wal")
 	if err != nil || !bytes.Equal(got, []byte("abc")) {
 		t.Fatalf("post-crash read = %q, %v (want synced prefix only)", got, err)
+	}
+}
+
+// SetSyncDelayNs models device fsync latency: each Sync stalls its caller
+// for at least the configured delay; appends and reads stay free.
+func TestSyncDelayStallsSync(t *testing.T) {
+	d := NewDisk(Faults{})
+	const delay = 200_000 // generous vs timer noise
+	d.SetSyncDelayNs(delay)
+	if err := d.Append("wal", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := d.Sync("wal"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(t0).Nanoseconds(); took < delay {
+		t.Errorf("sync took %dns, want >= %dns", took, delay)
+	}
+	got, err := d.ReadFile("wal")
+	if err != nil || !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	d.SetSyncDelayNs(0)
+	t0 = time.Now()
+	if err := d.Sync("wal"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(t0).Nanoseconds(); took > delay {
+		t.Errorf("delay-free sync took %dns", took)
 	}
 }
 

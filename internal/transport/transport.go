@@ -125,6 +125,7 @@ type Link struct {
 	obsReordered  *obs.Counter
 	obsRejects    *obs.Counter
 	obsParked     *obs.Counter
+	obsPacked     *obs.Counter
 	obsLost       *obs.Counter
 	obsHeartbeats *obs.Counter
 }
@@ -173,6 +174,7 @@ func (l *Link) SetObs(o *obs.Obs) {
 	l.obsReordered = o.Counter("transport_reordered_total")
 	l.obsRejects = o.Counter("transport_server_down_rejects_total")
 	l.obsParked = o.Counter("transport_parked_total")
+	l.obsPacked = o.Counter("transport_packed_flushes_total")
 	l.obsLost = o.Counter("transport_records_lost_total")
 	l.obsHeartbeats = o.Counter("transport_heartbeats_total")
 	l.lin = o.Lineage()
@@ -273,13 +275,14 @@ type Conn struct {
 	sentHB     bool
 	heartbeats int64
 
-	framesSent  int64
-	recordsSent int64
-	bytesSent   int64
-	retries     int64
-	waitNs      int64
-	lostFrames  int64
-	lostRecords int64
+	framesSent    int64
+	recordsSent   int64
+	bytesSent     int64
+	retries       int64
+	waitNs        int64
+	lostFrames    int64
+	lostRecords   int64
+	packedFlushes int64
 }
 
 // NewConn creates the rank's connection. The fault stream is seeded by
@@ -387,7 +390,20 @@ func (c *Conn) NextTrace() uint64 {
 // Flush first retries parked frames, then sends the buffered records as one
 // new sequenced frame. The returned error reports backpressure loss
 // (drop-oldest evictions), not transient failures — those are retried.
-func (c *Conn) Flush() error {
+func (c *Conn) Flush() error { return c.flush(false) }
+
+// packLimit is how many records may accumulate across packed flush
+// intervals before a frame is cut regardless of backpressure: the record
+// equivalent of the parked-frame cap, bounded by what one frame can carry.
+func (c *Conn) packLimit() int {
+	lim := c.cfg.BufferCap * c.cfg.BatchSize
+	if lim > server.MaxFrameRecords {
+		lim = server.MaxFrameRecords
+	}
+	return lim
+}
+
+func (c *Conn) flush(force bool) error {
 	if c.silenced() {
 		c.dropAllSilently()
 		return nil
@@ -397,21 +413,40 @@ func (c *Conn) Flush() error {
 	if len(c.buf) == 0 {
 		return err
 	}
-	c.seq++
-	c.cum += uint64(len(c.buf))
-	h := server.FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
-	if lin := c.link.lin; lin != nil {
-		if h.TraceID = lin.TraceID(c.rank, c.seq); h.TraceID != 0 {
-			lin.FrameSampled()
-			lin.Record(h.TraceID, obs.StageEnqueue, c.rank, 0, nowUnixNs(), 0, int64(len(c.buf)))
-		}
+	// Backpressure packing: while earlier frames still sit parked, cutting
+	// a new frame would only park it right behind them — instead the
+	// interval's records stay buffered, and the flush that finds the park
+	// queue drained packs every accumulated interval into one frame, so
+	// the wire amortizes the way the WAL's group commit does. A full
+	// buffer (BufferCap intervals' worth of records) forces a cut so
+	// memory stays bounded and drop-oldest eviction keeps its meaning;
+	// Close forces one too — there is no later flush to pack into.
+	if !force && len(c.parked) > 0 && len(c.buf) < c.packLimit() {
+		c.packedFlushes++
+		c.link.obsPacked.Inc()
+		return err
 	}
-	c.enc = server.AppendFrame(c.enc[:0], h, c.buf)
-	c.recordsSent += int64(len(c.buf))
-	c.buf = c.buf[:0]
-	c.link.obsFrames.Inc()
-	if terr := c.transmit(c.enc, c.cfg.MaxRetries); terr != nil && err == nil {
-		err = terr
+	for len(c.buf) > 0 {
+		n := len(c.buf)
+		if n > server.MaxFrameRecords {
+			n = server.MaxFrameRecords
+		}
+		c.seq++
+		c.cum += uint64(n)
+		h := server.FrameHeader{Rank: c.rank, Seq: c.seq, CumRecords: c.cum}
+		if lin := c.link.lin; lin != nil {
+			if h.TraceID = lin.TraceID(c.rank, c.seq); h.TraceID != 0 {
+				lin.FrameSampled()
+				lin.Record(h.TraceID, obs.StageEnqueue, c.rank, 0, nowUnixNs(), 0, int64(n))
+			}
+		}
+		c.enc = server.AppendFrame(c.enc[:0], h, c.buf[:n])
+		c.recordsSent += int64(n)
+		c.buf = c.buf[:copy(c.buf, c.buf[n:])]
+		c.link.obsFrames.Inc()
+		if terr := c.transmit(c.enc, c.cfg.MaxRetries); terr != nil && err == nil {
+			err = terr
+		}
 	}
 	return err
 }
@@ -594,7 +629,7 @@ func (c *Conn) Close() error {
 		c.dropAllSilently()
 		return nil
 	}
-	err := c.Flush()
+	err := c.flush(true)
 	if derr := c.drainParked(c.cfg.CloseAttempts); derr != nil && err == nil {
 		err = derr
 	}
@@ -620,30 +655,32 @@ func (c *Conn) Close() error {
 
 // ConnStats is a snapshot of one connection's delivery accounting.
 type ConnStats struct {
-	Rank        int
-	FramesSent  int64 // frames acked by the link (incl. parked retries)
-	RecordsSent int64 // records handed to Flush
-	BytesSent   int64
-	Retries     int64 // failed attempts that were retried
-	Parked      int   // frames currently in the retransmit buffer
-	LostFrames  int64 // frames evicted or abandoned (records lost)
-	LostRecords int64
-	WaitNs      int64 // virtual time charged for delays/timeouts/backoff
-	Heartbeats  int64 // liveness heartbeats that reached the server
+	Rank          int
+	FramesSent    int64 // frames acked by the link (incl. parked retries)
+	RecordsSent   int64 // records handed to Flush
+	BytesSent     int64
+	Retries       int64 // failed attempts that were retried
+	Parked        int   // frames currently in the retransmit buffer
+	LostFrames    int64 // frames evicted or abandoned (records lost)
+	LostRecords   int64
+	WaitNs        int64 // virtual time charged for delays/timeouts/backoff
+	Heartbeats    int64 // liveness heartbeats that reached the server
+	PackedFlushes int64 // flush intervals deferred into a later packed frame
 }
 
 // Stats returns the connection's delivery accounting.
 func (c *Conn) Stats() ConnStats {
 	return ConnStats{
-		Rank:        c.rank,
-		FramesSent:  c.framesSent,
-		RecordsSent: c.recordsSent,
-		BytesSent:   c.bytesSent,
-		Retries:     c.retries,
-		Parked:      len(c.parked),
-		LostFrames:  c.lostFrames,
-		LostRecords: c.lostRecords,
-		WaitNs:      c.waitNs,
-		Heartbeats:  c.heartbeats,
+		Rank:          c.rank,
+		FramesSent:    c.framesSent,
+		RecordsSent:   c.recordsSent,
+		BytesSent:     c.bytesSent,
+		Retries:       c.retries,
+		Parked:        len(c.parked),
+		LostFrames:    c.lostFrames,
+		LostRecords:   c.lostRecords,
+		WaitNs:        c.waitNs,
+		Heartbeats:    c.heartbeats,
+		PackedFlushes: c.packedFlushes,
 	}
 }

@@ -97,8 +97,11 @@ func TestRetryChargesClock(t *testing.T) {
 	}
 }
 
-// With the link permanently down, frames park; beyond the buffer cap the
-// oldest parked frame is evicted and reported as an explicit error.
+// With the link permanently down, frames park; flush intervals pack while
+// the park queue is blocked, and once the packed buffer reaches
+// BufferCap*BatchSize records a frame is cut anyway — beyond the parked cap
+// the oldest frame is evicted and reported as an explicit error, so memory
+// stays bounded under unbounded backpressure.
 func TestBufferCapDropOldest(t *testing.T) {
 	srv := server.New()
 	link := NewLink(srv, FaultPlan{Seed: 2, Drop: 1})
@@ -106,8 +109,9 @@ func TestBufferCapDropOldest(t *testing.T) {
 		BatchSize: 2, MaxRetries: 1, BufferCap: 3,
 		TimeoutNs: 1, BackoffBaseNs: 1, CloseAttempts: 1,
 	})
+	const n = 30
 	var evictErr error
-	for i := 0; i < 12; i++ {
+	for i := 0; i < n; i++ {
 		if err := conn.OnSlice(rec(3, i)); err != nil && evictErr == nil {
 			evictErr = err
 		}
@@ -122,18 +126,87 @@ func TestBufferCapDropOldest(t *testing.T) {
 	if st.Parked != 3 {
 		t.Errorf("parked = %d, want cap 3", st.Parked)
 	}
-	// 6 frames sent, 3 parked, 3 evicted (2 records each).
-	if st.LostFrames != 3 || st.LostRecords != 6 {
-		t.Errorf("lost frames=%d records=%d", st.LostFrames, st.LostRecords)
+	if st.PackedFlushes == 0 {
+		t.Error("no flush intervals packed while the park queue was blocked")
+	}
+	if st.LostFrames == 0 {
+		t.Error("no evictions despite overflowing the cap")
 	}
 	if err := conn.Close(); err == nil {
 		t.Error("close on a dead link should report abandoned frames")
 	}
-	if st := conn.Stats(); st.Parked != 0 {
+	st = conn.Stats()
+	if st.Parked != 0 {
 		t.Errorf("parked after close = %d", st.Parked)
+	}
+	// Every record was either evicted or abandoned: nothing arrived, and
+	// the loss accounting covers all n.
+	if st.LostRecords != n {
+		t.Errorf("lost records = %d, want %d", st.LostRecords, n)
 	}
 	if got := len(srv.Records()); got != 0 {
 		t.Errorf("dead link delivered %d records", got)
+	}
+}
+
+// The packed-record cap is BufferCap*BatchSize, but never more than one
+// frame can carry.
+func TestPackLimitCappedByFrame(t *testing.T) {
+	link := NewLink(server.New(), FaultPlan{})
+	small := link.NewConn(0, Config{BatchSize: 2, BufferCap: 3})
+	if got := small.packLimit(); got != 6 {
+		t.Errorf("packLimit = %d, want 6", got)
+	}
+	huge := link.NewConn(1, Config{BatchSize: 4096, BufferCap: 4096})
+	if got := huge.packLimit(); got != server.MaxFrameRecords {
+		t.Errorf("packLimit = %d, want frame cap %d", got, server.MaxFrameRecords)
+	}
+}
+
+// Backpressure packing, deterministically: during the server's crash
+// window the first undelivered frame parks, later flush intervals defer
+// instead of cutting frames behind it, and the first flush after recovery
+// delivers the parked frame plus ONE packed frame carrying every deferred
+// interval.
+func TestBackpressurePackedFlushes(t *testing.T) {
+	srv := server.New()
+	// Attempt 1 lands; attempts 2-8 hit the down window; attempt 9+ land.
+	// With MaxRetries 1 each transmit makes exactly two attempts, so the
+	// schedule below is fully deterministic.
+	link := NewLink(srv, FaultPlan{CrashAfterFrames: 1, CrashDownFrames: 7})
+	conn := link.NewConn(1, Config{
+		BatchSize: 64, MaxRetries: 1, BufferCap: 8,
+		TimeoutNs: 1, BackoffBaseNs: 1, CloseAttempts: 4,
+	})
+	flushN := func(k int) {
+		for i := 0; i < 2; i++ {
+			if err := conn.OnSlice(rec(1, k*2+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = conn.Flush()
+	}
+	flushN(0) // attempt 1: delivered
+	flushN(1) // attempts 2,3: down, frame parks
+	flushN(2) // attempts 4,5 on the parked frame fail; interval defers
+	flushN(3) // attempts 6,7 likewise
+	flushN(4) // attempts 8,9: parked frame lands; packed frame (6 records) lands
+	st := conn.Stats()
+	if st.PackedFlushes != 2 {
+		t.Errorf("packed flushes = %d, want 2", st.PackedFlushes)
+	}
+	if st.FramesSent != 3 {
+		t.Errorf("frames sent = %d, want 3 (1 clean + 1 parked + 1 packed)", st.FramesSent)
+	}
+	if st.LostFrames != 0 || st.LostRecords != 0 {
+		t.Errorf("lost frames=%d records=%d, want none", st.LostFrames, st.LostRecords)
+	}
+	if got := len(srv.Records()); got != 10 {
+		t.Errorf("records = %d, want all 10", got)
+	}
+	cov := srv.Coverage()
+	if cov.IngestedRecords != 10 || cov.Fraction() != 1 {
+		t.Errorf("coverage = %+v, want complete", cov)
 	}
 }
 

@@ -1,0 +1,35 @@
+# Shared helper: render `go test -bench` output as JSON. Sourced (not
+# executed) by scripts/check.sh and scripts/bench_load.sh.
+#
+# bench_json PATTERN PKG OUT runs the benchmarks and renders each result
+# line as a JSON entry. Parsing is unit-aware ("value unit" pairs after the
+# iteration count), so custom b.ReportMetric columns such as the analysis
+# server's records/s survive alongside ns/op, B/op, and allocs/op.
+bench_json() {
+    pattern="$1"; pkg="$2"; out="$3"
+    bench_txt="$(mktemp)"
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime 2s "$pkg" | tee "$bench_txt"
+    awk '
+    BEGIN { print "{"; first = 1 }
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (!first) printf ",\n"
+        first = 0
+        printf "  \"%s\": {", name
+        sep = ""
+        for (i = 3; i < NF; i += 2) {
+            unit = $(i + 1)
+            gsub(/[\/]/, "_per_", unit)
+            gsub(/[^A-Za-z0-9_]/, "_", unit)
+            if (unit == "B_per_op") unit = "bytes_per_op"
+            printf "%s\"%s\": %s", sep, unit, $i
+            sep = ", "
+        }
+        printf "}"
+    }
+    END { print "\n}" }
+    ' "$bench_txt" > "$out"
+    rm -f "$bench_txt"
+    echo "== wrote $out"
+    cat "$out"
+}

@@ -6,15 +6,18 @@
 # a coverage-guided fuzz smoke over every fuzz target, then the
 # observability / VM / transport / analysis-server benchmarks.
 # Benchmark results are written to BENCH_obs.json, BENCH_vm.json,
-# BENCH_transport.json, BENCH_server.json, and BENCH_lineage.json so
-# successive PRs can diff overhead, interpreter-speed, record-path,
-# ingest-throughput, and lineage-overhead numbers. The lineage suite also
-# gates: ingest at 4096 ranks with lineage on (1/256 sampling) must stay
-# within LINEAGE_MAX_PCT (default 5) percent of lineage off.
+# BENCH_transport.json, BENCH_server.json, BENCH_lineage.json, and
+# BENCH_load.json so successive PRs can diff overhead, interpreter-speed,
+# record-path, ingest-throughput, lineage-overhead, and durable-ingest
+# numbers. Two suites also gate: ingest at 4096 ranks with lineage on
+# (1/256 sampling) must stay within LINEAGE_MAX_PCT (default 5) percent of
+# lineage off, and the group-commit WAL must ingest at least
+# LOAD_MIN_SPEEDUP (default 2) times the per-op encoder's records/s at
+# 4096 ranks.
 #
 # FUZZTIME (default 10s) is the budget per fuzz target.
 #
-# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json] [server-output.json] [lineage-output.json]
+# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json] [server-output.json] [lineage-output.json] [load-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,8 +26,10 @@ vm_out="${2:-BENCH_vm.json}"
 transport_out="${3:-BENCH_transport.json}"
 server_out="${4:-BENCH_server.json}"
 lineage_out="${5:-BENCH_lineage.json}"
+load_out="${6:-BENCH_load.json}"
 fuzztime="${FUZZTIME:-10s}"
 lineage_max_pct="${LINEAGE_MAX_PCT:-5}"
+load_min_speedup="${LOAD_MIN_SPEEDUP:-2}"
 
 echo "== go build ./..."
 go build ./...
@@ -57,38 +62,9 @@ go test -run '^$' -fuzz 'FuzzWALReplay$' -fuzztime "$fuzztime" ./internal/server
 go test -run '^$' -fuzz 'FuzzParse$' -fuzztime "$fuzztime" ./internal/minic
 go test -run '^$' -fuzz 'FuzzLex$' -fuzztime "$fuzztime" ./internal/minic
 
-# bench_json PATTERN PKG OUT runs the benchmarks and renders each result
-# line as a JSON entry. Parsing is unit-aware ("value unit" pairs after the
-# iteration count), so custom b.ReportMetric columns such as the analysis
-# server's records/s survive alongside ns/op, B/op, and allocs/op.
-bench_json() {
-    pattern="$1"; pkg="$2"; out="$3"
-    bench_txt="$(mktemp)"
-    go test -run '^$' -bench "$pattern" -benchmem -benchtime 2s "$pkg" | tee "$bench_txt"
-    awk '
-    BEGIN { print "{"; first = 1 }
-    /^Benchmark/ {
-        name = $1; sub(/-[0-9]+$/, "", name)
-        if (!first) printf ",\n"
-        first = 0
-        printf "  \"%s\": {", name
-        sep = ""
-        for (i = 3; i < NF; i += 2) {
-            unit = $(i + 1)
-            gsub(/[\/]/, "_per_", unit)
-            gsub(/[^A-Za-z0-9_]/, "_", unit)
-            if (unit == "B_per_op") unit = "bytes_per_op"
-            printf "%s\"%s\": %s", sep, unit, $i
-            sep = ", "
-        }
-        printf "}"
-    }
-    END { print "\n}" }
-    ' "$bench_txt" > "$out"
-    rm -f "$bench_txt"
-    echo "== wrote $out"
-    cat "$out"
-}
+# bench_json PATTERN PKG OUT (shared with scripts/bench_load.sh) runs the
+# benchmarks and renders each result line as a JSON entry.
+. scripts/bench_json.sh
 
 echo "== obs hot-path benchmarks"
 bench_json 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkSpanStartEnd$' \
@@ -109,15 +85,19 @@ bench_json 'BenchmarkIngestParallel$|BenchmarkIngestSingleLock$' \
 echo "== lineage-overhead benchmarks (ingest with record tracing off vs on)"
 bench_json 'BenchmarkIngestLineage$' ./internal/server "$lineage_out"
 
-echo "== lineage ingest-overhead gate (on vs off at 4096 ranks, max ${lineage_max_pct}%)"
+echo "== lineage ingest-overhead gate (on vs off at 4096 ranks, best of 3, max ${lineage_max_pct}%)"
+# One 2s sample per side swings +-20% on a shared host, dwarfing the 5%
+# budget, so the gate re-runs the gated pair with -count 3 and compares
+# the per-side minima (the standard noise-robust benchmark estimator).
+# BENCH_lineage.json keeps the single-run numbers for PR-over-PR diffing.
+go test -run '^$' -bench 'BenchmarkIngestLineage/.*/ranks=4096' \
+    -benchtime 2s -count 3 ./internal/server |
 awk -v max="$lineage_max_pct" '
-/"BenchmarkIngestLineage\/lineage=off\/ranks=4096"/ {
-    if (match($0, /"ns_per_op": [0-9.e+]+/))
-        off = substr($0, RSTART + 13, RLENGTH - 13) + 0
+/^BenchmarkIngestLineage\/lineage=off\/ranks=4096/ {
+    if (off == 0 || $3 + 0 < off) off = $3 + 0
 }
-/"BenchmarkIngestLineage\/lineage=on\/ranks=4096"/ {
-    if (match($0, /"ns_per_op": [0-9.e+]+/))
-        on = substr($0, RSTART + 13, RLENGTH - 13) + 0
+/^BenchmarkIngestLineage\/lineage=on\/ranks=4096/ {
+    if (on == 0 || $3 + 0 < on) on = $3 + 0
 }
 END {
     if (off <= 0 || on <= 0) {
@@ -129,4 +109,28 @@ END {
         printf "FAIL: lineage overhead %.2f%% exceeds %s%% budget\n", pct, max
         exit 1
     }
-}' "$lineage_out"
+}'
+
+sh scripts/bench_load.sh "$load_out"
+
+echo "== group-commit speedup gate (group vs per-op records/s at 4096 ranks, min ${load_min_speedup}x)"
+awk -v min="$load_min_speedup" '
+/"BenchmarkLoadDurable\/variant=per-op\/ranks=4096"/ {
+    if (match($0, /"records_per_s": [0-9.e+]+/))
+        perop = substr($0, RSTART + 17, RLENGTH - 17) + 0
+}
+/"BenchmarkLoadDurable\/variant=group\/ranks=4096"/ {
+    if (match($0, /"records_per_s": [0-9.e+]+/))
+        group = substr($0, RSTART + 17, RLENGTH - 17) + 0
+}
+END {
+    if (perop <= 0 || group <= 0) {
+        print "load gate: missing ranks=4096 results"; exit 1
+    }
+    speedup = group / perop
+    printf "durable ingest at 4096 ranks: per-op %.0f records/s, group %.0f records/s (%.2fx)\n", perop, group, speedup
+    if (speedup < min) {
+        printf "FAIL: group-commit speedup %.2fx below %sx floor\n", speedup, min
+        exit 1
+    }
+}' "$load_out"
