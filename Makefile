@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server bench-lineage bench-load check clean
+.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server bench-lineage bench-load bench-read check clean
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,16 @@ cover:
 	sh scripts/cover.sh
 
 # Coverage-guided fuzz smoke over every fuzz target (wire codec, server
-# ingest, WAL replay, mini-C parser and lexer), FUZZTIME each. `go test
-# -fuzz` takes one target per invocation, so they run sequentially.
+# ingest, WAL replay, mini-C parser and lexer, HTTP conditional-read
+# protocol), FUZZTIME each. `go test -fuzz` takes one target per
+# invocation, so they run sequentially.
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzBatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckBatch$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run '^$$' -fuzz 'FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/minic
+	$(GO) test -run '^$$' -fuzz 'FuzzETagCursor$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 # The transport chaos test (drops+dups+reorder+corruption+crash-restart,
 # concurrent ranks) under the race detector.
@@ -84,13 +86,22 @@ bench-lineage:
 bench-load:
 	sh scripts/bench_load.sh
 
+# Read-path storm benchmarks: streaming ingest at 64/512/4096 ranks while
+# 0/100/10k dashboard pollers hit /outliers, with and without ETag
+# revalidation; scripts/check.sh writes the same suite to BENCH_read.json
+# and gates the 10k-poller ingest tax at READ_MAX_TAX (default 10) percent.
+bench-read:
+	$(GO) test -run '^$$' -bench 'BenchmarkReadStorm$$' \
+	    -benchmem -benchtime 2s ./internal/server
+
 # The full gate: build + vet + race tests + race chaos + race conformance +
 # coverage gate + fuzz smoke + bench suites (writes BENCH_obs.json,
 # BENCH_vm.json, BENCH_transport.json, BENCH_server.json,
-# BENCH_lineage.json, BENCH_load.json) with the lineage ingest-overhead
-# gate and the group-commit speedup gate.
+# BENCH_lineage.json, BENCH_load.json, BENCH_read.json) with the lineage
+# ingest-overhead gate, the group-commit speedup gate, and the poller-storm
+# read-tax gate.
 check:
 	scripts/check.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json BENCH_lineage.json BENCH_load.json cover.out vsensor.test
+	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json BENCH_lineage.json BENCH_load.json BENCH_read.json cover.out vsensor.test

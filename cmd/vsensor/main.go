@@ -63,7 +63,8 @@ var (
 	pngOut    = flag.String("png", "", "write per-type matrix heatmaps as PNG files with this prefix")
 	saveOut   = flag.String("save", "", "save the run's performance data for later 'vsensor report'")
 	quiet     = flag.Bool("q", false, "suppress program print() output")
-	httpAddr  = flag.String("http", "", "serve the live introspection endpoint on this address (/metrics, /status, /records)")
+	httpAddr  = flag.String("http", "", "serve the live introspection endpoint on this address (/metrics, /status, /records, /outliers)")
+	httpHold  = flag.Duration("http-hold", 0, "keep the -http endpoint serving this long after the run finishes (for external pollers)")
 	traceJSON = flag.String("trace-json", "", "write pipeline spans as Chrome trace_event JSON to this file")
 
 	serverShards = flag.Int("server-shards", 0, "analysis-server ingest shards, rounded up to a power of two (0 = default 16)")
@@ -119,6 +120,12 @@ func applyTransport(opts *vsensor.Options) {
 	}
 	if *lease < 0 {
 		fatal(fmt.Errorf("bad -lease %s: lease cannot be negative", *lease))
+	}
+	if *httpHold < 0 {
+		fatal(fmt.Errorf("bad -http-hold %s: hold cannot be negative", *httpHold))
+	}
+	if *httpHold > 0 && *httpAddr == "" {
+		fatal(fmt.Errorf("-http-hold needs -http (there is no endpoint to hold open)"))
 	}
 	transportTuned := *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0 || *lease != 0
 	if *faults != "" {
@@ -185,36 +192,46 @@ func printLineage(rep *vsensor.Report) {
 }
 
 // printCoverage reports delivery coverage after a transport-routed run,
-// plus durability and liveness summaries when those layers were on.
+// plus durability, liveness, and report-cache summaries when those layers
+// were on. Everything reads through the server's versioned snapshot — the
+// same render /status and /outliers serve.
 func printCoverage(rep *vsensor.Report) {
-	if rep.Link == nil {
+	snap := rep.Snapshot()
+	if rep.Link == nil && snap == nil {
 		return
 	}
-	cov := rep.Coverage()
-	fmt.Printf("transport: plan [%s], coverage %.1f%% (%d/%d records, %d dup frames, %d checksum rejects)\n",
-		rep.Link.Plan(), cov.Fraction()*100, cov.IngestedRecords, cov.ExpectedRecords,
-		cov.DupFrames, cov.ChecksumErrors)
-	if ds := rep.Durability(); ds.Enabled {
-		fmt.Printf("durability: gen %d, lsn %d, %d WAL entries (%d bytes, %d syncs), %d snapshots, %d recoveries\n",
-			ds.Generation, ds.LSN, ds.WALEntries, ds.WALBytes, ds.Syncs, ds.Snapshots, ds.Recoveries)
-		if ds.FlushEvery > 1 {
-			fmt.Printf("group commit: %d outcomes/group, %d group commits, %d outcomes coalesced (coalesce=%v)\n",
-				ds.FlushEvery, ds.GroupCommits, ds.CoalescedEntries, ds.Coalesce)
+	if rep.Link != nil && snap != nil {
+		cov := snap.Coverage
+		fmt.Printf("transport: plan [%s], coverage %.1f%% (%d/%d records, %d dup frames, %d checksum rejects)\n",
+			rep.Link.Plan(), cov.Fraction()*100, cov.IngestedRecords, cov.ExpectedRecords,
+			cov.DupFrames, cov.ChecksumErrors)
+		if ds := snap.Durability; ds.Enabled {
+			fmt.Printf("durability: gen %d, lsn %d, %d WAL entries (%d bytes, %d syncs), %d snapshots, %d recoveries\n",
+				ds.Generation, ds.LSN, ds.WALEntries, ds.WALBytes, ds.Syncs, ds.Snapshots, ds.Recoveries)
+			if ds.FlushEvery > 1 {
+				fmt.Printf("group commit: %d outcomes/group, %d group commits, %d outcomes coalesced (coalesce=%v)\n",
+					ds.FlushEvery, ds.GroupCommits, ds.CoalescedEntries, ds.Coalesce)
+			}
+			if ds.Recoveries > 0 {
+				lr := ds.LastRecovery
+				fmt.Printf("last recovery: snapshot gen %d + %d WAL entries replayed (%d frames, %d records, %d bytes truncated)\n",
+					lr.SnapshotGen, lr.WALEntriesReplayed, lr.FramesReplayed, lr.RecordsRecovered, lr.TruncatedBytes)
+			}
 		}
-		if ds.Recoveries > 0 {
-			lr := ds.LastRecovery
-			fmt.Printf("last recovery: snapshot gen %d + %d WAL entries replayed (%d frames, %d records, %d bytes truncated)\n",
-				lr.SnapshotGen, lr.WALEntriesReplayed, lr.FramesReplayed, lr.RecordsRecovered, lr.TruncatedBytes)
+		if rep.Server.Heartbeats() > 0 {
+			ls := snap.Liveness
+			fmt.Printf("liveness: %d alive, %d suspect, %d dead\n", ls.Alive, ls.Suspect, ls.Dead)
+			out := snap.Report
+			if out.Degraded {
+				fmt.Printf("DEGRADED verdict: dead ranks %v excluded from watermark, confidence %.1f%% (coverage %.1f%% x liveness %.1f%%)\n",
+					out.DeadRanks, out.Confidence*100, out.Coverage.Fraction()*100, out.LivenessConfidence*100)
+			}
 		}
 	}
-	if rep.Server != nil && rep.Server.Heartbeats() > 0 {
-		ls := rep.Server.LivenessSummary()
-		fmt.Printf("liveness: %d alive, %d suspect, %d dead\n", ls.Alive, ls.Suspect, ls.Dead)
-		out := rep.Server.InterProcessReport(0.9)
-		if out.Degraded {
-			fmt.Printf("DEGRADED verdict: dead ranks %v excluded from watermark, confidence %.1f%% (coverage %.1f%% x liveness %.1f%%)\n",
-				out.DeadRanks, out.Confidence*100, out.Coverage.Fraction()*100, out.LivenessConfidence*100)
-		}
+	if rep.Server != nil {
+		st := rep.Server.SnapshotStats()
+		fmt.Printf("report cache: gen %d, %d reads, %d rebuilds (hit rate %.1f%%)\n",
+			st.Gen, st.Reads, st.Builds, st.HitRate()*100)
 	}
 }
 
@@ -234,7 +251,7 @@ func setupObs() (*obs.Obs, func()) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (/metrics /status /records)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (/metrics /status /records /outliers)\n", srv.Addr())
 	}
 	return o, func() {
 		if *traceJSON != "" {
@@ -257,6 +274,12 @@ func setupObs() (*obs.Obs, func()) {
 			fmt.Printf("wrote %s (%d spans%s)\n", *traceJSON, o.Tracer().Len(), extra)
 		}
 		if srv != nil {
+			if *httpHold > 0 {
+				// The run's summary lines are already out (finish is
+				// deferred after them); keep serving the final snapshot so
+				// external pollers can revalidate against the last ETag.
+				time.Sleep(*httpHold)
+			}
 			srv.Close()
 		}
 	}

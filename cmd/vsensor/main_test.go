@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // The CLI is tested by re-executing the test binary as the vsensor command:
@@ -170,6 +174,18 @@ func TestFlagParsing(t *testing.T) {
 			args:       []string{"run", "-faults", "deadrank=2", tiny},
 			wantCode:   1,
 			wantStderr: "deadafter",
+		},
+		{
+			name:       "http-hold without http",
+			args:       []string{"run", "-http-hold", "5s", tiny},
+			wantCode:   1,
+			wantStderr: "-http-hold needs -http",
+		},
+		{
+			name:       "negative http-hold",
+			args:       []string{"run", "-http", "127.0.0.1:0", "-http-hold", "-1s", tiny},
+			wantCode:   1,
+			wantStderr: "hold cannot be negative",
 		},
 	}
 	for _, tt := range tests {
@@ -421,5 +437,163 @@ func TestTraceCommandErrors(t *testing.T) {
 	if _, stderr, code := runCLI(t, "trace", bad); code != 1 ||
 		!strings.Contains(stderr, "not a Chrome trace_event file") {
 		t.Errorf("bad file: code %d stderr %q", code, stderr)
+	}
+}
+
+// TestHTTPConditionalEndToEnd runs the CLI with -http and -http-hold, polls
+// the live endpoint over a real socket, and pins the operator contract: the
+// first /status costs a body with a strong ETag, revalidating with that tag
+// costs a 304 with no body, /outliers speaks the same protocol, and the
+// run's coverage summary reports the report-cache hit rate.
+func TestHTTPConditionalEndToEnd(t *testing.T) {
+	cmd := exec.Command(os.Args[0],
+		"run", "-q", "-ranks", "8", "-batch", "4", "-slice", "50us",
+		"-http", "127.0.0.1:0", "-http-hold", "30s",
+		filepath.Join("testdata", "tiny.mc"))
+	cmd.Env = append(os.Environ(), "VSENSOR_TEST_MAIN=1")
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout strings.Builder
+	cmd.Stdout = &stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The CLI announces the bound address on stderr once the listener is up.
+	var base string
+	sc := bufio.NewScanner(stderrPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "introspection: ") {
+			base = strings.TrimSuffix(strings.Fields(line)[1], "/")
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("introspection line never appeared (scan err %v)", sc.Err())
+	}
+	// Drain the rest of stderr so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stderrPipe) //nolint:errcheck
+
+	get := func(path, inm string) (int, string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		// The endpoint holds for 30s after the run; retry briefly around
+		// subprocess scheduling.
+		var resp *http.Response
+		for i := 0; i < 50; i++ {
+			resp, err = http.DefaultClient.Do(req)
+			if err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("ETag")
+	}
+
+	// Wait for the run itself to finish so the snapshot is final: /status
+	// eventually reports progress and its generation stops moving.
+	var tag string
+	for i := 0; i < 100; i++ {
+		_, _, t1 := get("/status", "")
+		time.Sleep(20 * time.Millisecond)
+		_, _, t2 := get("/status", "")
+		if t1 != "" && t1 == t2 {
+			tag = t1
+			break
+		}
+	}
+	if tag == "" {
+		t.Fatal("/status generation never settled")
+	}
+
+	code, body, _ := get("/status", "")
+	if code != http.StatusOK {
+		t.Fatalf("/status = %d", code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if st["running"] != true {
+		t.Fatalf("/status body = %v", st)
+	}
+
+	// The second poll with If-None-Match is the satellite's core assertion:
+	// an unchanged generation costs a 304, not a body.
+	code, body, etag := get("/status", tag)
+	if code != http.StatusNotModified || body != "" {
+		t.Fatalf("revalidation = %d %q, want 304 with empty body", code, body)
+	}
+	if etag != tag {
+		t.Fatalf("304 ETag = %q, want %q", etag, tag)
+	}
+
+	// /outliers speaks the same protocol from the same generation.
+	code, body, otag := get("/outliers", "")
+	if code != http.StatusOK || otag != tag {
+		t.Fatalf("/outliers = %d ETag %q (status tag %q)", code, otag, tag)
+	}
+	if !strings.Contains(body, `"outliers"`) {
+		t.Fatalf("/outliers body missing report:\n%s", body)
+	}
+	if code, body, _ := get("/outliers", tag); code != http.StatusNotModified || body != "" {
+		t.Fatalf("/outliers revalidation = %d %q", code, body)
+	}
+
+	// /records serves the full window with base and a resumable cursor.
+	code, body, _ = get("/records", "")
+	if code != http.StatusOK {
+		t.Fatalf("/records = %d", code)
+	}
+	var rb struct {
+		Cursor  int              `json:"cursor"`
+		Base    int              `json:"base"`
+		Records []map[string]any `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &rb); err != nil {
+		t.Fatalf("/records not JSON: %v", err)
+	}
+	if len(rb.Records) == 0 || rb.Cursor != rb.Base+len(rb.Records) {
+		t.Fatalf("/records window = cursor %d base %d len %d", rb.Cursor, rb.Base, len(rb.Records))
+	}
+
+	// The summary (already flushed to stdout before the hold) reports the
+	// cache's effectiveness.
+	cmd.Process.Kill()
+	cmd.Wait()
+	out := stdout.String()
+	var cacheLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "report cache: gen ") {
+			cacheLine = line
+			break
+		}
+	}
+	if cacheLine == "" {
+		t.Fatalf("stdout missing 'report cache' summary:\n%s", out)
+	}
+	if !strings.Contains(cacheLine, "hit rate") || !strings.Contains(cacheLine, "rebuilds") {
+		t.Fatalf("cache summary incomplete: %q", cacheLine)
 	}
 }

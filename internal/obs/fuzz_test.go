@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzReport builds a two-generation synthetic report provider over a fixed
+// five-record log: cur() serves gen 7, wait() immediately "advances" to gen
+// 8 (so ?wait=1 never parks the fuzzer). The record window mirrors the
+// server snapshot's contract: base 0, cursors in [0, total] serve the exact
+// suffix, anything else is rejected.
+func fuzzReport() (cur func() *ReportSnapshot, wait func(uint64, time.Duration) *ReportSnapshot, log []int) {
+	log = []int{10, 20, 30, 40, 50}
+	mk := func(gen uint64) *ReportSnapshot {
+		return &ReportSnapshot{
+			Gen:      gen,
+			Status:   map[string]any{"gen": gen},
+			Outliers: map[string]any{"gen": gen, "outliers": []any{}},
+			Records: func(cursor int) (any, int, int, bool) {
+				if cursor < 0 || cursor > len(log) {
+					return []int{}, 0, 0, false
+				}
+				return log[cursor:], len(log), 0, true
+			},
+		}
+	}
+	sn1, sn2 := mk(7), mk(8)
+	cur = func() *ReportSnapshot { return sn1 }
+	wait = func(afterGen uint64, _ time.Duration) *ReportSnapshot {
+		if afterGen < sn2.Gen {
+			return sn2
+		}
+		return nil
+	}
+	return cur, wait, log
+}
+
+// oracleMatch is an independent re-statement of the If-None-Match rules the
+// handler must follow (RFC 9110 weak comparison over a comma-separated
+// list), kept deliberately separate from etagMatch so a regression in one
+// is caught by the other.
+func oracleMatch(header string, gen uint64) bool {
+	want := `"` + strconv.FormatUint(gen, 10) + `"`
+	for _, part := range strings.Split(header, ",") {
+		tag := strings.TrimSpace(part)
+		if tag == "*" || tag == want || tag == "W/"+want {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzETagCursor throws hostile If-None-Match headers, cursor strings, and
+// wait/timeout parameters at the conditional read path and checks the
+// protocol invariants: the status code split is exactly 200/304/400 per the
+// oracles, the ETag always names the generation served, a 304 carries no
+// body, and a records window never skips or duplicates an element.
+func FuzzETagCursor(f *testing.F) {
+	f.Add(`"7"`, "0", "1", "5")
+	f.Add(`W/"7"`, "3", "1", "0")
+	f.Add("*", "5", "0", "-20")
+	f.Add(`"6", "7"`, "-1", "1", "999999999999")
+	f.Add("garbage, W/, \"\"", "6", "2", "abc")
+	f.Add("", "99999999999999999999", "", "")
+	f.Add(`"8"`, "not-a-number", "1", "60001")
+	f.Add("W/\"7\",*", "+3", "1", " 7 ")
+	f.Fuzz(func(t *testing.T, inm, cursorQ, waitQ, timeoutQ string) {
+		o := New()
+		cur, wait, log := fuzzReport()
+		o.SetReport(cur, wait)
+		h := o.Handler()
+
+		q := url.Values{}
+		if cursorQ != "" {
+			q.Set("cursor", cursorQ)
+		}
+		if waitQ != "" {
+			q.Set("wait", waitQ)
+		}
+		if timeoutQ != "" {
+			q.Set("timeout_ms", timeoutQ)
+		}
+		query := ""
+		if enc := q.Encode(); enc != "" {
+			query = "?" + enc
+		}
+
+		get := func(path string) *httptest.ResponseRecorder {
+			req := httptest.NewRequest("GET", path+query, nil)
+			if inm != "" {
+				req.Header.Set("If-None-Match", inm)
+			}
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			return rr
+		}
+
+		// /status and /outliers: conditional protocol. The generation served
+		// is 7, or 8 when a matching ?wait=1 request "parks" and the fake
+		// wait provider advances it.
+		wantWait := waitQ == "1"
+		for _, path := range []string{"/status", "/outliers"} {
+			rr := get(path)
+			gen := uint64(7)
+			if wantWait && oracleMatch(inm, 7) {
+				gen = 8
+			}
+			wantTag := `"` + strconv.FormatUint(gen, 10) + `"`
+			if tag := rr.Header().Get("ETag"); tag != wantTag {
+				t.Fatalf("%s%s inm=%q: ETag %q, want %q", path, query, inm, tag, wantTag)
+			}
+			if oracleMatch(inm, gen) {
+				if rr.Code != 304 {
+					t.Fatalf("%s%s inm=%q: code %d, want 304", path, query, inm, rr.Code)
+				}
+				if rr.Body.Len() != 0 {
+					t.Fatalf("%s%s inm=%q: 304 carried %d body bytes", path, query, inm, rr.Body.Len())
+				}
+				continue
+			}
+			if rr.Code != 200 {
+				t.Fatalf("%s%s inm=%q: code %d, want 200", path, query, inm, rr.Code)
+			}
+			var body map[string]any
+			if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+				t.Fatalf("%s%s: bad JSON: %v", path, query, err)
+			}
+			if g, _ := body["gen"].(float64); uint64(g) != gen {
+				t.Fatalf("%s%s: body gen %v, want %d", path, query, body["gen"], gen)
+			}
+		}
+
+		// /records: cursor parse/range split, then window exactness.
+		rr := get("/records")
+		n, perr := strconv.Atoi(cursorQ) // "" → Atoi error, but the handler treats absent as 0
+		if cursorQ == "" {
+			n, perr = 0, nil
+		}
+		switch {
+		case perr != nil || n < 0:
+			if rr.Code != 400 {
+				t.Fatalf("/records cursor=%q: code %d, want 400", cursorQ, rr.Code)
+			}
+			return
+		case n > len(log):
+			if rr.Code != 200 {
+				t.Fatalf("/records cursor=%q: code %d, want 200", cursorQ, rr.Code)
+			}
+			var body struct {
+				Cursor    int   `json:"cursor"`
+				Base      int   `json:"base"`
+				Truncated bool  `json:"truncated"`
+				Records   []int `json:"records"`
+			}
+			if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+				t.Fatalf("/records: bad JSON: %v", err)
+			}
+			if !body.Truncated || body.Cursor != 0 || body.Base != 0 || len(body.Records) != 0 {
+				t.Fatalf("/records cursor=%d > total=%d: got %+v, want explicit truncation to base 0", n, len(log), body)
+			}
+			return
+		}
+		if rr.Code != 200 {
+			t.Fatalf("/records cursor=%d: code %d, want 200", n, rr.Code)
+		}
+		var body struct {
+			Cursor  int   `json:"cursor"`
+			Base    int   `json:"base"`
+			Records []int `json:"records"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("/records: bad JSON: %v", err)
+		}
+		if body.Cursor != len(log) || body.Base != 0 {
+			t.Fatalf("/records cursor=%d: next=%d base=%d, want next=%d base=0", n, body.Cursor, body.Base, len(log))
+		}
+		if len(body.Records) != len(log)-n {
+			t.Fatalf("/records cursor=%d: window has %d records, want %d (skip or duplicate)", n, len(body.Records), len(log)-n)
+		}
+		for i, rec := range body.Records {
+			if rec != log[n+i] {
+				t.Fatalf("/records cursor=%d: records[%d]=%d, want %d", n, i, rec, log[n+i])
+			}
+		}
+	})
+}

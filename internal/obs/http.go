@@ -9,13 +9,27 @@ import (
 	"time"
 )
 
+// Long-poll bounds for ?wait=1: the default parking time and the cap an
+// explicit ?timeout_ms= may request.
+const (
+	defaultLongPoll = 30 * time.Second
+	maxLongPoll     = 60 * time.Second
+)
+
 // Handler returns the introspection mux:
 //
 //	GET /         — plain-text index of endpoints
 //	GET /metrics  — Prometheus text exposition of the registry
-//	GET /status   — JSON snapshot (uptime + whatever SetStatus provides)
+//	GET /status   — JSON snapshot (uptime + whatever SetStatus/SetReport
+//	                provides); with a report provider, strong ETag "<gen>",
+//	                If-None-Match → 304, and ?wait=1 long-polls the next
+//	                generation (?timeout_ms= bounds the park)
+//	GET /outliers — the current outlier report (report provider only), with
+//	                the same ETag/304/?wait=1 semantics as /status
 //	GET /records  — incremental slice records; ?cursor=N resumes, response
-//	                carries the next cursor so each record is seen once
+//	                carries the next cursor so each record is seen once and
+//	                the window base so a cursor invalidated by recovery is
+//	                detectable; ?wait=1 parks a caught-up cursor
 //	GET /debug/flight — flight-recorder dump: stable lineage spans after
 //	                ?cursor=N plus per-stage histogram exemplars
 func (o *Obs) Handler() http.Handler {
@@ -26,7 +40,7 @@ func (o *Obs) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "vsensor introspection\n\n/metrics  Prometheus text format\n/status   JSON run snapshot\n/records  incremental slice records (?cursor=N)\n/debug/flight  lineage flight recorder (?cursor=N)\n")
+		fmt.Fprint(w, "vsensor introspection\n\n/metrics  Prometheus text format\n/status   JSON run snapshot (ETag + If-None-Match, ?wait=1 long-poll)\n/outliers  inter-process outlier report (ETag + If-None-Match, ?wait=1)\n/records  incremental slice records (?cursor=N, ?wait=1)\n/debug/flight  lineage flight recorder (?cursor=N)\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -35,6 +49,12 @@ func (o *Obs) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if cur, wait := o.reportProviders(); cur != nil {
+			o.serveConditional(w, r, cur, wait, func(sn *ReportSnapshot) ([]byte, error) {
+				return sn.StatusBody(o.UptimeSeconds())
+			})
+			return
+		}
 		body := map[string]any{
 			"uptime_seconds": o.UptimeSeconds(),
 			"running":        false,
@@ -45,6 +65,14 @@ func (o *Obs) Handler() http.Handler {
 		}
 		writeJSON(w, body)
 	})
+	mux.HandleFunc("/outliers", func(w http.ResponseWriter, r *http.Request) {
+		cur, wait := o.reportProviders()
+		if cur == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		o.serveConditional(w, r, cur, wait, (*ReportSnapshot).OutliersBody)
+	})
 	mux.HandleFunc("/records", func(w http.ResponseWriter, r *http.Request) {
 		cursor := 0
 		if q := r.URL.Query().Get("cursor"); q != "" {
@@ -54,6 +82,10 @@ func (o *Obs) Handler() http.Handler {
 				return
 			}
 			cursor = n
+		}
+		if cur, wait := o.reportProviders(); cur != nil {
+			o.serveRecords(w, r, cur, wait, cursor)
+			return
 		}
 		recs, next, ok := o.recordsSince(cursor)
 		if !ok {
@@ -90,6 +122,94 @@ func (o *Obs) Handler() http.Handler {
 		})
 	})
 	return mux
+}
+
+// wantsWait reports whether the request asked for long-poll semantics.
+// Only the exact value "1" opts in; anything else is ignored.
+func wantsWait(r *http.Request) bool {
+	return r.URL.Query().Get("wait") == "1"
+}
+
+// waitTimeout returns how long a ?wait=1 request may park: ?timeout_ms=N
+// when parsable and positive (capped at maxLongPoll), else defaultLongPoll.
+func waitTimeout(r *http.Request) time.Duration {
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			d := time.Duration(n) * time.Millisecond
+			if d > maxLongPoll {
+				d = maxLongPoll
+			}
+			return d
+		}
+	}
+	return defaultLongPoll
+}
+
+// serveConditional implements the shared ETag/If-None-Match/long-poll
+// protocol for /status and /outliers: render is called at most once per
+// generation (the snapshot memoizes the bytes), revalidations cost a 304
+// with no body, and ?wait=1 with a current tag parks until the generation
+// advances so N pollers cost one wakeup per advance.
+func (o *Obs) serveConditional(w http.ResponseWriter, r *http.Request, cur func() *ReportSnapshot, wait func(uint64, time.Duration) *ReportSnapshot, render func(*ReportSnapshot) ([]byte, error)) {
+	sn := cur()
+	if sn == nil {
+		writeJSON(w, map[string]any{"running": false})
+		return
+	}
+	inm := r.Header.Get("If-None-Match")
+	if wait != nil && wantsWait(r) && etagMatch(inm, sn.Gen) {
+		if ns := wait(sn.Gen, waitTimeout(r)); ns != nil {
+			sn = ns
+		}
+	}
+	w.Header().Set("ETag", etagOf(sn.Gen))
+	if etagMatch(inm, sn.Gen) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := render(sn)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck // client may be gone
+}
+
+// serveRecords serves /records from the versioned snapshot's record window.
+// Responses always carry the window base; an out-of-range cursor (negative
+// is rejected outright, beyond the end happens when the log shrank across a
+// crash recovery) answers with truncated=true and the base to restart from,
+// never a silently clamped window. A caught-up cursor with ?wait=1 parks
+// for the next generation before answering.
+func (o *Obs) serveRecords(w http.ResponseWriter, r *http.Request, cur func() *ReportSnapshot, wait func(uint64, time.Duration) *ReportSnapshot, cursor int) {
+	if cursor < 0 {
+		http.Error(w, "bad cursor: must be non-negative", http.StatusBadRequest)
+		return
+	}
+	sn := cur()
+	if sn == nil {
+		writeJSON(w, map[string]any{"cursor": 0, "base": 0, "records": []any{}})
+		return
+	}
+	recs, next, base, ok := sn.Records(cursor)
+	if ok && next == cursor && wait != nil && wantsWait(r) {
+		if ns := wait(sn.Gen, waitTimeout(r)); ns != nil {
+			sn = ns
+			recs, next, base, ok = sn.Records(cursor)
+		}
+	}
+	w.Header().Set("ETag", etagOf(sn.Gen))
+	if !ok {
+		writeJSON(w, map[string]any{
+			"cursor":    base,
+			"base":      base,
+			"truncated": true,
+			"records":   []any{},
+		})
+		return
+	}
+	writeJSON(w, map[string]any{"cursor": next, "base": base, "records": recs})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -20,6 +20,12 @@ type Obs struct {
 	mu        sync.Mutex
 	statusFn  func() any
 	recordsFn func(cursor int) (any, int)
+
+	// Versioned-snapshot providers (report.go); when reportFn is set it
+	// takes precedence over statusFn/recordsFn and enables ETag/304 and
+	// long-poll semantics on the HTTP surface.
+	reportFn     func() *ReportSnapshot
+	reportWaitFn func(afterGen uint64, timeout time.Duration) *ReportSnapshot
 }
 
 // New creates an observability bundle with the standard family descriptions
@@ -204,6 +210,9 @@ func describeStandard(r *Registry) {
 	r.Describe("server_ranks_alive", "Ranks whose liveness lease is current (or who hold no lease).")
 	r.Describe("server_ranks_suspect", "Ranks silent past one lease but not yet declared dead.")
 	r.Describe("server_ranks_dead", "Ranks silent past the dead threshold, excluded from the watermark.")
+	r.Describe("server_report_gen", "Current generation of the versioned report snapshot (the /status ETag).")
+	r.Describe("server_report_builds_total", "Report snapshot rebuilds (cache misses after a state change).")
+	r.Describe("server_report_hits_total", "Report snapshot reads served from the cached render.")
 	r.Describe("transport_frames_total", "Fresh frames handed to the lossy link by rank conns.")
 	r.Describe("transport_acked_total", "Frame deliveries acknowledged by the link (incl. parked retries).")
 	r.Describe("transport_retries_total", "Failed delivery attempts that were retried with backoff.")

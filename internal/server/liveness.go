@@ -182,19 +182,7 @@ type LivenessSummary struct {
 
 // LivenessSummary counts ranks per state.
 func (s *Server) LivenessSummary() LivenessSummary {
-	v := s.livenessView()
-	out := LivenessSummary{FrontierNs: v.frontier}
-	for _, rl := range v.ranks {
-		switch rl.State {
-		case Alive:
-			out.Alive++
-		case Suspect:
-			out.Suspect++
-		case Dead:
-			out.Dead++
-		}
-	}
-	return out
+	return summarizeLiveness(s.livenessView())
 }
 
 // receiveHeartbeat folds one heartbeat frame into the sender's shard and

@@ -98,6 +98,7 @@ func (s *Server) Crash() error {
 	// were acked under the relaxed contract and clients will re-send them.
 	d.enc.reset()
 	d.mu.Unlock()
+	s.bumpReadVersion()
 	return nil
 }
 
@@ -250,6 +251,7 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		_ = d.disk.Remove(walSegmentName(g))
 	}
 	s.down.Store(false)
+	s.bumpReadVersion()
 	return rs, nil
 }
 

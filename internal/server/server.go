@@ -28,7 +28,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"sync/atomic"
 
@@ -100,6 +99,11 @@ type Server struct {
 	// SetObs; the unsampled/off ingest path pays only nil checks.
 	lin *obs.Lineage
 
+	// snap is the versioned report cache (snapshotcache.go): every ingest
+	// outcome bumps its mutation counter, and Snapshot rebuilds the shared
+	// report render at most once per state change.
+	snap snapshotCache
+
 	// Observability handles (nil-safe no-ops when obs is off).
 	obsMessages   *obs.Counter
 	obsBytes      *obs.Counter
@@ -114,6 +118,9 @@ type Server struct {
 	obsAlive      *obs.Gauge
 	obsSuspect    *obs.Gauge
 	obsDead       *obs.Gauge
+	obsSnapGen    *obs.Gauge
+	obsSnapBuilds *obs.Counter
+	obsSnapHits   *obs.Counter
 }
 
 // New creates an empty analysis server with DefaultShards ingest shards.
@@ -148,6 +155,7 @@ func NewSharded(n int) *Server {
 			live:    make(map[int]*rankLive),
 		}
 	}
+	s.snap.init()
 	return s
 }
 
@@ -176,6 +184,9 @@ func (s *Server) SetObs(o *obs.Obs) {
 	s.obsAlive = o.Gauge("server_ranks_alive")
 	s.obsSuspect = o.Gauge("server_ranks_suspect")
 	s.obsDead = o.Gauge("server_ranks_dead")
+	s.obsSnapGen = o.Gauge("server_report_gen")
+	s.obsSnapBuilds = o.Counter("server_report_builds_total")
+	s.obsSnapHits = o.Counter("server_report_hits_total")
 	o.Gauge("server_shards").Set(float64(len(s.shards)))
 	for i, sh := range s.shards {
 		label := strconv.Itoa(i)
@@ -242,6 +253,10 @@ func (s *Server) Receive(encoded []byte) error {
 // receiveLocked is Receive's body; with durability the caller holds the
 // stateMu read lock.
 func (s *Server) receiveLocked(encoded []byte) error {
+	// Every outcome — ingest, duplicate, rejection, heartbeat — invalidates
+	// the cached report: any of them can advance the watermark, reopen an
+	// epoch, move a liveness lease, or change a counter /status serves.
+	defer s.bumpReadVersion()
 	if IsHeartbeat(encoded) {
 		rank, nowNs, leaseNs, err := parseHeartbeat(encoded)
 		if err != nil {
@@ -685,20 +700,7 @@ type Outlier struct {
 func (s *Server) InterProcessOutliers(threshold float64) []Outlier {
 	watermark, haveWatermark := s.watermark()
 	out := s.an.outliers(threshold, watermark, haveWatermark)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].SliceNs != out[j].SliceNs {
-			return out[i].SliceNs < out[j].SliceNs
-		}
-		if out[i].Sensor != out[j].Sensor {
-			return out[i].Sensor < out[j].Sensor
-		}
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		// Perf breaks the remaining tie (two records from one rank in the
-		// same keyed group) so the order never depends on arrival order.
-		return out[i].Perf < out[j].Perf
-	})
+	sortOutliers(out)
 	return out
 }
 
@@ -794,21 +796,5 @@ type OutlierReport struct {
 func (s *Server) InterProcessReport(threshold float64) OutlierReport {
 	cov := s.Coverage()
 	v := s.livenessView()
-	rep := OutlierReport{
-		Outliers: s.InterProcessOutliers(threshold),
-		Coverage: cov,
-		Liveness: v.ranks,
-	}
-	for _, rl := range v.ranks {
-		if rl.State == Dead {
-			rep.DeadRanks = append(rep.DeadRanks, rl.Rank)
-		}
-	}
-	rep.Degraded = len(rep.DeadRanks) > 0
-	rep.LivenessConfidence = 1
-	if n := len(v.ranks); n > 0 {
-		rep.LivenessConfidence = float64(n-len(rep.DeadRanks)) / float64(n)
-	}
-	rep.Confidence = cov.Fraction() * rep.LivenessConfidence
-	return rep
+	return assembleReport(s.InterProcessOutliers(threshold), cov, v.ranks)
 }

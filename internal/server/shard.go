@@ -1,7 +1,6 @@
 package server
 
 import (
-	"sort"
 	"sync"
 
 	"vsensor/internal/detect"
@@ -76,17 +75,30 @@ type segSnap struct {
 // merged log strictly append-only across successive snapshots, which is
 // what RecordsSince's cursor semantics require.
 func (s *Server) orderedSegments() []segSnap {
-	var segs []segSnap
+	// Tickets are assigned only when a frame commits, so committed segments
+	// carry the dense sequence 1..N and bucket placement by ticket rebuilds
+	// the linearized log in one O(n) pass — no comparison sort, one sized
+	// allocation. The counter read is a safe upper bound: a segment that
+	// commits after it carries a higher ticket, lands past the contiguous
+	// prefix this call may expose, and is picked up by the next call —
+	// exactly the withholding the gap truncation below already performs for
+	// commits that race the shard walk.
+	bound := s.ticket.Load()
+	if bound == 0 {
+		return nil
+	}
+	segs := make([]segSnap, bound)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for _, sg := range sh.segments {
-			segs = append(segs, segSnap{sg.ticket, sh.records[sg.start:sg.end]})
+			if sg.ticket <= bound {
+				segs[sg.ticket-1] = segSnap{sg.ticket, sh.records[sg.start:sg.end]}
+			}
 		}
 		sh.mu.Unlock()
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].ticket < segs[j].ticket })
-	for i, sg := range segs {
-		if sg.ticket != uint64(i)+1 {
+	for i := range segs {
+		if segs[i].ticket == 0 {
 			return segs[:i]
 		}
 	}

@@ -6,18 +6,20 @@
 # a coverage-guided fuzz smoke over every fuzz target, then the
 # observability / VM / transport / analysis-server benchmarks.
 # Benchmark results are written to BENCH_obs.json, BENCH_vm.json,
-# BENCH_transport.json, BENCH_server.json, BENCH_lineage.json, and
-# BENCH_load.json so successive PRs can diff overhead, interpreter-speed,
-# record-path, ingest-throughput, lineage-overhead, and durable-ingest
-# numbers. Two suites also gate: ingest at 4096 ranks with lineage on
-# (1/256 sampling) must stay within LINEAGE_MAX_PCT (default 5) percent of
-# lineage off, and the group-commit WAL must ingest at least
-# LOAD_MIN_SPEEDUP (default 2) times the per-op encoder's records/s at
-# 4096 ranks.
+# BENCH_transport.json, BENCH_server.json, BENCH_lineage.json,
+# BENCH_load.json, and BENCH_read.json so successive PRs can diff overhead,
+# interpreter-speed, record-path, ingest-throughput, lineage-overhead,
+# durable-ingest, and read-path numbers. Three suites also gate: ingest at
+# 4096 ranks with lineage on (1/256 sampling) must stay within
+# LINEAGE_MAX_PCT (default 5) percent of lineage off, the group-commit WAL
+# must ingest at least LOAD_MIN_SPEEDUP (default 2) times the per-op
+# encoder's records/s at 4096 ranks, and ingest under a 10k-poller
+# ETag-revalidating dashboard storm must stay within READ_MAX_TAX (default
+# 10) percent of the poller-free number at 4096 ranks.
 #
 # FUZZTIME (default 10s) is the budget per fuzz target.
 #
-# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json] [server-output.json] [lineage-output.json] [load-output.json]
+# Usage: scripts/check.sh [obs-output.json] [vm-output.json] [transport-output.json] [server-output.json] [lineage-output.json] [load-output.json] [read-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,9 +29,11 @@ transport_out="${3:-BENCH_transport.json}"
 server_out="${4:-BENCH_server.json}"
 lineage_out="${5:-BENCH_lineage.json}"
 load_out="${6:-BENCH_load.json}"
+read_out="${7:-BENCH_read.json}"
 fuzztime="${FUZZTIME:-10s}"
 lineage_max_pct="${LINEAGE_MAX_PCT:-5}"
 load_min_speedup="${LOAD_MIN_SPEEDUP:-2}"
+read_max_tax="${READ_MAX_TAX:-10}"
 
 echo "== go build ./..."
 go build ./...
@@ -46,6 +50,9 @@ go test -race -run 'TestChaosExactlyOnce$' -count 1 ./internal/transport
 echo "== race-enabled differential conformance (sharded engine vs batch recompute)"
 go test -race -run 'TestDifferentialConformance$|TestRecordsSnapshotUnderIngest$' -count 1 ./internal/server
 
+echo "== race-enabled read-snapshot conformance (cached renders vs fresh recompute, torn-read hunt)"
+go test -race -run 'TestReadSnapshotConformance$' -count 1 ./internal/server
+
 echo "== race-enabled kill-and-recover conformance (WAL+snapshot recovery vs never-crashed server)"
 go test -race -run 'TestKillRecoverConformance$' -count 1 ./internal/server
 
@@ -61,6 +68,7 @@ go test -run '^$' -fuzz 'FuzzCheckBatch$' -fuzztime "$fuzztime" ./internal/serve
 go test -run '^$' -fuzz 'FuzzWALReplay$' -fuzztime "$fuzztime" ./internal/server
 go test -run '^$' -fuzz 'FuzzParse$' -fuzztime "$fuzztime" ./internal/minic
 go test -run '^$' -fuzz 'FuzzLex$' -fuzztime "$fuzztime" ./internal/minic
+go test -run '^$' -fuzz 'FuzzETagCursor$' -fuzztime "$fuzztime" ./internal/obs
 
 # bench_json PATTERN PKG OUT (shared with scripts/bench_load.sh) runs the
 # benchmarks and renders each result line as a JSON entry.
@@ -134,3 +142,41 @@ END {
         exit 1
     }
 }' "$load_out"
+
+echo "== read-path storm benchmarks (dashboard pollers vs ingest, ETag on/off)"
+bench_json 'BenchmarkReadStorm$' ./internal/server "$read_out"
+
+echo "== poller-storm ingest gate (10k etag pollers vs poller-free at 4096 ranks, best of 3, max ${read_max_tax}% tax)"
+# go's -bench matcher splits the pattern on "/", so the two gated combos
+# cannot share one alternation. The rounds are interleaved A/B rather
+# than 3×A then 3×B: a multi-minute slow window on a shared host
+# (hypervisor steal, thermal) would land entirely on one side of a
+# back-to-back layout and fake a tax several times the budget, while
+# interleaving spreads it over both sides. The awk compares the
+# per-side minima, mirroring the lineage gate's estimator.
+{
+    for _ in 1 2 3; do
+        go test -run '^$' -bench 'BenchmarkReadStorm/ranks=4096/pollers=0/' \
+            -benchtime 2s ./internal/server
+        go test -run '^$' -bench 'BenchmarkReadStorm/ranks=4096/pollers=10000/etag=on' \
+            -benchtime 2s ./internal/server
+    done
+} |
+awk -v max="$read_max_tax" '
+/^BenchmarkReadStorm\/ranks=4096\/pollers=0\/etag=off/ {
+    if (free == 0 || $3 + 0 < free) free = $3 + 0
+}
+/^BenchmarkReadStorm\/ranks=4096\/pollers=10000\/etag=on/ {
+    if (storm == 0 || $3 + 0 < storm) storm = $3 + 0
+}
+END {
+    if (free <= 0 || storm <= 0) {
+        print "read gate: missing ranks=4096 results"; exit 1
+    }
+    pct = (storm - free) * 100 / free
+    printf "ingest at 4096 ranks: poller-free %.0f ns/op, 10k etag pollers %.0f ns/op (%+.2f%% tax)\n", free, storm, pct
+    if (pct > max) {
+        printf "FAIL: poller-storm ingest tax %.2f%% exceeds %s%% budget\n", pct, max
+        exit 1
+    }
+}'

@@ -1,0 +1,126 @@
+package vsensor_test
+
+// End-to-end tests of the versioned-snapshot read path through the
+// facade: Report.Snapshot must hand back the same immutable render the
+// HTTP endpoints serve, stamped with the generation that /status and
+// /outliers expose as their ETag, and the conditional-request protocol
+// must hold over a real pipeline run.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	vsensor "vsensor"
+	"vsensor/internal/obs"
+)
+
+func TestReportSnapshotFacade(t *testing.T) {
+	rep, o := runWithObs(t)
+
+	sn := rep.Snapshot()
+	if sn == nil {
+		t.Fatal("Snapshot() = nil on an instrumented run")
+	}
+	if sn.Gen == 0 {
+		t.Error("snapshot generation not stamped")
+	}
+	if sn.Progress.Records != len(rep.Server.Records()) {
+		t.Errorf("snapshot records = %d, want %d",
+			sn.Progress.Records, len(rep.Server.Records()))
+	}
+	// The run is quiescent, so a second read must serve the same render.
+	if again := rep.Snapshot(); again.Gen != sn.Gen {
+		t.Errorf("quiescent generations differ: %d then %d", sn.Gen, again.Gen)
+	}
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	get := func(path, inm string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// /status serves the facade snapshot's generation as its ETag.
+	wantTag := `"` + strconv.FormatUint(sn.Gen, 10) + `"`
+	resp := get("/status", "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/status -> %d", resp.StatusCode)
+	}
+	if tag := resp.Header.Get("ETag"); tag != wantTag {
+		t.Errorf("/status ETag = %s, want %s (Report.Snapshot gen)", tag, wantTag)
+	}
+
+	// Revalidation with the current tag — strong, weak, and list forms —
+	// must all answer 304 with no body.
+	for _, inm := range []string{wantTag, "W/" + wantTag, `"stale", ` + wantTag, "*"} {
+		resp := get("/outliers", inm)
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %s -> %d, want 304", inm, resp.StatusCode)
+		}
+		if len(b) != 0 {
+			t.Errorf("304 carried a %d-byte body", len(b))
+		}
+	}
+
+	// A long-poll at the current generation on a quiescent server must
+	// time out back to 304 rather than hanging or re-serving.
+	resp = get("/status?wait=1&timeout_ms=40", wantTag)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("timed-out long-poll -> %d, want 304", resp.StatusCode)
+	}
+
+	// Hostile cursors: negative is a client error, past-the-end is an
+	// explicit truncation, never silently clamped data.
+	resp = get("/records?cursor=-1", "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative cursor -> %d, want 400", resp.StatusCode)
+	}
+	total := len(rep.Server.Records())
+	resp = get("/records?cursor="+strconv.Itoa(total+100), "")
+	var rr struct {
+		Cursor    int  `json:"cursor"`
+		Base      int  `json:"base"`
+		Truncated bool `json:"truncated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rr.Truncated || rr.Cursor != rr.Base {
+		t.Errorf("past-the-end cursor: %+v, want truncated back to base", rr)
+	}
+}
+
+func TestReportSnapshotUninstrumented(t *testing.T) {
+	rep, err := vsensor.Run(obsTestSrc, vsensor.Options{Ranks: 2, Uninstrumented: true, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Snapshot() != nil {
+		t.Error("Snapshot() must be nil when the run had no analysis server")
+	}
+}

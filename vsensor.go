@@ -377,36 +377,45 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		uninstrumented := opt.Uninstrumented
 		batch := opt.BatchSize
 		probeCost := opt.ProbeCostNs
-		o.SetStatus(func() any {
-			st := map[string]any{
-				"ranks":          ranks,
-				"uninstrumented": uninstrumented,
-				"batch_size":     batch,
-				"probe_cost_ns":  probeCost,
-				"sensors":        sensorCount,
-			}
-			if srv != nil {
-				st["progress"] = srv.Progress()
-				st["per_rank"] = srv.PerRankProgress()
-				st["coverage"] = srv.Coverage()
-				st["server_shards"] = srv.Shards()
-				st["per_shard"] = srv.PerShardCoverage()
-				st["epochs"] = srv.EpochStats()
-				st["liveness"] = srv.LivenessSummary()
-				if ds := srv.DurabilityStats(); ds.Enabled {
-					st["durability"] = ds
-					st["down"] = srv.Down()
-				}
-			}
-			if lin := o.Lineage(); lin != nil {
-				st["lineage"] = lin.Stats()
-			}
-			return st
-		})
 		if srv != nil {
+			// With a server the whole read surface — /status, /records,
+			// /outliers, and the CLI's Report.Snapshot — serves from the
+			// server's versioned report cache: one render per state change,
+			// shared by every poller, revalidated by ETag.
+			wrap := newSnapshotWrapper(srv, func(st map[string]any) {
+				st["ranks"] = ranks
+				st["uninstrumented"] = uninstrumented
+				st["batch_size"] = batch
+				st["probe_cost_ns"] = probeCost
+				st["sensors"] = sensorCount
+				st["server_shards"] = srv.Shards()
+				if lin := o.Lineage(); lin != nil {
+					st["lineage"] = lin.Stats()
+				}
+			})
+			o.SetReport(
+				func() *obs.ReportSnapshot { return wrap(srv.Snapshot()) },
+				func(afterGen uint64, timeout time.Duration) *obs.ReportSnapshot {
+					return wrap(srv.WaitSnapshot(afterGen, timeout))
+				},
+			)
 			o.SetRecords(func(cursor int) (any, int) {
 				recs, next := srv.RecordsSince(cursor)
 				return recs, next
+			})
+		} else {
+			o.SetStatus(func() any {
+				st := map[string]any{
+					"ranks":          ranks,
+					"uninstrumented": uninstrumented,
+					"batch_size":     batch,
+					"probe_cost_ns":  probeCost,
+					"sensors":        sensorCount,
+				}
+				if lin := o.Lineage(); lin != nil {
+					st["lineage"] = lin.Stats()
+				}
+				return st
 			})
 		}
 	}
@@ -513,6 +522,79 @@ func (r *Report) Coverage() server.Coverage {
 		return server.Coverage{}
 	}
 	return r.Server.Coverage()
+}
+
+// Snapshot returns the server's current versioned report snapshot — the
+// same immutable render /status, /records, and /outliers serve, stamped
+// with its generation, watermark, and arrival ticket. Nil when the run had
+// no server (uninstrumented).
+func (r *Report) Snapshot() *server.ReportSnapshot {
+	if r.Server == nil {
+		return nil
+	}
+	return r.Server.Snapshot()
+}
+
+// newSnapshotWrapper adapts the server's versioned snapshot to the obs
+// HTTP layer's shape, memoizing one wrapper per generation so the JSON
+// renders (memoized inside obs.ReportSnapshot) are shared by every poller
+// at that generation. extra adds the facade's static status fields.
+func newSnapshotWrapper(srv *server.Server, extra func(map[string]any)) func(*server.ReportSnapshot) *obs.ReportSnapshot {
+	var mu sync.Mutex
+	var last *obs.ReportSnapshot
+	return func(sn *server.ReportSnapshot) *obs.ReportSnapshot {
+		if sn == nil {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if last != nil && last.Gen == sn.Gen {
+			return last
+		}
+		st := map[string]any{
+			"gen":          sn.Gen,
+			"ticket":       sn.Ticket,
+			"watermark_ns": sn.WatermarkNs,
+			"progress":     sn.Progress,
+			"per_rank":     sn.PerRank,
+			"coverage":     sn.Coverage,
+			"per_shard":    sn.PerShard,
+			"epochs":       sn.Epochs,
+			"liveness":     sn.Liveness,
+		}
+		if sn.Durability.Enabled {
+			st["durability"] = sn.Durability
+			st["down"] = sn.Down
+		}
+		extra(st)
+		outliers := sn.Report.Outliers
+		if outliers == nil {
+			outliers = []server.Outlier{}
+		}
+		deadRanks := sn.Report.DeadRanks
+		if deadRanks == nil {
+			deadRanks = []int{}
+		}
+		out := map[string]any{
+			"gen":          sn.Gen,
+			"threshold":    sn.Threshold,
+			"watermark_ns": sn.WatermarkNs,
+			"outliers":     outliers,
+			"degraded":     sn.Report.Degraded,
+			"dead_ranks":   deadRanks,
+			"confidence":   sn.Report.Confidence,
+		}
+		last = &obs.ReportSnapshot{
+			Gen:      sn.Gen,
+			Status:   st,
+			Outliers: out,
+			Records: func(cursor int) (any, int, int, bool) {
+				recs, next, base, ok := sn.RecordsWindow(cursor)
+				return recs, next, base, ok
+			},
+		}
+		return last
+	}
 }
 
 // Durability returns the analysis server's WAL/snapshot statistics; the
