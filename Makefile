@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet cover fuzz chaos chaos-recover bench-obs bench-vm bench-transport bench-server bench-lineage bench-load bench-read check clean
+.PHONY: build test race vet cover fuzz chaos chaos-recover chaos-net bench-obs bench-vm bench-transport bench-server bench-lineage bench-load bench-read bench-net check clean
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,8 @@ cover:
 
 # Coverage-guided fuzz smoke over every fuzz target (wire codec, server
 # ingest, WAL replay, mini-C parser and lexer, HTTP conditional-read
-# protocol), FUZZTIME each. `go test -fuzz` takes one target per
-# invocation, so they run sequentially.
+# protocol, network session handshake), FUZZTIME each. `go test -fuzz`
+# takes one target per invocation, so they run sequentially.
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzBatchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckBatch$$' -fuzztime $(FUZZTIME) ./internal/server
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run '^$$' -fuzz 'FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run '^$$' -fuzz 'FuzzETagCursor$$' -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -run '^$$' -fuzz 'FuzzSession$$' -fuzztime $(FUZZTIME) ./internal/netsrv
 
 # The transport chaos test (drops+dups+reorder+corruption+crash-restart,
 # concurrent ranks) under the race detector.
@@ -44,6 +45,14 @@ chaos:
 # never-crashed server while a poller races the crash.
 chaos-recover:
 	$(GO) test -race -run 'TestKillRecoverConformance$$' -count 1 ./internal/server
+
+# The socket suites under the race detector: the transport chaos and
+# kill-recover conformance properties re-run through vSS1 sessions over
+# real loopback TCP, plus the multi-tenant differential property (N runs
+# on one listener bit-identical to N isolated servers).
+chaos-net:
+	$(GO) test -race -run 'TestSocketChaosExactlyOnce$$|TestSocketKillRecoverConformance$$|TestMultiTenantDifferentialConformance$$' \
+	    -count 1 ./internal/netsrv
 
 # Observability hot-path benchmarks; writes BENCH_obs.json for regression
 # tracking across PRs.
@@ -94,14 +103,23 @@ bench-read:
 	$(GO) test -run '^$$' -bench 'BenchmarkReadStorm$$' \
 	    -benchmem -benchtime 2s ./internal/server
 
+# Network-ingest benchmarks: the identical streaming workload delivered
+# in-process vs over loopback-TCP vSS1 sessions at 64/512/4096 ranks and
+# 1/8/64 tenants; scripts/check.sh writes the same grid to BENCH_net.json
+# and gates the 8-tenant TCP number at 4096 ranks within NET_MAX_SLOWDOWN
+# (default 2) of the in-process single-tenant one.
+bench-net:
+	$(GO) test -run '^$$' -bench 'BenchmarkNetIngest$$' \
+	    -benchmem -benchtime 2s ./internal/netsrv
+
 # The full gate: build + vet + race tests + race chaos + race conformance +
 # coverage gate + fuzz smoke + bench suites (writes BENCH_obs.json,
 # BENCH_vm.json, BENCH_transport.json, BENCH_server.json,
-# BENCH_lineage.json, BENCH_load.json, BENCH_read.json) with the lineage
-# ingest-overhead gate, the group-commit speedup gate, and the poller-storm
-# read-tax gate.
+# BENCH_lineage.json, BENCH_load.json, BENCH_read.json, BENCH_net.json)
+# with the lineage ingest-overhead gate, the group-commit speedup gate,
+# the poller-storm read-tax gate, and the TCP-overhead gate.
 check:
 	scripts/check.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json BENCH_lineage.json BENCH_load.json BENCH_read.json cover.out vsensor.test
+	rm -f BENCH_obs.json BENCH_vm.json BENCH_transport.json BENCH_server.json BENCH_lineage.json BENCH_load.json BENCH_read.json BENCH_net.json cover.out vsensor.test

@@ -5,6 +5,7 @@
 //	vsensor analyze    [flags] prog.mc   — identify v-sensors, print a table
 //	vsensor instrument [flags] prog.mc   — emit instrumented source
 //	vsensor run        [flags] prog.mc   — run with on-line detection
+//	vsensor serve      [flags]           — host a multi-tenant analysis service over TCP
 //	vsensor trace      [flags] run.json  — print sampled record journeys from a trace
 package main
 
@@ -13,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	vsensor "vsensor"
@@ -23,6 +26,7 @@ import (
 	"vsensor/internal/cluster"
 	"vsensor/internal/instrument"
 	"vsensor/internal/ir"
+	"vsensor/internal/netsrv"
 	"vsensor/internal/obs"
 	"vsensor/internal/rundata"
 	"vsensor/internal/server"
@@ -38,6 +42,7 @@ func usage() {
 analyze     identify v-sensors and print the identification table
 instrument  emit instrumented mini-C source with vs_tick/vs_tock probes
 run         execute on the simulated cluster with on-line detection
+serve       host a standalone multi-tenant analysis service over TCP ('vsensor serve -h' for its flags)
 validate    check fixed-workload property (PMU ratios, message sizes)
 scenario    run a built-in evaluation scenario ('scenario list' to list)
 report      regenerate the variance report from saved run data
@@ -89,6 +94,9 @@ var (
 	flushEvery    = flag.Int("flush-every", 0, "delivery outcomes per WAL commit group, one write+sync each; needs -wal (0 = default 1: per-op)")
 	coalesce      = flag.Bool("coalesce", false, "collapse runs of heartbeat/duplicate/reject outcomes into count-delta WAL entries; needs -wal, implies group commit")
 	lease         = flag.Duration("lease", 0, "rank liveness lease; ranks heartbeat every lease/2, go suspect after 1 lease of silence, dead after 3")
+
+	connectAddr = flag.String("connect", "", "deliver records over TCP to an external 'vsensor serve' analysis service at this address (the run then has no in-process server)")
+	runIDFlag   = flag.String("run-id", "", "run identifier for the networked session (needs -connect; default 'local')")
 )
 
 // applyTransport maps the -faults / retry / server knobs onto the run
@@ -127,6 +135,14 @@ func applyTransport(opts *vsensor.Options) {
 	if *httpHold > 0 && *httpAddr == "" {
 		fatal(fmt.Errorf("-http-hold needs -http (there is no endpoint to hold open)"))
 	}
+	if *runIDFlag != "" && *connectAddr == "" {
+		fatal(fmt.Errorf("-run-id needs -connect (there is no networked session to name)"))
+	}
+	if *connectAddr != "" && *wal {
+		fatal(fmt.Errorf("-wal tunes the in-process server; a -connect run has none (configure durability on the serve side)"))
+	}
+	opts.Connect = *connectAddr
+	opts.RunID = *runIDFlag
 	transportTuned := *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0 || *lease != 0
 	if *faults != "" {
 		plan, err := transport.ParsePlan(*faults)
@@ -290,6 +306,10 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "serve" {
+		doServe(os.Args[2:])
+		return
+	}
 	flag.CommandLine.Parse(os.Args[2:])
 	if flag.NArg() != 1 {
 		usage()
@@ -331,6 +351,74 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// doServe hosts the standalone multi-tenant analysis service: one TCP
+// listener multiplexing many concurrent runs, each admitted by its vSS1
+// hello into its own sharded server. It serves until SIGINT/SIGTERM, then
+// refuses new work and drains cleanly. The bound address is announced on
+// stdout as "serving: <addr>" so scripts (and the e2e tests) can dial a
+// :0 listener.
+func doServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on")
+	minWorkers := fs.Int("min-workers", 0, "worker-pool floor (0 = default 1)")
+	maxWorkers := fs.Int("max-workers", 0, "worker-pool ceiling; connections beyond queue+pool are refused with vSE1 busy (0 = default 8)")
+	acceptQueue := fs.Int("accept-queue", 0, "bounded accept queue depth; a full queue sheds with an explicit refusal (0 = default 64)")
+	maxRuns := fs.Int("max-runs", 0, "concurrent run (tenant) cap (0 = unlimited)")
+	maxRunSessions := fs.Int("max-run-sessions", 0, "concurrent sessions per run (0 = unlimited)")
+	retryAfterMs := fs.Int("retry-after-ms", 0, "retry-after hint carried in vSE1 busy refusals, milliseconds (0 = default 50)")
+	shards := fs.Int("server-shards", 0, "ingest shards per tenant server, rounded up to a power of two (0 = default 16)")
+	httpAddr := fs.String("http", "", "serve the live introspection endpoint on this address (/metrics, /status)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fatal(fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args()))
+	}
+	for name, v := range map[string]int{
+		"-min-workers": *minWorkers, "-max-workers": *maxWorkers,
+		"-accept-queue": *acceptQueue, "-max-runs": *maxRuns,
+		"-max-run-sessions": *maxRunSessions, "-retry-after-ms": *retryAfterMs,
+		"-server-shards": *shards,
+	} {
+		if v < 0 {
+			fatal(fmt.Errorf("bad %s %d: cannot be negative", name, v))
+		}
+	}
+	svc, err := netsrv.Listen(*listen, netsrv.Config{
+		MinWorkers:     *minWorkers,
+		MaxWorkers:     *maxWorkers,
+		AcceptQueue:    *acceptQueue,
+		MaxRuns:        *maxRuns,
+		MaxRunSessions: *maxRunSessions,
+		RetryAfterMs:   uint32(*retryAfterMs),
+		Shards:         *shards,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *httpAddr != "" {
+		o := obs.New()
+		hs, err := obs.Serve(*httpAddr, o)
+		if err != nil {
+			fatal(err)
+		}
+		defer hs.Close()
+		svc.SetObs(o)
+		o.SetStatus(func() any {
+			return map[string]any{"net": svc.StatusMap(), "runs": svc.RunIDs()}
+		})
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (/metrics /status)\n", hs.Addr())
+	}
+	fmt.Printf("serving: %s\n", svc.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	st := svc.Stats()
+	if err := svc.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shutdown: %s after %d sessions over %d runs (%d shed)\n",
+		got, st.Sessions, st.Runs, st.Shed)
 }
 
 // doValidate runs the §6.2 validation: execute with simulated PMU jitter
@@ -602,8 +690,17 @@ func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
 		fatal(err)
 	}
 	fmt.Printf("execution time: %.3f ms over %d ranks\n", rep.TotalSeconds()*1e3, *ranks)
-	fmt.Printf("sensors: %s, server data: %d bytes in %d messages\n",
-		rep.Instrumented.TypeSummary(), rep.DataVolume(), rep.Server.Messages())
+	if rep.Server != nil {
+		fmt.Printf("sensors: %s, server data: %d bytes in %d messages\n",
+			rep.Instrumented.TypeSummary(), rep.DataVolume(), rep.Server.Messages())
+	} else {
+		rid := *runIDFlag
+		if rid == "" {
+			rid = "local"
+		}
+		fmt.Printf("sensors: %s, records delivered to %s (run %q, session lsn %d)\n",
+			rep.Instrumented.TypeSummary(), *connectAddr, rid, rep.Session.Ack().LSN)
+	}
 	printCoverage(rep)
 	printLineage(rep)
 	events := rep.Events()

@@ -176,6 +176,42 @@ func TestFlagParsing(t *testing.T) {
 			wantStderr: "deadafter",
 		},
 		{
+			name:       "run-id without connect",
+			args:       []string{"run", "-run-id", "lonely", tiny},
+			wantCode:   1,
+			wantStderr: "-run-id needs -connect",
+		},
+		{
+			name:       "wal with connect",
+			args:       []string{"run", "-connect", "127.0.0.1:1", "-wal", tiny},
+			wantCode:   1,
+			wantStderr: "a -connect run has none",
+		},
+		{
+			name:       "connect to unreachable service",
+			args:       []string{"run", "-connect", "127.0.0.1:1", tiny},
+			wantCode:   1,
+			wantStderr: "refused",
+		},
+		{
+			name:       "serve with positional argument",
+			args:       []string{"serve", "stray.mc"},
+			wantCode:   1,
+			wantStderr: "no positional arguments",
+		},
+		{
+			name:       "serve with negative workers",
+			args:       []string{"serve", "-max-workers", "-3"},
+			wantCode:   1,
+			wantStderr: "cannot be negative",
+		},
+		{
+			name:       "serve on unparseable address",
+			args:       []string{"serve", "-listen", "not-an-address"},
+			wantCode:   1,
+			wantStderr: "not-an-address",
+		},
+		{
 			name:       "http-hold without http",
 			args:       []string{"run", "-http-hold", "5s", tiny},
 			wantCode:   1,
@@ -304,6 +340,76 @@ func TestRunGroupCommitEndToEnd(t *testing.T) {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("stdout missing %q:\n%s", want, stdout)
 		}
+	}
+}
+
+// TestServeConnectEndToEnd is the service satellite's operator contract
+// over a real TCP round trip: `vsensor serve` announces its bound address,
+// a `vsensor run -connect` delivers its records there and reports the
+// remote delivery instead of a local server summary, and an interrupt
+// shuts the service down cleanly with a session-count summary.
+func TestServeConnectEndToEnd(t *testing.T) {
+	srv := exec.Command(os.Args[0], "serve", "-listen", "127.0.0.1:0", "-max-workers", "4")
+	srv.Env = append(os.Environ(), "VSENSOR_TEST_MAIN=1")
+	stdoutPipe, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = io.Discard
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	// The service announces its bound address on stdout once listening.
+	sc := bufio.NewScanner(stdoutPipe)
+	var addr string
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "serving: ") {
+			addr = strings.TrimPrefix(sc.Text(), "serving: ")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("serving line never appeared (scan err %v)", sc.Err())
+	}
+
+	// Two runs share the one listener under distinct run IDs.
+	for _, rid := range []string{"job-a", "job-b"} {
+		stdout, stderr, code := runCLI(t,
+			"run", "-q", "-ranks", "4", "-connect", addr, "-run-id", rid,
+			filepath.Join("testdata", "tiny.mc"))
+		if code != 0 {
+			t.Fatalf("run -connect (%s) exit %d\nstdout: %s\nstderr: %s", rid, code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "records delivered to "+addr) ||
+			!strings.Contains(stdout, `run "`+rid+`"`) {
+			t.Errorf("run %s stdout missing remote-delivery summary:\n%s", rid, stdout)
+		}
+		if strings.Contains(stdout, "server data:") {
+			t.Errorf("run %s printed a local-server summary in connect mode:\n%s", rid, stdout)
+		}
+	}
+
+	// Clean shutdown on signal: exit 0 and a drain summary counting both runs.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	var shutdown string
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "shutdown: ") {
+			shutdown = sc.Text()
+			break
+		}
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("serve did not exit cleanly on interrupt: %v (shutdown line %q)", err, shutdown)
+	}
+	if !strings.Contains(shutdown, "2 sessions over 2 runs") {
+		t.Errorf("shutdown summary = %q, want 2 sessions over 2 runs", shutdown)
 	}
 }
 

@@ -1,0 +1,224 @@
+package netsrv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vsensor/internal/server"
+)
+
+// ErrFrameRejected is what a frameAckReject status surfaces as on the
+// client: the server parsed the envelope but refused the frame (bad CRC,
+// bad header, oversized envelope).
+var ErrFrameRejected = errors.New("netsrv: server rejected frame")
+
+// DialConfig tunes Dial and the session it produces.
+type DialConfig struct {
+	// Timeout bounds the TCP connect plus the hello/ack exchange.
+	// Default 5s.
+	Timeout time.Duration
+
+	// Window is the pipelining depth for SendAsync: how many frames may
+	// be in flight before the sender must consume an ack. Default 256.
+	Window int
+}
+
+func (c *DialConfig) fillDefaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+}
+
+// Session is one client-side connection to a Service, speaking the
+// envelope protocol for a single run. Its synchronous Receive implements
+// transport.Medium, so a fault-injecting transport.Link can proxy straight
+// onto the wire; SendAsync/Drain is the pipelined path for bulk senders
+// that cannot afford one round trip per frame.
+//
+// Session is safe for concurrent use: a transport.Link shared by many rank
+// goroutines funnels all of their delivery attempts into one Session, so
+// the frame/ack exchange serializes under an internal lock (matching the
+// in-process server, whose Receive is also internally synchronized).
+type Session struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	ack      SessionAck
+	window   int
+	inflight int
+	pendErr  error // first non-OK ack status seen by the async path
+	ackBuf   []byte
+}
+
+// Dial connects to a Service and performs the vSS1 handshake for h
+// (h.Version defaults to ProtocolVersion). A vSE1 refusal comes back as a
+// *Refuse error — errors.As(err, &Refuse{}) exposes the code and the
+// retry-after hint.
+func Dial(addr string, h Hello, cfg DialConfig) (*Session, error) {
+	cfg.fillDefaults()
+	if h.Version == 0 {
+		h.Version = ProtocolVersion
+	}
+	if len(h.RunID) == 0 || len(h.RunID) > MaxRunIDLen {
+		return nil, fmt.Errorf("netsrv: run ID length %d out of [1,%d]", len(h.RunID), MaxRunIDLen)
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		conn:   conn,
+		r:      bufio.NewReaderSize(conn, 64<<10),
+		w:      bufio.NewWriterSize(conn, 64<<10),
+		window: cfg.Window,
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	_ = conn.SetDeadline(deadline)
+	if err := writeEnvelope(s.w, AppendHello(nil, h)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := s.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	payload, _, err := readEnvelope(s.r, nil, refuseSize+sessionAckSize)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netsrv: handshake read: %w", err)
+	}
+	if len(payload) == refuseSize {
+		if ref, perr := ParseRefuse(payload); perr == nil {
+			conn.Close()
+			return nil, &ref
+		}
+	}
+	ack, err := ParseSessionAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	s.ack = ack
+	return s, nil
+}
+
+// Ack returns the server's session ack: the run's durable LSN and whether
+// the run already existed.
+func (s *Session) Ack() SessionAck { return s.ack }
+
+// Receive sends one encoded vS* frame and waits for its ack — the
+// transport.Medium contract, one round trip per frame. Ack statuses map
+// onto the same errors the in-process server returns, so everything built
+// on those errors (retry classification, ErrServerDown backpressure
+// packing) works identically over the wire.
+func (s *Session) Receive(encoded []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.drainLocked(); err != nil {
+		return err
+	}
+	if err := writeEnvelope(s.w, encoded); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.readAck()
+}
+
+// SendAsync queues one encoded frame without waiting for its ack, reading
+// an old ack only when the pipeline window is full. Ack failures surface
+// on a later SendAsync or on Drain.
+func (s *Session) SendAsync(encoded []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Consume whatever acks already sit in the local read buffer — the
+	// server batches them, and draining here keeps the window open so the
+	// writer flushes on its own buffer boundary instead of once per frame.
+	s.drainBuffered()
+	if s.inflight >= s.window {
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		if err := s.readAck(); err != nil && s.pendErr == nil {
+			s.pendErr = err
+		}
+		s.drainBuffered()
+	}
+	if err := writeEnvelope(s.w, encoded); err != nil {
+		return err
+	}
+	s.inflight++
+	return nil
+}
+
+// Drain flushes queued frames and consumes every outstanding ack,
+// returning the first failure the pipeline saw.
+func (s *Session) Drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainLocked()
+}
+
+func (s *Session) drainLocked() error {
+	if s.inflight > 0 {
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+	}
+	for s.inflight > 0 {
+		if err := s.readAck(); err != nil && s.pendErr == nil {
+			s.pendErr = err
+		}
+	}
+	err := s.pendErr
+	s.pendErr = nil
+	return err
+}
+
+// drainBuffered consumes acks that can be read without touching the
+// socket: a full ack envelope is 5 bytes (u32 length prefix + status).
+func (s *Session) drainBuffered() {
+	for s.inflight > 0 && s.r.Buffered() >= 5 {
+		if err := s.readAck(); err != nil && s.pendErr == nil {
+			s.pendErr = err
+		}
+	}
+}
+
+// readAck consumes one 1-byte ack envelope and maps it to an error.
+func (s *Session) readAck() error {
+	if s.inflight > 0 {
+		s.inflight--
+	}
+	payload, _, err := readEnvelope(s.r, s.ackBuf, 1)
+	if err != nil {
+		return fmt.Errorf("netsrv: ack read: %w", err)
+	}
+	s.ackBuf = payload[:0]
+	if len(payload) != 1 {
+		return fmt.Errorf("netsrv: ack envelope has %d bytes, want 1", len(payload))
+	}
+	switch payload[0] {
+	case frameAckOK:
+		return nil
+	case frameAckDown:
+		return server.ErrServerDown
+	case frameAckReject:
+		return ErrFrameRejected
+	default:
+		return fmt.Errorf("netsrv: unknown ack status %d", payload[0])
+	}
+}
+
+// Close tears down the connection.
+func (s *Session) Close() error { return s.conn.Close() }

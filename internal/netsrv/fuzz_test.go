@@ -1,0 +1,84 @@
+package netsrv
+
+import (
+	"bytes"
+	"testing"
+
+	"vsensor/internal/detect"
+	"vsensor/internal/server"
+)
+
+// FuzzSession hammers the session-layer parsers with arbitrary bytes:
+// hostile versions, run-ID lengths and charsets, resume LSNs, truncations,
+// and vS-magic confusion (vSF1/vSF2/vSH1 data frames fed to the handshake
+// parser). Two properties must hold for every input:
+//
+//  1. No parser panics or over-allocates — hostile lengths are bounded
+//     before use.
+//  2. Accept ⇒ byte-exact re-encode: any payload a parser accepts must
+//     re-serialize to exactly the input bytes. This pins the encodings as
+//     canonical — there is no second byte string for the same Hello, so
+//     CRC checks, dedup, and cross-version hashing stay meaningful.
+func FuzzSession(f *testing.F) {
+	// Valid frames of each session type.
+	f.Add(AppendHello(nil, Hello{Version: ProtocolVersion, RunID: "run-a", Rank: 3, ResumeLSN: 99}))
+	f.Add(AppendHello(nil, Hello{Version: ProtocolVersion, RunID: "x", Rank: 0}))
+	f.Add(AppendSessionAck(nil, SessionAck{Version: ProtocolVersion, Flags: AckFlagResumed, LSN: 12345}))
+	f.Add(AppendRefuse(nil, Refuse{Version: ProtocolVersion, Code: RefuseBusy, RetryAfterMs: 50}))
+	// Truncations and hostile mutations.
+	hello := AppendHello(nil, Hello{Version: ProtocolVersion, RunID: "truncated", Rank: 1})
+	f.Add(hello[:helloHeaderSize-1])
+	f.Add(hello[:len(hello)-3])
+	long := AppendHello(nil, Hello{Version: ProtocolVersion, RunID: string(bytes.Repeat([]byte{'z'}, MaxRunIDLen)), Rank: server.MaxFrameRank})
+	f.Add(long)
+	// Magic confusion: real vSF1 and vSH1 payloads must be rejected by the
+	// session parsers, not misread.
+	f.Add(server.AppendFrame(nil, server.FrameHeader{Rank: 2, Seq: 1, CumRecords: 1},
+		[]detect.SliceRecord{{Sensor: 1, Rank: 2, Count: 1, AvgNs: 10}}))
+	f.Add(server.AppendHeartbeat(nil, 4, 1e9, 5e9))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := ParseHello(data); err == nil {
+			if h.Version != ProtocolVersion {
+				t.Fatalf("accepted hello with version %d", h.Version)
+			}
+			if n := len(h.RunID); n == 0 || n > MaxRunIDLen {
+				t.Fatalf("accepted hello with run-ID length %d", n)
+			}
+			if h.Rank < 0 || h.Rank > server.MaxFrameRank {
+				t.Fatalf("accepted hello with rank %d", h.Rank)
+			}
+			if re := AppendHello(nil, h); !bytes.Equal(re, data) {
+				t.Fatalf("hello re-encode differs:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if a, err := ParseSessionAck(data); err == nil {
+			if re := AppendSessionAck(nil, a); !bytes.Equal(re, data) {
+				t.Fatalf("session-ack re-encode differs:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if r, err := ParseRefuse(data); err == nil {
+			if re := AppendRefuse(nil, r); !bytes.Equal(re, data) {
+				t.Fatalf("refuse re-encode differs:\n in: %x\nout: %x", data, re)
+			}
+		}
+		// A payload can satisfy at most one vS* parser: the magics are
+		// distinct, so cross-acceptance would mean a parser ignored them.
+		accepted := 0
+		if _, err := ParseHello(data); err == nil {
+			accepted++
+		}
+		if _, err := ParseSessionAck(data); err == nil {
+			accepted++
+		}
+		if _, err := ParseRefuse(data); err == nil {
+			accepted++
+		}
+		if _, err := server.ParseFrame(data); err == nil {
+			accepted++
+		}
+		if accepted > 1 {
+			t.Fatalf("%d parsers accepted the same %d-byte payload", accepted, len(data))
+		}
+	})
+}

@@ -1,0 +1,581 @@
+package netsrv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vsensor/internal/obs"
+	"vsensor/internal/server"
+)
+
+// MaxEnvelopeBytes caps a single envelope's declared payload length. The
+// largest legal data frame (MaxFrameRecords records plus the vSF2 header)
+// is ~40 MiB; 64 MiB leaves headroom without letting a hostile length
+// prefix allocate the machine away.
+const MaxEnvelopeBytes = 64 << 20
+
+// Config shapes a Service. The zero value is usable: defaults fill in a
+// single-shard tenant factory and a small worker pool.
+type Config struct {
+	// MinWorkers and MaxWorkers bound the session worker pool. The pool
+	// holds MinWorkers goroutines when idle and grows toward MaxWorkers
+	// while the accept queue has depth. Defaults: 1 and 8.
+	MinWorkers int
+	MaxWorkers int
+
+	// AcceptQueue bounds connections waiting for a worker. A connection
+	// arriving to a full queue is shed: it gets an explicit vSE1 busy
+	// reply with RetryAfterMs and is closed — never silently dropped.
+	// Default 64.
+	AcceptQueue int
+
+	// MaxRuns caps concurrent runs (tenants); 0 means unlimited.
+	MaxRuns int
+
+	// MaxRunSessions caps concurrent sessions per run; 0 means unlimited.
+	MaxRunSessions int
+
+	// RetryAfterMs is the backoff hint stamped into vSE1 refusals.
+	// Default 50.
+	RetryAfterMs uint32
+
+	// IdleWorker is how long a worker above MinWorkers waits for a
+	// connection before retiring. Default 200ms.
+	IdleWorker time.Duration
+
+	// HelloTimeout bounds how long an accepted connection may dawdle
+	// before completing its vSS1 hello. Default 5s.
+	HelloTimeout time.Duration
+
+	// Shards is the shard count the default tenant factory passes to
+	// server.NewSharded. Default 1.
+	Shards int
+
+	// NewServer, when set, builds the analysis server for a new run ID —
+	// the hook through which tests attach durability or obs to specific
+	// tenants, and through which the facade hands the service its own
+	// pre-built server. When nil, tenants get server.NewSharded(Shards).
+	NewServer func(runID string) *server.Server
+}
+
+func (c *Config) fillDefaults() {
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		if c.MaxWorkers <= 0 {
+			c.MaxWorkers = 8
+		}
+		if c.MaxWorkers < c.MinWorkers {
+			c.MaxWorkers = c.MinWorkers
+		}
+	}
+	if c.AcceptQueue <= 0 {
+		c.AcceptQueue = 64
+	}
+	if c.RetryAfterMs == 0 {
+		c.RetryAfterMs = 50
+	}
+	if c.IdleWorker <= 0 {
+		c.IdleWorker = 200 * time.Millisecond
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 5 * time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+}
+
+// Stats is a point-in-time snapshot of service counters; every refused
+// connection shows up in exactly one Refused* bucket, so
+// Accepted == handled + queued + sum(Refused*) at all times — the
+// "never a silent drop" ledger.
+type Stats struct {
+	Accepted        int64 // connections the listener accepted
+	Shed            int64 // refused with vSE1 busy (accept queue full)
+	RefusedSessions int64 // refused: per-run session cap
+	RefusedRuns     int64 // refused: run (tenant) cap
+	RefusedBadHello int64 // refused: malformed/unsupported hello
+	RefusedShutdown int64 // refused: service closing
+	Sessions        int64 // sessions ever admitted
+	SessionsOpen    int64 // sessions currently streaming
+	Runs            int64 // live tenants
+	Workers         int64 // current pool size
+	PeakWorkers     int64 // high-water pool size
+	FramesIn        int64 // data envelopes delivered to tenant servers
+	FramesRejected  int64 // data envelopes acked with frameAckReject
+	FramesDown      int64 // data envelopes acked with frameAckDown
+}
+
+type tenant struct {
+	srv      *server.Server
+	sessions int
+}
+
+// Service is the networked multi-tenant analysis server: one TCP listener
+// multiplexing many runs, each run owning its own sharded server (and
+// whatever durability/snapshot machinery the tenant factory attached).
+type Service struct {
+	cfg Config
+	ln  net.Listener
+
+	queue      chan net.Conn
+	acceptDone chan struct{}
+	closed     atomic.Bool
+	wg         sync.WaitGroup // workers
+
+	mu      sync.Mutex
+	runs    map[string]*tenant
+	conns   map[net.Conn]struct{}
+	workers int
+	peak    int64
+
+	accepted        atomic.Int64
+	shed            atomic.Int64
+	refusedSessions atomic.Int64
+	refusedRuns     atomic.Int64
+	refusedBadHello atomic.Int64
+	refusedShutdown atomic.Int64
+	sessions        atomic.Int64
+	sessionsOpen    atomic.Int64
+	framesIn        atomic.Int64
+	framesRejected  atomic.Int64
+	framesDown      atomic.Int64
+
+	// met is swapped atomically so SetObs may race the accept loop; the
+	// zero-value pointer target is all-nil handles, which are no-ops.
+	met atomic.Pointer[obsHandles]
+}
+
+// obsHandles bundles the metric handles mirrored into an obs registry.
+// Every field is nil-safe, so a zero obsHandles is a valid no-op set.
+type obsHandles struct {
+	accepted *obs.Counter
+	shed     *obs.Counter
+	refused  *obs.Counter
+	frames   *obs.Counter
+	sessions *obs.Gauge
+	runs     *obs.Gauge
+	workers  *obs.Gauge
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0"), starts the accept loop and the
+// minimum worker pool, and returns the running service.
+func Listen(addr string, cfg Config) (*Service, error) {
+	cfg.fillDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsrv: listen %s: %w", addr, err)
+	}
+	s := &Service{
+		cfg:        cfg,
+		ln:         ln,
+		queue:      make(chan net.Conn, cfg.AcceptQueue),
+		acceptDone: make(chan struct{}),
+		runs:       make(map[string]*tenant),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.MinWorkers; i++ {
+		s.spawnWorkerLocked()
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the listener's bound address (useful with ":0").
+func (s *Service) Addr() net.Addr { return s.ln.Addr() }
+
+// SetObs mirrors service counters into an observability registry so they
+// surface in /metrics and /status alongside the server's own.
+func (s *Service) SetObs(o *obs.Obs) {
+	s.met.Store(&obsHandles{
+		accepted: o.Counter("net_accepted_total"),
+		shed:     o.Counter("net_shed_total"),
+		refused:  o.Counter("net_refused_total"),
+		frames:   o.Counter("net_frames_total"),
+		sessions: o.Gauge("net_sessions_open"),
+		runs:     o.Gauge("net_runs"),
+		workers:  o.Gauge("net_workers"),
+	})
+}
+
+// metrics returns the current handle set, never nil.
+func (s *Service) metrics() *obsHandles {
+	if m := s.met.Load(); m != nil {
+		return m
+	}
+	return &obsHandles{}
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	workers := int64(s.workers)
+	peak := s.peak
+	runs := int64(len(s.runs))
+	s.mu.Unlock()
+	return Stats{
+		Accepted:        s.accepted.Load(),
+		Shed:            s.shed.Load(),
+		RefusedSessions: s.refusedSessions.Load(),
+		RefusedRuns:     s.refusedRuns.Load(),
+		RefusedBadHello: s.refusedBadHello.Load(),
+		RefusedShutdown: s.refusedShutdown.Load(),
+		Sessions:        s.sessions.Load(),
+		SessionsOpen:    s.sessionsOpen.Load(),
+		Runs:            runs,
+		Workers:         workers,
+		PeakWorkers:     peak,
+		FramesIn:        s.framesIn.Load(),
+		FramesRejected:  s.framesRejected.Load(),
+		FramesDown:      s.framesDown.Load(),
+	}
+}
+
+// StatusMap renders the stats for an obs /status provider.
+func (s *Service) StatusMap() map[string]any {
+	st := s.Stats()
+	return map[string]any{
+		"accepted":         st.Accepted,
+		"shed":             st.Shed,
+		"refused_sessions": st.RefusedSessions,
+		"refused_runs":     st.RefusedRuns,
+		"refused_badhello": st.RefusedBadHello,
+		"refused_shutdown": st.RefusedShutdown,
+		"sessions":         st.Sessions,
+		"sessions_open":    st.SessionsOpen,
+		"runs":             st.Runs,
+		"workers":          st.Workers,
+		"peak_workers":     st.PeakWorkers,
+		"frames_in":        st.FramesIn,
+		"frames_rejected":  st.FramesRejected,
+		"frames_down":      st.FramesDown,
+	}
+}
+
+// Tenant returns the analysis server owned by runID, or nil if that run
+// has never opened a session.
+func (s *Service) Tenant(runID string) *server.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.runs[runID]; t != nil {
+		return t.srv
+	}
+	return nil
+}
+
+// RunIDs lists live tenants, sorted.
+func (s *Service) RunIDs() []string {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.runs))
+	for id := range s.runs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Close stops the listener, refuses everything still queued (vSE1
+// shutdown — even at teardown nothing is silently dropped), closes active
+// session connections, and waits for the pool to drain.
+func (s *Service) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	<-s.acceptDone
+	// The accept loop has exited, so nothing enqueues after this drain.
+	for {
+		select {
+		case c := <-s.queue:
+			s.refusedShutdown.Add(1)
+			s.metrics().refused.Inc()
+			s.writeRefuse(c, RefuseShutdown)
+		default:
+			close(s.queue)
+			goto drained
+		}
+	}
+drained:
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Service) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.accepted.Add(1)
+		s.metrics().accepted.Inc()
+		select {
+		case s.queue <- c:
+			s.maybeGrow()
+		default:
+			// Load shed: the queue is full. Tell the client explicitly
+			// and hint a backoff; the write happens off the accept loop
+			// so a slow refused peer cannot stall admission.
+			s.shed.Add(1)
+			s.metrics().shed.Inc()
+			go s.writeRefuse(c, RefuseBusy)
+		}
+	}
+}
+
+// maybeGrow adds a worker while there is backlog and headroom.
+func (s *Service) maybeGrow() {
+	if len(s.queue) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.workers < s.cfg.MaxWorkers {
+		s.spawnWorkerLocked()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) spawnWorkerLocked() {
+	s.workers++
+	if int64(s.workers) > s.peak {
+		s.peak = int64(s.workers)
+	}
+	s.metrics().workers.Set(float64(s.workers))
+	s.wg.Add(1)
+	go s.worker()
+}
+
+// tryRetire removes this worker if the pool is above its floor.
+func (s *Service) tryRetire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workers <= s.cfg.MinWorkers {
+		return false
+	}
+	s.workers--
+	s.metrics().workers.Set(float64(s.workers))
+	return true
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	idle := time.NewTimer(s.cfg.IdleWorker)
+	defer idle.Stop()
+	for {
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(s.cfg.IdleWorker)
+		select {
+		case c, ok := <-s.queue:
+			if !ok {
+				s.mu.Lock()
+				s.workers--
+				s.metrics().workers.Set(float64(s.workers))
+				s.mu.Unlock()
+				return
+			}
+			s.handleConn(c)
+		case <-idle.C:
+			if s.tryRetire() {
+				return
+			}
+		}
+	}
+}
+
+// writeRefuse sends a vSE1 and closes the connection. Best effort under a
+// short deadline: the refusal is a courtesy, the close is the guarantee.
+func (s *Service) writeRefuse(c net.Conn, code uint16) {
+	defer c.Close()
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	w := bufio.NewWriter(c)
+	payload := AppendRefuse(nil, Refuse{Version: ProtocolVersion, Code: code, RetryAfterMs: s.cfg.RetryAfterMs})
+	if err := writeEnvelope(w, payload); err == nil {
+		_ = w.Flush()
+	}
+}
+
+// admit applies tenancy admission control for a parsed hello. It returns
+// the tenant (created on first contact) or a refusal code.
+func (s *Service) admit(h Hello) (*tenant, uint16, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, existed := s.runs[h.RunID]
+	if !existed {
+		if s.cfg.MaxRuns > 0 && len(s.runs) >= s.cfg.MaxRuns {
+			return nil, RefuseRuns, false
+		}
+		var srv *server.Server
+		if s.cfg.NewServer != nil {
+			srv = s.cfg.NewServer(h.RunID)
+		} else {
+			srv = server.NewSharded(s.cfg.Shards)
+		}
+		t = &tenant{srv: srv}
+		s.runs[h.RunID] = t
+		s.metrics().runs.Set(float64(len(s.runs)))
+	}
+	if s.cfg.MaxRunSessions > 0 && t.sessions >= s.cfg.MaxRunSessions {
+		return nil, RefuseRunSessions, false
+	}
+	t.sessions++
+	return t, 0, existed
+}
+
+func (s *Service) releaseSession(runID string) {
+	s.mu.Lock()
+	if t := s.runs[runID]; t != nil {
+		t.sessions--
+	}
+	s.mu.Unlock()
+}
+
+// handleConn runs one session: hello, admission, then the frame/ack loop
+// until the peer hangs up or the service closes.
+func (s *Service) handleConn(c net.Conn) {
+	defer c.Close()
+	if s.closed.Load() {
+		s.refusedShutdown.Add(1)
+		s.metrics().refused.Inc()
+		s.writeRefuse(c, RefuseShutdown)
+		return
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	r := bufio.NewReaderSize(c, 64<<10)
+	w := bufio.NewWriterSize(c, 64<<10)
+
+	_ = c.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
+	payload, _, err := readEnvelope(r, nil, helloHeaderSize+MaxRunIDLen)
+	if err != nil || !isHello(payload) {
+		s.refusedBadHello.Add(1)
+		s.metrics().refused.Inc()
+		s.writeRefuse(c, RefuseBadHello)
+		return
+	}
+	h, err := ParseHello(payload)
+	if err != nil {
+		s.refusedBadHello.Add(1)
+		s.metrics().refused.Inc()
+		s.writeRefuse(c, RefuseBadHello)
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+
+	t, code, existed := s.admit(h)
+	if t == nil {
+		switch code {
+		case RefuseRuns:
+			s.refusedRuns.Add(1)
+		case RefuseRunSessions:
+			s.refusedSessions.Add(1)
+		}
+		s.metrics().refused.Inc()
+		s.writeRefuse(c, code)
+		return
+	}
+	defer s.releaseSession(h.RunID)
+
+	s.sessions.Add(1)
+	s.sessionsOpen.Add(1)
+	s.metrics().sessions.Set(float64(s.sessionsOpen.Load()))
+	defer func() {
+		s.sessionsOpen.Add(-1)
+		s.metrics().sessions.Set(float64(s.sessionsOpen.Load()))
+	}()
+
+	ack := SessionAck{Version: ProtocolVersion, LSN: t.srv.DurabilityStats().LSN}
+	if existed {
+		ack.Flags |= AckFlagResumed
+	}
+	if err := writeEnvelope(w, AppendSessionAck(nil, ack)); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+
+	// Frame/ack loop. Acks are written in order and flushed once the read
+	// side has no buffered input — pipelined senders get batched acks,
+	// synchronous senders get an immediate one. A byte threshold also
+	// forces the flush so a sender that never lets the read buffer drain
+	// still sees acks early enough to keep its pipeline window open
+	// (otherwise the two sides fall into half-duplex lock-step).
+	var buf []byte
+	ackScratch := []byte{0}
+	for {
+		payload, n, err := readEnvelope(r, buf, MaxEnvelopeBytes)
+		if errors.Is(err, ErrEnvelopeTooLarge) {
+			if discardPayload(r, n) != nil {
+				return
+			}
+			s.framesRejected.Add(1)
+			ackScratch[0] = frameAckReject
+			if s.writeAck(w, r, ackScratch) != nil {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		buf = payload[:0]
+		status := byte(frameAckOK)
+		switch rerr := t.srv.Receive(payload); {
+		case rerr == nil:
+			s.framesIn.Add(1)
+			s.metrics().frames.Inc()
+		case errors.Is(rerr, server.ErrServerDown):
+			s.framesDown.Add(1)
+			status = frameAckDown
+		default:
+			s.framesRejected.Add(1)
+			status = frameAckReject
+		}
+		ackScratch[0] = status
+		if s.writeAck(w, r, ackScratch) != nil {
+			return
+		}
+	}
+}
+
+// ackFlushBytes is the buffered-ack threshold that forces a flush even
+// while more frames are still queued on the read side.
+const ackFlushBytes = 256
+
+// writeAck queues a 1-byte ack envelope and flushes if the reader is dry
+// or enough acks have accumulated.
+func (s *Service) writeAck(w *bufio.Writer, r *bufio.Reader, status []byte) error {
+	if err := writeEnvelope(w, status); err != nil {
+		return err
+	}
+	if r.Buffered() == 0 || w.Buffered() >= ackFlushBytes {
+		return w.Flush()
+	}
+	return nil
+}

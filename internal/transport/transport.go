@@ -91,14 +91,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Medium is the delivery target behind a Link — whatever one delivery
+// attempt hands an encoded vS* frame to. Receive returns nil when the frame
+// was accepted (the sender's ack) and an error when it was rejected or the
+// receiver is down. The in-process medium is *server.Server; a networked
+// one (internal/netsrv's TCP client link) carries the same bytes over a
+// real socket and maps the session-layer ack back onto this contract.
+// Implementations must be safe for concurrent Receives from every rank
+// goroutine sharing the Link.
+type Medium interface {
+	Receive(encoded []byte) error
+}
+
 // Link is the shared lossy medium in front of one analysis server. Conns
 // from every rank send through it; the FaultPlan decides each attempt's
 // fate. Safe for concurrent use by all rank goroutines. Delivery is not
 // serialized: concurrent attempts land on the server's per-rank ingest
 // shards in parallel, and the only cross-rank state — the attempt counter
 // driving the crash-restart window — is a single atomic.
+//
+// The Link itself is a fault-wrapping proxy over any Medium: the dice roll
+// on the sender's side of the wire, so the same seeded fault schedule
+// applies whether the frames land on an in-process server or cross a real
+// TCP socket (NewLinkOver).
 type Link struct {
-	srv  *server.Server
+	sink Medium
 	plan FaultPlan
 
 	attempts atomic.Int64 // delivery attempts that reached the "network"
@@ -133,7 +150,15 @@ type Link struct {
 // NewLink wraps srv behind plan. A zero plan is a perfect (but still
 // framed, sequenced, and deduplicated) link.
 func NewLink(srv *server.Server, plan FaultPlan) *Link {
-	return &Link{srv: srv, plan: plan}
+	return &Link{sink: srv, plan: plan}
+}
+
+// NewLinkOver wraps an arbitrary delivery medium behind plan — the fault
+// proxy form. With a networked medium every chaos suite's dice (drop, dup,
+// reorder, corrupt, delay, crash window) applies to real socket traffic
+// exactly as it does to the in-process path.
+func NewLinkOver(m Medium, plan FaultPlan) *Link {
+	return &Link{sink: m, plan: plan}
 }
 
 // Plan returns the link's fault plan.
@@ -207,7 +232,7 @@ func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool)
 	if corrupt != nil {
 		// The damaged copy reaches the server, which rejects it by CRC;
 		// the sender never gets an ack.
-		_ = l.srv.Receive(corrupt)
+		_ = l.sink.Receive(corrupt)
 		l.obsCorrupted.Inc()
 		return false
 	}
@@ -215,7 +240,7 @@ func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool)
 	if c.held != nil && !reorder {
 		held := c.held
 		c.held = nil
-		_ = l.srv.Receive(held)
+		_ = l.sink.Receive(held)
 	}
 	if reorder && c.held == nil {
 		// The frame lingers in flight; it will arrive after the rank's
@@ -225,13 +250,13 @@ func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool)
 		l.obsReordered.Inc()
 		return true
 	}
-	if err := l.srv.Receive(frame); err != nil {
+	if err := l.sink.Receive(frame); err != nil {
 		return false
 	}
 	if dup {
 		// Ack lost → sender-side retransmit arrives too; the server's
 		// sequence dedup absorbs it.
-		_ = l.srv.Receive(frame)
+		_ = l.sink.Receive(frame)
 		l.obsDuped.Inc()
 	}
 	return true
@@ -241,7 +266,7 @@ func (l *Link) deliver(c *Conn, frame []byte, corrupt []byte, dup, reorder bool)
 // deliver, it runs on the conn's own goroutine; held is conn-local.
 func (l *Link) release(c *Conn) {
 	if c.held != nil {
-		_ = l.srv.Receive(c.held)
+		_ = l.sink.Receive(c.held)
 		c.held = nil
 	}
 }
@@ -355,7 +380,7 @@ func (l *Link) deliverHeartbeat(hb []byte) bool {
 		a < l.plan.CrashAfterFrames+l.plan.CrashDownFrames {
 		return false
 	}
-	if err := l.srv.Receive(hb); err != nil {
+	if err := l.sink.Receive(hb); err != nil {
 		return false
 	}
 	l.obsHeartbeats.Inc()

@@ -32,6 +32,7 @@ import (
 	"vsensor/internal/instrument"
 	"vsensor/internal/ir"
 	"vsensor/internal/minic"
+	"vsensor/internal/netsrv"
 	"vsensor/internal/obs"
 	"vsensor/internal/profiler"
 	"vsensor/internal/rundata"
@@ -85,6 +86,28 @@ type Options struct {
 	// rank's records through internal/transport; retry and backoff delays
 	// are charged to the ranks' virtual clocks.
 	Faults *transport.FaultPlan
+
+	// RunID names this run on a networked session (Listen or Connect
+	// mode). Default "local". 1..128 printable ASCII bytes — it travels in
+	// the vSS1 hello and keys the run's tenant on the service.
+	RunID string
+
+	// Listen starts an in-process multi-tenant analysis service
+	// (internal/netsrv) on this TCP address and routes the record path
+	// over a real loopback session to it: the run's own server becomes the
+	// service's tenant, so every frame crosses the wire protocol — length
+	// envelopes, vSS1 handshake, frame acks — instead of a function call.
+	// Report.Service exposes the listener (bound address, shed/pool
+	// stats); it is closed when the run finishes.
+	Listen string
+
+	// Connect dials an external analysis service (started with `vsensor
+	// serve`) at this address instead of creating a local server.
+	// Report.Server is nil — the records, coverage, and outlier verdicts
+	// live on the remote service under RunID — and Durability must be nil
+	// (the journal belongs to the service's side of the socket).
+	// Mutually exclusive with Listen.
+	Connect string
 
 	// Durability attaches the analysis server's WAL + snapshot layer
 	// (internal/storage-backed). With it, the Faults crash window becomes a
@@ -151,8 +174,10 @@ type Report struct {
 	Analysis     *analysis.Result
 	Instrumented *instrument.Instrumented // nil for uninstrumented runs
 	Result       *vm.Result
-	Server       *server.Server
-	Link         *transport.Link // non-nil when the run used the fault-injectable transport
+	Server       *server.Server   // nil in Connect mode: the run's server lives on the remote service
+	Link         *transport.Link  // non-nil when the run used the fault-injectable transport
+	Session      *netsrv.Session  // non-nil in Listen/Connect mode: the run's TCP session
+	Service      *netsrv.Service  // non-nil in Listen mode: the in-process listener the run fed
 	Detectors    []*detect.Detector
 	Records      []vm.Record // raw sensor records if collected
 	Profiler     *profiler.Profile
@@ -253,25 +278,81 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		isp := o.Span(0, "instrument")
 		rep.Instrumented = instrument.Apply(rep.Analysis, opt.Instrument)
 		isp.End()
-		rep.Server = server.NewSharded(opt.ServerShards)
-		if opt.Durability != nil {
-			rep.Server.AttachDurability(*opt.Durability)
+		if opt.Listen != "" && opt.Connect != "" {
+			return nil, fmt.Errorf("vsensor: Options.Listen and Options.Connect are mutually exclusive")
 		}
-		rep.Server.SetObs(o)
+		if opt.Connect != "" && opt.Durability != nil {
+			return nil, fmt.Errorf("vsensor: Options.Durability tunes the local analysis server; a Connect run has none (configure the remote service instead)")
+		}
+		runID := opt.RunID
+		if runID == "" {
+			runID = "local"
+		}
+		if opt.Connect == "" {
+			rep.Server = server.NewSharded(opt.ServerShards)
+			if opt.Durability != nil {
+				rep.Server.AttachDurability(*opt.Durability)
+			}
+			rep.Server.SetObs(o)
+		}
 		opt.Detect.Obs = o
 		vcfg.ProbeCostNs = opt.ProbeCostNs
 
+		// The networked record path: in Listen mode the run hosts its own
+		// netsrv service and its server becomes the tenant; in Connect mode
+		// the tenant lives on an external `vsensor serve`. Either way the
+		// session is the delivery Medium, so every frame crosses the real
+		// wire protocol.
+		switch {
+		case opt.Listen != "":
+			svc, err := netsrv.Listen(opt.Listen, netsrv.Config{
+				Shards:    opt.ServerShards,
+				NewServer: func(string) *server.Server { return rep.Server },
+			})
+			if err != nil {
+				return nil, err
+			}
+			if o != nil {
+				svc.SetObs(o)
+			}
+			sess, err := netsrv.Dial(svc.Addr().String(), netsrv.Hello{RunID: runID}, netsrv.DialConfig{})
+			if err != nil {
+				svc.Close()
+				return nil, err
+			}
+			rep.Service, rep.Session = svc, sess
+		case opt.Connect != "":
+			sess, err := netsrv.Dial(opt.Connect, netsrv.Hello{RunID: runID}, netsrv.DialConfig{})
+			if err != nil {
+				return nil, err
+			}
+			rep.Session = sess
+		}
+		defer func() {
+			if rep.Session != nil {
+				_ = rep.Session.Close()
+			}
+			if rep.Service != nil {
+				_ = rep.Service.Close()
+			}
+		}()
+
 		// The record path: direct in-process delivery by default, or the
 		// fault-injectable transport link when Options.Faults/Transport
-		// ask for the production-shaped path.
-		if opt.Faults != nil || opt.Transport != nil {
+		// ask for the production-shaped path. A networked session always
+		// routes through the link — it is the Medium the link delivers on.
+		if opt.Faults != nil || opt.Transport != nil || rep.Session != nil {
 			plan := transport.FaultPlan{}
 			if opt.Faults != nil {
 				plan = *opt.Faults
 			}
-			rep.Link = transport.NewLink(rep.Server, plan)
+			if rep.Session != nil {
+				rep.Link = transport.NewLinkOver(rep.Session, plan)
+			} else {
+				rep.Link = transport.NewLink(rep.Server, plan)
+			}
 			rep.Link.SetObs(o)
-			if opt.Durability != nil {
+			if opt.Durability != nil && rep.Server != nil {
 				// A durable server makes the crash window stateful: entering
 				// it wipes the server, leaving it runs WAL recovery.
 				srv := rep.Server
@@ -382,6 +463,7 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 			// /outliers, and the CLI's Report.Snapshot — serves from the
 			// server's versioned report cache: one render per state change,
 			// shared by every poller, revalidated by ETag.
+			netSvc := rep.Service
 			wrap := newSnapshotWrapper(srv, func(st map[string]any) {
 				st["ranks"] = ranks
 				st["uninstrumented"] = uninstrumented
@@ -389,6 +471,10 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 				st["probe_cost_ns"] = probeCost
 				st["sensors"] = sensorCount
 				st["server_shards"] = srv.Shards()
+				if netSvc != nil {
+					st["listen"] = netSvc.Addr().String()
+					st["net"] = netSvc.StatusMap()
+				}
 				if lin := o.Lineage(); lin != nil {
 					st["lineage"] = lin.Stats()
 				}
@@ -404,6 +490,7 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 				return recs, next
 			})
 		} else {
+			remote := opt.Connect
 			o.SetStatus(func() any {
 				st := map[string]any{
 					"ranks":          ranks,
@@ -411,6 +498,9 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 					"batch_size":     batch,
 					"probe_cost_ns":  probeCost,
 					"sensors":        sensorCount,
+				}
+				if remote != "" {
+					st["remote"] = remote
 				}
 				if lin := o.Lineage(); lin != nil {
 					st["lineage"] = lin.Stats()
