@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet cover fuzz chaos chaos-recover chaos-net bench-obs bench-vm bench-transport bench-server bench-lineage bench-load bench-read bench-net check clean
+.PHONY: build test race vet cover fuzz chaos chaos-recover chaos-net chaos-proxy bench-obs bench-vm bench-transport bench-server bench-lineage bench-load bench-read bench-net check clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,15 @@ chaos-recover:
 # on one listener bit-identical to N isolated servers).
 chaos-net:
 	$(GO) test -race -run 'TestSocketChaosExactlyOnce$$|TestSocketKillRecoverConformance$$|TestMultiTenantDifferentialConformance$$' \
+	    -count 1 ./internal/netsrv
+
+# The wire-level chaos suites under the race detector: a seeded TCP
+# chaos proxy (resets, partitions, stalls, bit flips, split/coalesced
+# writes, half-open closes) between a self-healing client and the
+# service, with tenant crash-recovery and disk faults layered on top —
+# final state proven exactly equal to an undisturbed reference.
+chaos-proxy:
+	$(GO) test -race -run 'TestProxyChaosExactlyOnce$$|TestProxyKillRecoverConformance$$' \
 	    -count 1 ./internal/netsrv
 
 # Observability hot-path benchmarks; writes BENCH_obs.json for regression

@@ -97,6 +97,10 @@ var (
 
 	connectAddr = flag.String("connect", "", "deliver records over TCP to an external 'vsensor serve' analysis service at this address (the run then has no in-process server)")
 	runIDFlag   = flag.String("run-id", "", "run identifier for the networked session (needs -connect; default 'local')")
+
+	reconnect        = flag.Bool("reconnect", false, "self-heal the networked session: auto-redial with jittered backoff on connection failures and resume the run at the server's durable LSN (needs -connect)")
+	dialRetryBudget  = flag.Duration("dial-retry-budget", 0, "total retry budget per dial — and per outage with -reconnect (0 = default 10s; needs -connect)")
+	dialRetryBackoff = flag.Duration("dial-retry-backoff", 0, "first dial-retry backoff, doubling with jitter per attempt when the server sends no retry-after hint (0 = default 5ms; needs -connect)")
 )
 
 // applyTransport maps the -faults / retry / server knobs onto the run
@@ -143,6 +147,19 @@ func applyTransport(opts *vsensor.Options) {
 	}
 	opts.Connect = *connectAddr
 	opts.RunID = *runIDFlag
+	if *dialRetryBudget < 0 || *dialRetryBackoff < 0 {
+		fatal(fmt.Errorf("dial-retry knobs must be >= 0 (dial-retry-budget %s, dial-retry-backoff %s)",
+			*dialRetryBudget, *dialRetryBackoff))
+	}
+	if (*reconnect || *dialRetryBudget != 0 || *dialRetryBackoff != 0) && *connectAddr == "" {
+		fatal(fmt.Errorf("-reconnect/-dial-retry-budget/-dial-retry-backoff need -connect (there is no networked dial to shape)"))
+	}
+	retry := netsrv.RetryPolicy{MaxElapsed: *dialRetryBudget, BackoffBase: *dialRetryBackoff}
+	if *reconnect {
+		opts.Reconnect = &netsrv.ReconnectConfig{Retry: retry}
+	} else if *dialRetryBudget != 0 || *dialRetryBackoff != 0 {
+		opts.DialRetry = &retry
+	}
 	transportTuned := *retryMax != 0 || *retryTimeout != 0 || *retryBackoff != 0 || *bufferCap != 0 || *lease != 0
 	if *faults != "" {
 		plan, err := transport.ParsePlan(*faults)
@@ -368,6 +385,7 @@ func doServe(args []string) {
 	maxRuns := fs.Int("max-runs", 0, "concurrent run (tenant) cap (0 = unlimited)")
 	maxRunSessions := fs.Int("max-run-sessions", 0, "concurrent sessions per run (0 = unlimited)")
 	retryAfterMs := fs.Int("retry-after-ms", 0, "retry-after hint carried in vSE1 busy refusals, milliseconds (0 = default 50)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "dead-peer reaper: close sessions that do not complete an envelope (data or heartbeat) within this window (0 = disabled)")
 	shards := fs.Int("server-shards", 0, "ingest shards per tenant server, rounded up to a power of two (0 = default 16)")
 	httpAddr := fs.String("http", "", "serve the live introspection endpoint on this address (/metrics, /status)")
 	fs.Parse(args)
@@ -384,6 +402,9 @@ func doServe(args []string) {
 			fatal(fmt.Errorf("bad %s %d: cannot be negative", name, v))
 		}
 	}
+	if *idleTimeout < 0 {
+		fatal(fmt.Errorf("bad -idle-timeout %s: cannot be negative", *idleTimeout))
+	}
 	svc, err := netsrv.Listen(*listen, netsrv.Config{
 		MinWorkers:     *minWorkers,
 		MaxWorkers:     *maxWorkers,
@@ -391,6 +412,7 @@ func doServe(args []string) {
 		MaxRuns:        *maxRuns,
 		MaxRunSessions: *maxRunSessions,
 		RetryAfterMs:   uint32(*retryAfterMs),
+		IdleSession:    *idleTimeout,
 		Shards:         *shards,
 	})
 	if err != nil {
@@ -698,8 +720,14 @@ func doRun(src string, acfg analysis.Config, icfg instrument.Config) {
 		if rid == "" {
 			rid = "local"
 		}
-		fmt.Printf("sensors: %s, records delivered to %s (run %q, session lsn %d)\n",
-			rep.Instrumented.TypeSummary(), *connectAddr, rid, rep.Session.Ack().LSN)
+		if rep.Resilient != nil {
+			st := rep.Resilient.Stats()
+			fmt.Printf("sensors: %s, records delivered to %s (run %q, durable lsn %d, %d reconnects over %d dial attempts)\n",
+				rep.Instrumented.TypeSummary(), *connectAddr, rid, st.LSN, st.Reconnects, st.DialAttempts)
+		} else {
+			fmt.Printf("sensors: %s, records delivered to %s (run %q, session lsn %d)\n",
+				rep.Instrumented.TypeSummary(), *connectAddr, rid, rep.Session.Ack().LSN)
+		}
 	}
 	printCoverage(rep)
 	printLineage(rep)

@@ -194,6 +194,30 @@ func TestFlagParsing(t *testing.T) {
 			wantStderr: "refused",
 		},
 		{
+			name:       "reconnect without connect",
+			args:       []string{"run", "-reconnect", tiny},
+			wantCode:   1,
+			wantStderr: "need -connect",
+		},
+		{
+			name:       "dial-retry budget without connect",
+			args:       []string{"run", "-dial-retry-budget", "1s", tiny},
+			wantCode:   1,
+			wantStderr: "need -connect",
+		},
+		{
+			name:       "negative dial-retry backoff",
+			args:       []string{"run", "-connect", "127.0.0.1:1", "-dial-retry-backoff", "-1ms", tiny},
+			wantCode:   1,
+			wantStderr: "dial-retry knobs must be >= 0",
+		},
+		{
+			name:       "serve with negative idle-timeout",
+			args:       []string{"serve", "-idle-timeout", "-1s"},
+			wantCode:   1,
+			wantStderr: "cannot be negative",
+		},
+		{
 			name:       "serve with positional argument",
 			args:       []string{"serve", "stray.mc"},
 			wantCode:   1,

@@ -116,10 +116,16 @@ func BenchmarkNetIngest(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					// Fresh run IDs per iteration: sequence dedup would
-					// otherwise absorb the repeat deliveries.
-					sessions := make([]*Session, tenants)
+					// otherwise absorb the repeat deliveries. Sessions go
+					// through the self-healing wrapper — reconnect armed,
+					// no faults — so the gate prices the resilience layer
+					// the production path actually runs.
+					sessions := make([]*ResilientSession, tenants)
 					for t := range sessions {
-						s, err := Dial(svc.Addr().String(), Hello{RunID: fmt.Sprintf("bench-%d-%d", i, t), Rank: 0}, DialConfig{})
+						s, err := DialResilient(ReconnectConfig{
+							Addr:  svc.Addr().String(),
+							Hello: Hello{RunID: fmt.Sprintf("bench-%d-%d", i, t), Rank: 0},
+						})
 						if err != nil {
 							b.Fatal(err)
 						}

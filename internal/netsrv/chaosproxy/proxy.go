@@ -1,0 +1,444 @@
+// Package chaosproxy is a seeded in-process TCP proxy that attacks the
+// byte stream between a netsrv client and service: connection resets,
+// blackhole partitions, read/write stalls, one-bit wire corruption, split
+// and coalesced writes, and half-open closes. It injects faults at the
+// layer *below* transport.FaultPlan's frame dice — the socket itself — so
+// the session layer's envelope CRC, per-operation deadlines, and
+// resume-LSN reconnects can be proven exactly-once under conditions the
+// transport layer never sees.
+//
+// Determinism: byte-level decisions (where to flip a bit, how to shred a
+// write, when to trip a countdown) come from a per-connection PRNG seeded
+// from Plan.Seed and the connection index, so a trial's fault pattern is
+// reproducible modulo goroutine scheduling. Time-level windows
+// (partition) run on wall clock; the conformance suites do not depend on
+// when faults land, only that the final state is exact.
+package chaosproxy
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is the seeded fault plan. The zero value forwards faithfully.
+type Plan struct {
+	// Seed drives every per-connection random decision.
+	Seed int64
+
+	// SplitWrites re-chunks some forwarded buffers into runt writes
+	// (1..16 bytes) so no receiver can assume envelope boundaries align
+	// with read boundaries.
+	SplitWrites bool
+
+	// CoalesceWrites holds some forwarded buffers briefly to merge them
+	// with the next read — the opposite framing attack.
+	CoalesceWrites bool
+
+	// CorruptBit is the per-forwarded-chunk probability of flipping one
+	// random bit in flight. MaxFlips bounds the total (0 = unlimited).
+	CorruptBit float64
+	MaxFlips   int64
+
+	// ResetEvery RSTs a connection (SO_LINGER 0 on both legs) after
+	// roughly this many forwarded bytes. 0 disables.
+	ResetEvery int64
+
+	// StallEvery pauses a connection's forwarding for Stall after roughly
+	// this many bytes — the read/write stall that must trip the
+	// endpoints' deadlines, not hang them. 0 disables.
+	StallEvery int64
+	Stall      time.Duration
+
+	// HalfOpenEvery silently stops forwarding a connection after roughly
+	// this many bytes while keeping both sockets open: the classic
+	// half-open peer. Bytes are still read and discarded so neither
+	// endpoint blocks on a full send buffer — they must detect the
+	// silence themselves. 0 disables.
+	HalfOpenEvery int64
+
+	// PartitionAfter/Partition schedule one global blackhole window:
+	// PartitionAfter after New, every live connection is severed and new
+	// connections are accepted but left unanswered for Partition.
+	PartitionAfter time.Duration
+	Partition      time.Duration
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Conns     int64
+	Bytes     int64
+	Resets    int64
+	Stalls    int64
+	BitFlips  int64
+	HalfOpens int64
+	Partition bool // the partition window has opened
+}
+
+// Proxy is a running chaos proxy. Dial the address returned by Addr
+// instead of the real service.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	plan   Plan
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	held  []net.Conn // accepted during partition, never answered
+
+	connSeq      atomic.Int64
+	bytes        atomic.Int64
+	resets       atomic.Int64
+	stalls       atomic.Int64
+	flips        atomic.Int64
+	halfOpens    atomic.Int64
+	partitioned  atomic.Bool
+	partitionHit atomic.Bool
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string, plan Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		plan:   plan,
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	if plan.Partition > 0 {
+		p.wg.Add(1)
+		go p.partitionWindow()
+	}
+	return p, nil
+}
+
+// Addr is the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:     p.connSeq.Load(),
+		Bytes:     p.bytes.Load(),
+		Resets:    p.resets.Load(),
+		Stalls:    p.stalls.Load(),
+		BitFlips:  p.flips.Load(),
+		HalfOpens: p.halfOpens.Load(),
+		Partition: p.partitionHit.Load(),
+	}
+}
+
+// Close stops accepting, severs every connection, and waits for the
+// pumps to exit.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	close(p.done)
+	p.mu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	for _, c := range p.held {
+		_ = c.Close()
+	}
+	p.held = nil
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.partitioned.Load() {
+			// Blackhole: the connect succeeds (the kernel completed the
+			// handshake anyway) but nothing ever answers — the client's
+			// handshake deadline must fire.
+			p.mu.Lock()
+			if p.closed.Load() {
+				p.mu.Unlock()
+				_ = c.Close()
+				continue
+			}
+			p.held = append(p.held, c)
+			p.mu.Unlock()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			_ = c.Close()
+			continue
+		}
+		id := p.connSeq.Add(1)
+		p.track(c)
+		p.track(up)
+		st := newConnState(p.plan, id)
+		p.wg.Add(2)
+		go p.pump(up, c, st) // client -> server
+		go p.pump(c, up, st) // server -> client
+	}
+}
+
+// partitionWindow severs the world once: after PartitionAfter, every live
+// connection dies and new ones are held unanswered for Partition.
+func (p *Proxy) partitionWindow() {
+	defer p.wg.Done()
+	select {
+	case <-time.After(p.plan.PartitionAfter):
+	case <-p.done:
+		return
+	}
+	p.partitionHit.Store(true)
+	p.partitioned.Store(true)
+	p.mu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	select {
+	case <-time.After(p.plan.Partition):
+	case <-p.done:
+		return
+	}
+	p.partitioned.Store(false)
+	p.mu.Lock()
+	held := p.held
+	p.held = nil
+	p.mu.Unlock()
+	for _, c := range held {
+		_ = c.Close()
+	}
+}
+
+// connState is the fault bookkeeping shared by a connection's two pumps.
+type connState struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	resetIn     int64 // bytes until RST (0 = off)
+	stallIn     int64 // bytes until stall (0 = off)
+	halfIn      int64 // bytes until half-open (0 = off)
+	halfOpen    bool
+	halfCounted bool
+	plan        Plan
+}
+
+// countHalfOpen reports true exactly once per connection, for the stats.
+func (s *connState) countHalfOpen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halfCounted {
+		return false
+	}
+	s.halfCounted = true
+	return true
+}
+
+func newConnState(plan Plan, id int64) *connState {
+	return &connState{
+		rng:     rand.New(rand.NewSource(plan.Seed*1000003 + id)),
+		resetIn: plan.ResetEvery,
+		stallIn: plan.StallEvery,
+		halfIn:  plan.HalfOpenEvery,
+		plan:    plan,
+	}
+}
+
+// verdicts from connState.account.
+const (
+	actForward = iota
+	actReset
+	actStall
+	actHalfOpen
+)
+
+// account charges n forwarded bytes against the countdowns and picks the
+// fault (if any) this chunk trips. Countdowns are shared by both
+// directions, so "every N bytes" means N bytes of total traffic.
+func (s *connState) account(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halfOpen {
+		return actHalfOpen
+	}
+	if s.resetIn > 0 {
+		if s.resetIn -= int64(n); s.resetIn <= 0 {
+			s.resetIn = s.plan.ResetEvery
+			return actReset
+		}
+	}
+	if s.halfIn > 0 {
+		if s.halfIn -= int64(n); s.halfIn <= 0 {
+			s.halfOpen = true
+			return actHalfOpen
+		}
+	}
+	if s.stallIn > 0 {
+		if s.stallIn -= int64(n); s.stallIn <= 0 {
+			s.stallIn = s.plan.StallEvery
+			return actStall
+		}
+	}
+	return actForward
+}
+
+// rand runs f under the state lock so both pumps share one PRNG stream.
+func (s *connState) rand(f func(rng *rand.Rand) int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f(s.rng)
+}
+
+// rst closes a leg with SO_LINGER 0 so the peer sees ECONNRESET, not a
+// graceful FIN.
+func rst(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+// pump forwards src to dst with faults. It owns closing both legs on
+// exit except in the half-open state, where sockets stay open and bytes
+// are swallowed until the endpoints give up.
+func (p *Proxy) pump(dst, src net.Conn, st *connState) {
+	defer p.wg.Done()
+	buf := make([]byte, 16<<10)
+	defer func() {
+		p.untrack(src)
+		p.untrack(dst)
+	}()
+	closeBoth := func() {
+		_ = src.Close()
+		_ = dst.Close()
+	}
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.bytes.Add(int64(n))
+			switch st.account(n) {
+			case actReset:
+				p.resets.Add(1)
+				rst(src)
+				rst(dst)
+				return
+			case actHalfOpen:
+				if st.countHalfOpen() {
+					p.halfOpens.Add(1)
+				}
+				// Swallow this chunk and everything after it; keep
+				// reading so neither endpoint blocks on its send buffer.
+				p.swallow(src)
+				_ = src.Close()
+				_ = dst.Close()
+				return
+			case actStall:
+				p.stalls.Add(1)
+				select {
+				case <-time.After(st.plan.Stall):
+				case <-p.done:
+					closeBoth()
+					return
+				}
+			}
+			b := buf[:n]
+			if st.plan.CorruptBit > 0 &&
+				(st.plan.MaxFlips == 0 || p.flips.Load() < st.plan.MaxFlips) &&
+				st.rand(func(rng *rand.Rand) int64 {
+					if rng.Float64() < st.plan.CorruptBit {
+						return 1
+					}
+					return 0
+				}) == 1 {
+				bit := st.rand(func(rng *rand.Rand) int64 { return rng.Int63n(int64(n) * 8) })
+				b[bit/8] ^= 1 << (bit % 8)
+				p.flips.Add(1)
+			}
+			if werr := p.forward(dst, b, st); werr != nil {
+				closeBoth()
+				return
+			}
+		}
+		if err != nil {
+			closeBoth()
+			return
+		}
+	}
+}
+
+// swallow keeps reading and discarding from src until it dies or the
+// proxy closes — the half-open sink.
+func (p *Proxy) swallow(src net.Conn) {
+	buf := make([]byte, 16<<10)
+	for {
+		_ = src.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		_, err := src.Read(buf)
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+	}
+}
+
+// forward writes b to dst, sometimes shredded into runt writes and
+// sometimes after a short coalescing delay.
+func (p *Proxy) forward(dst net.Conn, b []byte, st *connState) error {
+	if st.plan.CoalesceWrites && st.rand(func(rng *rand.Rand) int64 { return rng.Int63n(4) }) == 0 {
+		// Hold briefly so the kernel merges this write with the next —
+		// receivers must tolerate arbitrary read boundaries.
+		select {
+		case <-time.After(time.Duration(st.rand(func(rng *rand.Rand) int64 { return rng.Int63n(500) })) * time.Microsecond):
+		case <-p.done:
+		}
+	}
+	if st.plan.SplitWrites && st.rand(func(rng *rand.Rand) int64 { return rng.Int63n(2) }) == 0 {
+		for len(b) > 0 {
+			n := int(st.rand(func(rng *rand.Rand) int64 { return 1 + rng.Int63n(16) }))
+			if n > len(b) {
+				n = len(b)
+			}
+			if _, err := dst.Write(b[:n]); err != nil {
+				return err
+			}
+			b = b[n:]
+		}
+		return nil
+	}
+	_, err := dst.Write(b)
+	return err
+}

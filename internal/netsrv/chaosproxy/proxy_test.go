@@ -1,0 +1,267 @@
+package chaosproxy
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				wg.Wait()
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// A zero plan must forward faithfully: every byte comes back unmodified
+// and only the traffic counters move.
+func TestFaithfulForwarding(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	msg := bytes.Repeat([]byte("faithful-wire-"), 512)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("zero-plan proxy modified the stream")
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Bytes < int64(len(msg)) {
+		t.Fatalf("traffic counters off: %+v", st)
+	}
+	if st.Resets+st.Stalls+st.BitFlips+st.HalfOpens != 0 || st.Partition {
+		t.Fatalf("zero plan injected faults: %+v", st)
+	}
+	// Close is idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ResetEvery must surface as a connection error on the endpoint, not a
+// clean EOF-forever hang, and be counted.
+func TestResetTripsConnection(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Plan{Seed: 1, ResetEvery: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	chunk := make([]byte, 1024)
+	deadline := time.Now().Add(5 * time.Second)
+	broken := false
+	for time.Now().Before(deadline) {
+		if _, err := c.Write(chunk); err != nil {
+			broken = true
+			break
+		}
+		_ = c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		if _, err := c.Read(chunk); err != nil {
+			if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+				broken = true
+				break
+			}
+		}
+	}
+	if !broken {
+		t.Fatal("connection survived past the reset threshold")
+	}
+	if st := p.Stats(); st.Resets < 1 {
+		t.Fatalf("reset not counted: %+v", st)
+	}
+}
+
+// Stalls pause forwarding without killing the connection; split and
+// coalesced writes plus a capped bit flip attack the payload. The echo
+// must come back with exactly MaxFlips bits changed.
+func TestStallSplitCoalesceAndCappedFlip(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Plan{
+		Seed:           7,
+		SplitWrites:    true,
+		CoalesceWrites: true,
+		CorruptBit:     1.0,
+		MaxFlips:       1,
+		StallEvery:     2 << 10,
+		Stall:          5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	msg := bytes.Repeat([]byte{0x5A}, 8<<10)
+	done := make(chan error, 1)
+	go func() {
+		_, werr := c.Write(msg)
+		done <- werr
+	}()
+	got := make([]byte, len(msg))
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := got[i] ^ msg[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("round trip differs in %d bits, want exactly 1 (MaxFlips)", diff)
+	}
+	st := p.Stats()
+	if st.BitFlips != 1 {
+		t.Fatalf("flip count %d, want 1", st.BitFlips)
+	}
+	if st.Stalls < 1 {
+		t.Fatalf("no stalls injected: %+v", st)
+	}
+}
+
+// Past HalfOpenEvery the sockets stay open and writes keep landing, but
+// nothing is forwarded: the endpoint sees silence, not an error.
+func TestHalfOpenSwallowsSilently(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Plan{Seed: 3, HalfOpenEvery: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	chunk := make([]byte, 1024)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Write(chunk); err != nil {
+			t.Fatalf("write %d failed (half-open must swallow, not error): %v", i, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := p.Stats()
+	if st.HalfOpens != 1 {
+		t.Fatalf("half-open count %d, want 1: %+v", st.HalfOpens, st)
+	}
+	// The echo never arrives: the read must time out.
+	_ = c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded through a half-open proxy")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("read error %v, want timeout (silence, not closure)", err)
+	}
+}
+
+// The partition window severs live connections, blackholes new ones for
+// its duration, and then heals: a post-window dial works end to end.
+func TestPartitionWindowSeversAndHeals(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Plan{
+		Seed:           9,
+		PartitionAfter: 50 * time.Millisecond,
+		Partition:      150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pre := dialProxy(t, p)
+	if _, err := pre.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	_ = pre.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(pre, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the window to open, then the pre-partition conn must die.
+	deadline := time.Now().Add(3 * time.Second)
+	for !p.Stats().Partition && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !p.Stats().Partition {
+		t.Fatal("partition window never opened")
+	}
+	_ = pre.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := pre.Read(buf); err == nil {
+		t.Fatal("pre-partition connection survived the blackhole")
+	}
+
+	// During the window a dial connects (kernel handshake) but nothing
+	// answers.
+	mid := dialProxy(t, p)
+	if _, err := mid.Write([]byte("void?")); err == nil {
+		_ = mid.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		if _, err := mid.Read(buf); err == nil {
+			t.Fatal("blackholed connection got an answer")
+		}
+	}
+
+	// After the window closes the proxy heals.
+	time.Sleep(200 * time.Millisecond)
+	post := dialProxy(t, p)
+	if _, err := post.Write([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	_ = post.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(post, buf); err != nil {
+		t.Fatalf("post-partition echo failed: %v", err)
+	}
+	if string(buf) != "again" {
+		t.Fatalf("post-partition echo = %q", buf)
+	}
+}

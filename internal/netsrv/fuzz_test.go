@@ -1,7 +1,10 @@
 package netsrv
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"vsensor/internal/detect"
@@ -36,6 +39,21 @@ func FuzzSession(f *testing.F) {
 	f.Add(server.AppendFrame(nil, server.FrameHeader{Rank: 2, Seq: 1, CumRecords: 1},
 		[]detect.SliceRecord{{Sensor: 1, Rank: 2, Count: 1, AvgNs: 10}}))
 	f.Add(server.AppendHeartbeat(nil, 4, 1e9, 5e9))
+	// Envelope streams: whole, truncated mid-payload, CRC-corrupted, and a
+	// corrupted length prefix carving into the next envelope's bytes.
+	env := encodeEnvelope(nil, AppendHello(nil, Hello{Version: ProtocolVersion, RunID: "env", Rank: 1}))
+	env = encodeEnvelope(env, AppendSessionAck(nil, SessionAck{Version: ProtocolVersion, LSN: 7}))
+	f.Add(env)
+	f.Add(env[:len(env)-5])
+	crcFlip := append([]byte(nil), env...)
+	crcFlip[5] ^= 0x10 // CRC field of the first envelope
+	f.Add(crcFlip)
+	bitFlip := append([]byte(nil), env...)
+	bitFlip[envHeaderSize+2] ^= 0x01 // payload byte: CRC must catch it
+	f.Add(bitFlip)
+	lenFlip := append([]byte(nil), env...)
+	lenFlip[0] ^= 0x04 // length prefix: mis-carves the next payload
+	f.Add(lenFlip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if h, err := ParseHello(data); err == nil {
@@ -80,5 +98,36 @@ func FuzzSession(f *testing.F) {
 		if accepted > 1 {
 			t.Fatalf("%d parsers accepted the same %d-byte payload", accepted, len(data))
 		}
+		// Envelope-stream property: decode data as a CRC-framed stream.
+		// Every accepted envelope must re-encode to exactly the bytes
+		// consumed (canonical framing), and a corrupted or truncated
+		// stream must stop cleanly — no panic, no over-allocation past
+		// the declared cap.
+		r := bufio.NewReader(bytes.NewReader(data))
+		off := 0
+		for {
+			payload, _, err := readEnvelope(r, nil, 1<<20)
+			if err != nil {
+				break
+			}
+			n := envHeaderSize + len(payload)
+			if off+n > len(data) {
+				t.Fatalf("envelope at %d claims %d bytes past input end", off, n)
+			}
+			if re := encodeEnvelope(nil, payload); !bytes.Equal(re, data[off:off+n]) {
+				t.Fatalf("envelope re-encode differs at offset %d", off)
+			}
+			off += n
+		}
 	})
+}
+
+// encodeEnvelope appends the wire envelope (length, CRC, payload) for
+// payload to dst — the test-side mirror of writeEnvelope.
+func encodeEnvelope(dst, payload []byte) []byte {
+	var hdr [envHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }

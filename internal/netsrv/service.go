@@ -53,9 +53,27 @@ type Config struct {
 	// before completing its vSS1 hello. Default 5s.
 	HelloTimeout time.Duration
 
+	// WriteTimeout is the deadline armed before every ack-bearing flush
+	// (session ack, frame acks, refusals): a peer that stops reading
+	// cannot pin a worker once the socket buffers fill. Default 5s;
+	// negative disables.
+	WriteTimeout time.Duration
+
+	// IdleSession, when positive, is the dead-peer reaper: an admitted
+	// session that does not complete an envelope (data frame or
+	// heartbeat) within this window is closed and counted in
+	// SessionsReaped. Slow-loris senders trip it too — the window bounds
+	// the whole envelope, not the gap between bytes. 0 disables.
+	IdleSession time.Duration
+
 	// Shards is the shard count the default tenant factory passes to
 	// server.NewSharded. Default 1.
 	Shards int
+
+	// tuneConn, when set, runs on every accepted connection before the
+	// handshake — the in-package test seam for shrinking socket buffers
+	// so deadline behavior is reachable without megabytes of traffic.
+	tuneConn func(net.Conn)
 
 	// NewServer, when set, builds the analysis server for a new run ID —
 	// the hook through which tests attach durability or obs to specific
@@ -88,6 +106,9 @@ func (c *Config) fillDefaults() {
 	if c.HelloTimeout <= 0 {
 		c.HelloTimeout = 5 * time.Second
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
@@ -98,20 +119,22 @@ func (c *Config) fillDefaults() {
 // Accepted == handled + queued + sum(Refused*) at all times — the
 // "never a silent drop" ledger.
 type Stats struct {
-	Accepted        int64 // connections the listener accepted
-	Shed            int64 // refused with vSE1 busy (accept queue full)
-	RefusedSessions int64 // refused: per-run session cap
-	RefusedRuns     int64 // refused: run (tenant) cap
-	RefusedBadHello int64 // refused: malformed/unsupported hello
-	RefusedShutdown int64 // refused: service closing
-	Sessions        int64 // sessions ever admitted
-	SessionsOpen    int64 // sessions currently streaming
-	Runs            int64 // live tenants
-	Workers         int64 // current pool size
-	PeakWorkers     int64 // high-water pool size
-	FramesIn        int64 // data envelopes delivered to tenant servers
-	FramesRejected  int64 // data envelopes acked with frameAckReject
-	FramesDown      int64 // data envelopes acked with frameAckDown
+	Accepted         int64 // connections the listener accepted
+	Shed             int64 // refused with vSE1 busy (accept queue full)
+	RefusedSessions  int64 // refused: per-run session cap
+	RefusedRuns      int64 // refused: run (tenant) cap
+	RefusedBadHello  int64 // refused: malformed/unsupported hello
+	RefusedShutdown  int64 // refused: service closing
+	Sessions         int64 // sessions ever admitted
+	SessionsOpen     int64 // sessions currently streaming
+	Runs             int64 // live tenants
+	Workers          int64 // current pool size
+	PeakWorkers      int64 // high-water pool size
+	FramesIn         int64 // data envelopes delivered to tenant servers
+	FramesRejected   int64 // data envelopes acked with frameAckReject
+	FramesDown       int64 // data envelopes acked with frameAckDown
+	SessionsReaped   int64 // sessions closed by the dead-peer defense (idle reaper or ack-write timeout)
+	CorruptEnvelopes int64 // connections killed by an envelope CRC mismatch
 }
 
 type tenant struct {
@@ -148,6 +171,8 @@ type Service struct {
 	framesIn        atomic.Int64
 	framesRejected  atomic.Int64
 	framesDown      atomic.Int64
+	sessionsReaped  atomic.Int64
+	corruptEnv      atomic.Int64
 
 	// met is swapped atomically so SetObs may race the accept loop; the
 	// zero-value pointer target is all-nil handles, which are no-ops.
@@ -161,6 +186,7 @@ type obsHandles struct {
 	shed     *obs.Counter
 	refused  *obs.Counter
 	frames   *obs.Counter
+	reaped   *obs.Counter
 	sessions *obs.Gauge
 	runs     *obs.Gauge
 	workers  *obs.Gauge
@@ -200,6 +226,7 @@ func (s *Service) SetObs(o *obs.Obs) {
 		shed:     o.Counter("net_shed_total"),
 		refused:  o.Counter("net_refused_total"),
 		frames:   o.Counter("net_frames_total"),
+		reaped:   o.Counter("net_sessions_reaped_total"),
 		sessions: o.Gauge("net_sessions_open"),
 		runs:     o.Gauge("net_runs"),
 		workers:  o.Gauge("net_workers"),
@@ -222,20 +249,22 @@ func (s *Service) Stats() Stats {
 	runs := int64(len(s.runs))
 	s.mu.Unlock()
 	return Stats{
-		Accepted:        s.accepted.Load(),
-		Shed:            s.shed.Load(),
-		RefusedSessions: s.refusedSessions.Load(),
-		RefusedRuns:     s.refusedRuns.Load(),
-		RefusedBadHello: s.refusedBadHello.Load(),
-		RefusedShutdown: s.refusedShutdown.Load(),
-		Sessions:        s.sessions.Load(),
-		SessionsOpen:    s.sessionsOpen.Load(),
-		Runs:            runs,
-		Workers:         workers,
-		PeakWorkers:     peak,
-		FramesIn:        s.framesIn.Load(),
-		FramesRejected:  s.framesRejected.Load(),
-		FramesDown:      s.framesDown.Load(),
+		Accepted:         s.accepted.Load(),
+		Shed:             s.shed.Load(),
+		RefusedSessions:  s.refusedSessions.Load(),
+		RefusedRuns:      s.refusedRuns.Load(),
+		RefusedBadHello:  s.refusedBadHello.Load(),
+		RefusedShutdown:  s.refusedShutdown.Load(),
+		Sessions:         s.sessions.Load(),
+		SessionsOpen:     s.sessionsOpen.Load(),
+		Runs:             runs,
+		Workers:          workers,
+		PeakWorkers:      peak,
+		FramesIn:         s.framesIn.Load(),
+		FramesRejected:   s.framesRejected.Load(),
+		FramesDown:       s.framesDown.Load(),
+		SessionsReaped:   s.sessionsReaped.Load(),
+		CorruptEnvelopes: s.corruptEnv.Load(),
 	}
 }
 
@@ -243,20 +272,22 @@ func (s *Service) Stats() Stats {
 func (s *Service) StatusMap() map[string]any {
 	st := s.Stats()
 	return map[string]any{
-		"accepted":         st.Accepted,
-		"shed":             st.Shed,
-		"refused_sessions": st.RefusedSessions,
-		"refused_runs":     st.RefusedRuns,
-		"refused_badhello": st.RefusedBadHello,
-		"refused_shutdown": st.RefusedShutdown,
-		"sessions":         st.Sessions,
-		"sessions_open":    st.SessionsOpen,
-		"runs":             st.Runs,
-		"workers":          st.Workers,
-		"peak_workers":     st.PeakWorkers,
-		"frames_in":        st.FramesIn,
-		"frames_rejected":  st.FramesRejected,
-		"frames_down":      st.FramesDown,
+		"accepted":          st.Accepted,
+		"shed":              st.Shed,
+		"refused_sessions":  st.RefusedSessions,
+		"refused_runs":      st.RefusedRuns,
+		"refused_badhello":  st.RefusedBadHello,
+		"refused_shutdown":  st.RefusedShutdown,
+		"sessions":          st.Sessions,
+		"sessions_open":     st.SessionsOpen,
+		"runs":              st.Runs,
+		"workers":           st.Workers,
+		"peak_workers":      st.PeakWorkers,
+		"frames_in":         st.FramesIn,
+		"frames_rejected":   st.FramesRejected,
+		"frames_down":       st.FramesDown,
+		"sessions_reaped":   st.SessionsReaped,
+		"corrupt_envelopes": st.CorruptEnvelopes,
 	}
 }
 
@@ -452,6 +483,9 @@ func (s *Service) releaseSession(runID string) {
 // until the peer hangs up or the service closes.
 func (s *Service) handleConn(c net.Conn) {
 	defer c.Close()
+	if s.cfg.tuneConn != nil {
+		s.cfg.tuneConn(c)
+	}
 	if s.closed.Load() {
 		s.refusedShutdown.Add(1)
 		s.metrics().refused.Inc()
@@ -513,10 +547,12 @@ func (s *Service) handleConn(c net.Conn) {
 	if existed {
 		ack.Flags |= AckFlagResumed
 	}
+	s.armWrite(c)
 	if err := writeEnvelope(w, AppendSessionAck(nil, ack)); err != nil {
 		return
 	}
 	if err := w.Flush(); err != nil {
+		s.countWriteTimeout(err)
 		return
 	}
 
@@ -526,22 +562,43 @@ func (s *Service) handleConn(c net.Conn) {
 	// forces the flush so a sender that never lets the read buffer drain
 	// still sees acks early enough to keep its pipeline window open
 	// (otherwise the two sides fall into half-duplex lock-step).
+	//
+	// Two dead-peer defenses guard the loop. The read side is the idle
+	// reaper: with IdleSession set, each envelope — heartbeats included —
+	// must complete within the window, so an idle peer, a half-open
+	// connection, or a slow-loris byte-dribbler all get reaped instead of
+	// pinning this worker. The write side is the ack deadline inside
+	// writeAck. An envelope CRC mismatch means the byte stream itself is
+	// corrupt: kill the connection and let reconnect + resume-LSN
+	// redeliver (a per-frame reject would desynchronize frame/ack order).
 	var buf []byte
 	ackScratch := []byte{0}
 	for {
-		payload, n, err := readEnvelope(r, buf, MaxEnvelopeBytes)
+		if s.cfg.IdleSession > 0 {
+			_ = c.SetReadDeadline(time.Now().Add(s.cfg.IdleSession))
+		}
+		payload, hdr, err := readEnvelope(r, buf, MaxEnvelopeBytes)
 		if errors.Is(err, ErrEnvelopeTooLarge) {
-			if discardPayload(r, n) != nil {
+			if derr := drainEnvelope(r, hdr); derr != nil {
+				if errors.Is(derr, ErrEnvelopeCorrupt) {
+					s.corruptEnv.Add(1)
+				}
 				return
 			}
 			s.framesRejected.Add(1)
 			ackScratch[0] = frameAckReject
-			if s.writeAck(w, r, ackScratch) != nil {
+			if s.writeAck(c, w, r, ackScratch) != nil {
 				return
 			}
 			continue
 		}
 		if err != nil {
+			if errors.Is(err, ErrEnvelopeCorrupt) {
+				s.corruptEnv.Add(1)
+			} else if s.cfg.IdleSession > 0 && isTimeout(err) {
+				s.sessionsReaped.Add(1)
+				s.metrics().reaped.Inc()
+			}
 			return
 		}
 		buf = payload[:0]
@@ -558,24 +615,54 @@ func (s *Service) handleConn(c net.Conn) {
 			status = frameAckReject
 		}
 		ackScratch[0] = status
-		if s.writeAck(w, r, ackScratch) != nil {
+		if s.writeAck(c, w, r, ackScratch) != nil {
 			return
 		}
 	}
 }
 
 // ackFlushBytes is the buffered-ack threshold that forces a flush even
-// while more frames are still queued on the read side.
-const ackFlushBytes = 256
+// while more frames are still queued on the read side. Liveness does not
+// depend on it — the reader-dry check in writeAck flushes whenever the
+// inbound stream pauses, whatever the client's window — so the threshold
+// is purely a syscall batching knob for the firehose case.
+const ackFlushBytes = 1024
+
+// armWrite arms the configured write deadline on c.
+func (s *Service) armWrite(c net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		_ = c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// countWriteTimeout books a flush failure as a reaped session when it was
+// the write deadline firing — a peer that stopped reading its acks.
+func (s *Service) countWriteTimeout(err error) {
+	if err != nil && isTimeout(err) {
+		s.sessionsReaped.Add(1)
+		s.metrics().reaped.Inc()
+	}
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // writeAck queues a 1-byte ack envelope and flushes if the reader is dry
-// or enough acks have accumulated.
-func (s *Service) writeAck(w *bufio.Writer, r *bufio.Reader, status []byte) error {
+// or enough acks have accumulated. Every flush runs under the write
+// deadline: a stalled reader trips it instead of pinning the worker once
+// the socket buffers fill.
+func (s *Service) writeAck(c net.Conn, w *bufio.Writer, r *bufio.Reader, status []byte) error {
 	if err := writeEnvelope(w, status); err != nil {
 		return err
 	}
 	if r.Buffered() == 0 || w.Buffered() >= ackFlushBytes {
-		return w.Flush()
+		s.armWrite(c)
+		err := w.Flush()
+		s.countWriteTimeout(err)
+		return err
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"hash/crc32"
 	"io"
 	"net"
 	"net/http/httptest"
@@ -550,10 +551,23 @@ func TestOversizedEnvelopeRejected(t *testing.T) {
 		t.Fatalf("handshake: %v", err)
 	}
 
-	// Declared length one past the cap, followed by exactly that many bytes.
+	// Declared length one past the cap, followed by exactly that many
+	// bytes with a truthful envelope CRC: a genuine oversized frame, not
+	// wire corruption, so the server drains it and keeps the session.
 	const declared = MaxEnvelopeBytes + 1
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(declared))
+	zeros := make([]byte, 32<<10)
+	zcrc := uint32(0)
+	for n := 0; n < declared; {
+		chunk := declared - n
+		if chunk > len(zeros) {
+			chunk = len(zeros)
+		}
+		zcrc = crc32.Update(zcrc, crc32.IEEETable, zeros[:chunk])
+		n += chunk
+	}
+	var hdr [envHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(declared))
+	binary.LittleEndian.PutUint32(hdr[4:], zcrc)
 	if _, err := w.Write(hdr[:]); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,374 @@
+package netsrv
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vsensor/internal/server"
+)
+
+// Dead-peer defense suite: every way a peer can go quiet — never saying
+// hello, going idle after admission, dribbling heartbeats, or reading
+// nothing while acks pile up — must end with the connection reaped and
+// the worker freed, never with a goroutine pinned forever.
+
+// TestHelloTimeoutExpires connects and says nothing. The hello deadline
+// must fire, the connection must be refused as a bad hello, and the
+// refusal must actually reach the silent peer before the close.
+func TestHelloTimeoutExpires(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{HelloTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	c, err := net.Dial("tcp", svc.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	payload, _, err := readEnvelope(bufio.NewReader(c), nil, 256)
+	if err != nil {
+		t.Fatalf("expected a refusal envelope before close, got %v", err)
+	}
+	ref, err := ParseRefuse(payload)
+	if err != nil {
+		t.Fatalf("parse refuse: %v", err)
+	}
+	if ref.Code != RefuseBadHello {
+		t.Fatalf("refusal code %d, want RefuseBadHello", ref.Code)
+	}
+	if st := svc.Stats(); st.RefusedBadHello != 1 {
+		t.Fatalf("RefusedBadHello = %d, want 1: %+v", st.RefusedBadHello, st)
+	}
+}
+
+// TestIdleReaperFires admits a session and then goes silent. The idle
+// reaper must close it within the window and book it in SessionsReaped.
+func TestIdleReaperFires(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{IdleSession: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	s, err := Dial(svc.Addr().String(), Hello{RunID: "idle"}, DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	waitFor(t, "idle reaper", func() bool {
+		return svc.Stats().SessionsReaped >= 1
+	})
+	waitFor(t, "reaped session to leave the open set", func() bool {
+		return svc.Stats().SessionsOpen == 0
+	})
+	// The reaped client sees a transport error, not a hang.
+	hb := server.AppendHeartbeat(nil, 0, 1_000_000, 5_000_000)
+	if err := s.Receive(hb); err == nil {
+		t.Fatal("Receive on a reaped session succeeded")
+	}
+}
+
+// TestIdleReaperSparedByHeartbeats keeps a session alive far beyond the
+// idle window using nothing but heartbeat frames. Every envelope resets
+// the deadline, so liveness traffic is all a healthy-but-quiet rank
+// needs; the reaper must never fire.
+func TestIdleReaperSparedByHeartbeats(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{IdleSession: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	s, err := Dial(svc.Addr().String(), Hello{RunID: "hb"}, DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	deadline := time.Now().Add(600 * time.Millisecond) // 4× the idle window
+	for i := int64(0); time.Now().Before(deadline); i++ {
+		hb := server.AppendHeartbeat(nil, 0, i*50_000_000, 5_000_000)
+		if err := s.Receive(hb); err != nil {
+			t.Fatalf("heartbeat %d failed: %v", i, err)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	if st := svc.Stats(); st.SessionsReaped != 0 {
+		t.Fatalf("reaper fired %d times while heartbeats flowed: %+v", st.SessionsReaped, st)
+	}
+	if svc.Tenant("hb").Heartbeats() == 0 {
+		t.Fatal("no heartbeats recorded")
+	}
+}
+
+// TestAckWriteDeadlineFires pins the write-deadline half of the dead-peer
+// defense in isolation: an ack flush toward a peer that never reads (a
+// net.Pipe with no reader has zero buffer, the pathological stalled
+// reader) must return a timeout within WriteTimeout and be booked as a
+// reaped session — not park the worker in Write forever.
+func TestAckWriteDeadlineFires(t *testing.T) {
+	svc := &Service{cfg: Config{WriteTimeout: 50 * time.Millisecond}}
+	c, peer := net.Pipe()
+	defer c.Close()
+	defer peer.Close()
+
+	w := bufio.NewWriter(c)
+	r := bufio.NewReader(c)
+	start := time.Now()
+	err := svc.writeAck(c, w, r, []byte{frameAckOK})
+	if err == nil {
+		t.Fatal("ack flush to a stalled reader returned nil")
+	}
+	if !isTimeout(err) {
+		t.Fatalf("ack flush returned %v, want a deadline timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("flush took %v, want ~WriteTimeout", d)
+	}
+	if got := svc.Stats().SessionsReaped; got != 1 {
+		t.Fatalf("SessionsReaped = %d, want 1", got)
+	}
+}
+
+// TestStalledReaderReaped plays the other half of slow-loris over real
+// TCP: a client that writes frames but never reads acks. Socket buffers
+// are pinched so backpressure reaches the service quickly. Which defense
+// trips first is kernel-dependent — the ack backlog can wedge the
+// connection's read side before the next armed flush would block — so
+// both deadlines are configured and the assertion is the contract that
+// matters: the session is reaped, booked, and the worker freed.
+func TestStalledReaderReaped(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{
+		WriteTimeout: 150 * time.Millisecond,
+		IdleSession:  400 * time.Millisecond,
+		tuneConn: func(c net.Conn) {
+			if tc, ok := c.(*net.TCPConn); ok {
+				_ = tc.SetWriteBuffer(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	c, err := net.Dial("tcp", svc.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(1)
+	}
+
+	w := bufio.NewWriter(c)
+	if err := writeEnvelope(w, AppendHello(nil, Hello{Version: ProtocolVersion, RunID: "stall"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Read only the session ack, then stop reading forever.
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := readEnvelope(bufio.NewReader(c), nil, 64); err != nil {
+		t.Fatalf("session ack: %v", err)
+	}
+
+	hb := server.AppendHeartbeat(nil, 0, 1_000_000, 5_000_000)
+	var wrote atomic.Int64
+	go func() {
+		for {
+			_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+			if err := writeEnvelope(w, hb); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			wrote.Add(1)
+		}
+	}()
+
+	waitFor(t, "reap of the stalled reader", func() bool {
+		return svc.Stats().SessionsReaped >= 1
+	})
+	waitFor(t, "stalled session to close", func() bool {
+		return svc.Stats().SessionsOpen == 0
+	})
+	if wrote.Load() == 0 {
+		t.Fatal("stalled-reader client never delivered a frame")
+	}
+}
+
+// TestDialRetryHonorsRetryAfter occupies the single per-run session slot,
+// frees it mid-budget, and expects DialRetry to absorb the vSE1 refusals
+// (sleeping per their RetryAfterMs hint) and land the session.
+func TestDialRetryHonorsRetryAfter(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{MaxRunSessions: 1, RetryAfterMs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	s1, err := Dial(svc.Addr().String(), Hello{RunID: "slot"}, DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		s1.Close()
+	}()
+
+	s2, st, err := DialRetry(svc.Addr().String(), Hello{RunID: "slot", Rank: 1}, DialConfig{},
+		RetryPolicy{MaxElapsed: 5 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatalf("DialRetry never landed: %v (stats %+v)", err, st)
+	}
+	defer s2.Close()
+	if st.Refusals == 0 {
+		t.Fatalf("slot was held 150ms but DialRetry saw no refusals: %+v", st)
+	}
+	if st.Attempts < 2 {
+		t.Fatalf("expected at least one retry, got %+v", st)
+	}
+
+	// Exhausted budget surfaces the last refusal, typed; s2 still holds
+	// the slot, so every attempt inside the budget is refused.
+	_, _, err = DialRetry(svc.Addr().String(), Hello{RunID: "slot", Rank: 3}, DialConfig{},
+		RetryPolicy{MaxElapsed: 120 * time.Millisecond, Seed: 7})
+	var ref *Refuse
+	if !errors.As(err, &ref) || ref.Code != RefuseRunSessions {
+		t.Fatalf("exhausted budget returned %v, want *Refuse{RefuseRunSessions}", err)
+	}
+}
+
+// TestSessionPoisonAndIdempotentClose covers the leak-proofing contract:
+// once a transport write fails, every later call on the session fails
+// fast with the same sticky error instead of deadlocking on a dead
+// socket, and Close is safe to call any number of times.
+func TestSessionPoisonAndIdempotentClose(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Dial(svc.Addr().String(), Hello{RunID: "poison"}, DialConfig{OpTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close() // kill the service out from under the session
+
+	hb := server.AppendHeartbeat(nil, 0, 1_000_000, 5_000_000)
+	waitFor(t, "session poisoning", func() bool {
+		return s.SendAsync(hb) != nil
+	})
+	if s.Broken() == nil {
+		t.Fatal("poisoned session reports Broken() == nil")
+	}
+	// Poisoned calls fail fast — well under the op deadline.
+	start := time.Now()
+	if err := s.Receive(hb); err == nil {
+		t.Fatal("Receive on poisoned session succeeded")
+	}
+	if err := s.SendAsync(hb); err == nil {
+		t.Fatal("SendAsync on poisoned session succeeded")
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("poisoned calls took %v, want fail-fast", d)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+}
+
+// TestResilientOutageSurfacesServerDown kills the service for good and
+// expects the ResilientSession to burn its redial budget and surface
+// server.ErrServerDown — the sentinel the Link layer parks frames on —
+// rather than an anonymous socket error.
+func TestResilientOutageSurfacesServerDown(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := DialResilient(ReconnectConfig{
+		Addr:  svc.Addr().String(),
+		Hello: Hello{RunID: "outage"},
+		Dial:  DialConfig{Timeout: 100 * time.Millisecond, OpTimeout: 100 * time.Millisecond},
+		Retry: RetryPolicy{MaxElapsed: 250 * time.Millisecond, BackoffBase: time.Millisecond, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	svc.Close()
+
+	hb := server.AppendHeartbeat(nil, 0, 1_000_000, 5_000_000)
+	var got error
+	waitFor(t, "outage classification", func() bool {
+		got = rs.Receive(hb)
+		return got != nil
+	})
+	if !errors.Is(got, server.ErrServerDown) {
+		t.Fatalf("outage surfaced as %v, want server.ErrServerDown", got)
+	}
+	if st := rs.Stats(); st.Outages == 0 {
+		t.Fatalf("outage not booked in stats: %+v", st)
+	}
+}
+
+// TestResilientReconnectResumes restarts the service on the same address
+// and expects the session to redial, resume from the ack LSN, and keep
+// delivering — the client-visible half of the self-healing contract.
+func TestResilientReconnectResumes(t *testing.T) {
+	svc, err := Listen("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := svc.Addr().String()
+	rs, err := DialResilient(ReconnectConfig{
+		Addr:  addr,
+		Hello: Hello{RunID: "resume"},
+		Dial:  DialConfig{Timeout: 200 * time.Millisecond, OpTimeout: 200 * time.Millisecond},
+		Retry: RetryPolicy{MaxElapsed: 10 * time.Second, BackoffBase: time.Millisecond, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	hb := server.AppendHeartbeat(nil, 0, 1_000_000, 5_000_000)
+	for i := 0; i < 5; i++ {
+		if err := rs.Receive(hb); err != nil {
+			t.Fatalf("pre-restart heartbeat %d: %v", i, err)
+		}
+	}
+	svc.Close()
+	svc2, err := Listen(addr, Config{})
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	defer svc2.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := rs.Receive(hb); err != nil {
+			t.Fatalf("post-restart heartbeat %d: %v", i, err)
+		}
+	}
+	st := rs.Stats()
+	if st.Reconnects == 0 {
+		t.Fatalf("no reconnect recorded across restart: %+v", st)
+	}
+	if hb := svc2.Tenant("resume").Heartbeats(); hb < 5 {
+		t.Fatalf("survivor saw %d heartbeats, want >= 5", hb)
+	}
+}

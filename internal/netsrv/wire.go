@@ -16,11 +16,19 @@
 //	------ ... pipelined frames ... ------>
 //	<----- ... in-order acks ... ---------
 //
-// Every message travels in an *envelope*: a little-endian u32 byte length
-// followed by that many payload bytes. Payloads are self-describing — the
-// first four bytes are a vS* magic (or the payload is the 1-byte frame-ack
-// status) — and the session frames defined here (vSS1/vSA1/vSE1) carry
-// their own CRC like the data frames they ride alongside.
+// Every message travels in an *envelope*: a little-endian u32 byte length,
+// a u32 IEEE CRC32 of the payload, then that many payload bytes. Payloads
+// are self-describing — the first four bytes are a vS* magic (or the
+// payload is the 1-byte frame-ack status) — and the session frames defined
+// here (vSS1/vSA1/vSE1) carry their own CRC like the data frames they ride
+// alongside. The envelope CRC is the stream-integrity armor underneath all
+// of that: a flipped bit anywhere on the wire (length prefix included —
+// a corrupted length mis-carves the next payload, which then fails its
+// CRC) surfaces as ErrEnvelopeCorrupt, which both ends treat as
+// connection-fatal. Corrupted bytes therefore never reach tenant
+// accounting; the client reconnects and resumes at the durable LSN, which
+// is what lets the chaos-proxy conformance suites demand *exact* equality
+// with an undisturbed run even while the proxy flips bits.
 //
 // The accept loop is a worker pool that auto-scales between min and max
 // workers on queue depth and sheds load under pressure: a full accept
@@ -302,45 +310,107 @@ func isHello(data []byte) bool {
 // reader's cap — the huge-allocation guard of the stream layer.
 var ErrEnvelopeTooLarge = errors.New("netsrv: envelope exceeds size cap")
 
-// writeEnvelope frames one payload onto w: u32 length + bytes. The caller
-// decides when to Flush — that is what lets pipelined frames and their acks
-// batch into large socket writes.
+// ErrEnvelopeCorrupt marks an envelope whose payload bytes do not match
+// the CRC in its header. Unlike a frame-level checksum failure (which is
+// a per-frame reject), a corrupt envelope means the byte stream itself
+// can no longer be trusted — both ends kill the connection and rely on
+// reconnect + resume-LSN to redeliver.
+var ErrEnvelopeCorrupt = errors.New("netsrv: envelope CRC mismatch (stream corrupt)")
+
+// envHeaderSize is the fixed envelope prefix: u32 payload length + u32
+// IEEE CRC32 of the payload.
+const envHeaderSize = 8
+
+// envHeader is a decoded envelope prefix, carried alongside
+// ErrEnvelopeTooLarge so the caller can drain (and still CRC-verify) a
+// payload it refused to buffer.
+type envHeader struct {
+	n   int
+	crc uint32
+}
+
+// writeEnvelope frames one payload onto w: u32 length + u32 CRC + bytes.
+// The caller decides when to Flush — that is what lets pipelined frames
+// and their acks batch into large socket writes.
 func writeEnvelope(w *bufio.Writer, payload []byte) error {
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
+	// Header bytes go through WriteByte so nothing escapes to the heap —
+	// this runs once per envelope on the ingest hot path.
+	n := uint32(len(payload))
+	crc := crc32.ChecksumIEEE(payload)
+	for shift := 0; shift < 32; shift += 8 {
+		if err := w.WriteByte(byte(n >> shift)); err != nil {
+			return err
+		}
+	}
+	for shift := 0; shift < 32; shift += 8 {
+		if err := w.WriteByte(byte(crc >> shift)); err != nil {
+			return err
+		}
 	}
 	_, err := w.Write(payload)
 	return err
 }
 
-// readEnvelope reads one length-prefixed payload into buf (reused across
-// calls), enforcing the size cap BEFORE allocating. A too-large envelope
-// returns ErrEnvelopeTooLarge with the declared size so the caller can
-// discard the payload and keep the stream synchronized.
-func readEnvelope(r *bufio.Reader, buf []byte, maxBytes int) ([]byte, int, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, 0, err
+// readEnvelope reads one framed payload into buf (reused across calls),
+// enforcing the size cap BEFORE allocating and verifying the envelope CRC
+// after reading. A too-large envelope returns ErrEnvelopeTooLarge with the
+// decoded header so the caller can drainEnvelope the payload and keep the
+// stream synchronized; a CRC mismatch returns ErrEnvelopeCorrupt, which is
+// connection-fatal for every caller.
+func readEnvelope(r *bufio.Reader, buf []byte, maxBytes int) ([]byte, envHeader, error) {
+	var hdrBuf [envHeaderSize]byte
+	if _, err := io.ReadFull(r, hdrBuf[:]); err != nil {
+		return nil, envHeader{}, err
 	}
-	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
-	if n > maxBytes {
-		return nil, n, fmt.Errorf("%w: %d bytes declared, cap %d", ErrEnvelopeTooLarge, n, maxBytes)
+	hdr := envHeader{
+		n:   int(binary.LittleEndian.Uint32(hdrBuf[0:])),
+		crc: binary.LittleEndian.Uint32(hdrBuf[4:]),
 	}
-	if cap(buf) < n {
-		buf = make([]byte, n)
+	if hdr.n > maxBytes {
+		return nil, hdr, fmt.Errorf("%w: %d bytes declared, cap %d", ErrEnvelopeTooLarge, hdr.n, maxBytes)
 	}
-	buf = buf[:n]
+	if cap(buf) < hdr.n {
+		buf = make([]byte, hdr.n)
+	}
+	buf = buf[:hdr.n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, n, err
+		return nil, hdr, err
 	}
-	return buf, n, nil
+	if got := crc32.ChecksumIEEE(buf); got != hdr.crc {
+		return nil, hdr, fmt.Errorf("%w: header says %#x, payload hashes %#x", ErrEnvelopeCorrupt, hdr.crc, got)
+	}
+	return buf, hdr, nil
 }
 
-// discardPayload skips n payload bytes after readEnvelope refused to buffer
-// them, keeping the envelope stream aligned.
-func discardPayload(r *bufio.Reader, n int) error {
-	_, err := r.Discard(n)
-	return err
+// drainEnvelope skips a payload readEnvelope refused to buffer, keeping
+// the envelope stream aligned — but still verifies the CRC while
+// discarding, because an oversized *declared* length may itself be wire
+// corruption: a genuine oversized frame drains clean (per-frame reject),
+// a corrupted length prefix drains dirty (ErrEnvelopeCorrupt, kill the
+// connection).
+func drainEnvelope(r *bufio.Reader, hdr envHeader) error {
+	crc := uint32(0)
+	remaining := hdr.n
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > 32<<10 {
+			chunk = 32 << 10
+		}
+		b, err := r.Peek(chunk)
+		if len(b) == 0 {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, b)
+		if _, err := r.Discard(len(b)); err != nil {
+			return err
+		}
+		remaining -= len(b)
+	}
+	if crc != hdr.crc {
+		return fmt.Errorf("%w: header says %#x, drained payload hashes %#x", ErrEnvelopeCorrupt, hdr.crc, crc)
+	}
+	return nil
 }

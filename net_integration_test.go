@@ -128,6 +128,109 @@ func TestConnectModeDeliversToRemoteService(t *testing.T) {
 	}
 }
 
+// Options.Reconnect routes the record path through the self-healing
+// session. On a healthy loopback wire it must be invisible — identical
+// records and coverage, zero reconnects or outages — while the resume
+// bookkeeping shows up in Report.Resilient and the /status net block.
+func TestReconnectModeMatchesInProcess(t *testing.T) {
+	direct, err := vsensor.Run(netTestSrc, vsensor.Options{Ranks: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	networked, err := vsensor.Run(netTestSrc, vsensor.Options{
+		Ranks: 4, Seed: 7, Listen: "127.0.0.1:0", RunID: "resilient-mode", Obs: o,
+		Reconnect: &netsrv.ReconnectConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if networked.Resilient == nil || networked.Session != nil || networked.Link == nil {
+		t.Fatalf("Reconnect run plumbing wrong: resilient=%v session=%v link=%v",
+			networked.Resilient, networked.Session, networked.Link)
+	}
+	got, want := sortedRecords(networked.Server.Records()), sortedRecords(direct.Server.Records())
+	if len(got) != len(want) {
+		t.Fatalf("resilient run has %d records, direct %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs:\n got: %+v\nwant: %+v", i, got[i], want[i])
+		}
+	}
+	if !networked.Coverage().Complete() {
+		t.Fatalf("resilient coverage incomplete: %+v", networked.Coverage())
+	}
+	st := networked.Resilient.Stats()
+	if st.DialAttempts < 1 || st.Reconnects != 0 || st.Outages != 0 {
+		t.Fatalf("healthy-wire resilient stats off: %+v", st)
+	}
+
+	ts := httptest.NewServer(o.Handler())
+	defer ts.Close()
+	res, err := ts.Client().Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	var status struct {
+		Run struct {
+			Reconnect *netsrv.ResilientStats `json:"reconnect"`
+		} `json:"run"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if status.Run.Reconnect == nil || status.Run.Reconnect.DialAttempts < 1 {
+		t.Fatalf("/status missing reconnect stats:\n%s", body)
+	}
+}
+
+// Connect mode with Reconnect: the external tenant sees the same record
+// set, and the run's summary surface is the resilient session.
+func TestReconnectConnectModeDelivers(t *testing.T) {
+	direct, err := vsensor.Run(netTestSrc, vsensor.Options{Ranks: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := netsrv.Listen("127.0.0.1:0", netsrv.Config{Shards: server.DefaultShards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	rep, err := vsensor.Run(netTestSrc, vsensor.Options{
+		Ranks: 4, Seed: 7, Connect: svc.Addr().String(), RunID: "resilient-remote",
+		Reconnect: &netsrv.ReconnectConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server != nil || rep.Session != nil {
+		t.Fatal("Connect+Reconnect run should have neither local server nor plain session")
+	}
+	if rep.Resilient == nil || rep.Link == nil {
+		t.Fatal("Connect+Reconnect run missing resilient session/link")
+	}
+	ten := svc.Tenant("resilient-remote")
+	if ten == nil {
+		t.Fatalf("remote tenant missing (runs: %v)", svc.RunIDs())
+	}
+	got, want := sortedRecords(ten.Records()), sortedRecords(direct.Server.Records())
+	if len(got) != len(want) {
+		t.Fatalf("remote tenant has %d records, direct run %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs:\n got: %+v\nwant: %+v", i, got[i], want[i])
+		}
+	}
+	if !ten.Coverage().Complete() {
+		t.Fatalf("remote coverage incomplete: %+v", ten.Coverage())
+	}
+}
+
 // With Obs attached, a Listen run's /status must surface the network
 // layer next to the server snapshot: the bound address and the
 // accept/shed/session counters, plus the service counters in /metrics.
@@ -187,6 +290,16 @@ func TestNetworkedOptionValidation(t *testing.T) {
 		Ranks: 2, Connect: "127.0.0.1:1", Durability: &server.DurabilityConfig{},
 	}); err == nil || !strings.Contains(err.Error(), "Durability") {
 		t.Errorf("Connect+Durability error = %v", err)
+	}
+	if _, err := vsensor.Run(netTestSrc, vsensor.Options{
+		Ranks: 2, Reconnect: &netsrv.ReconnectConfig{},
+	}); err == nil || !strings.Contains(err.Error(), "Reconnect") {
+		t.Errorf("Reconnect without network error = %v", err)
+	}
+	if _, err := vsensor.Run(netTestSrc, vsensor.Options{
+		Ranks: 2, DialRetry: &netsrv.RetryPolicy{},
+	}); err == nil || !strings.Contains(err.Error(), "DialRetry") {
+		t.Errorf("DialRetry without Connect error = %v", err)
 	}
 	// A refused/unreachable dial is an error, not a hang.
 	if _, err := vsensor.Run(netTestSrc, vsensor.Options{

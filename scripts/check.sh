@@ -66,6 +66,10 @@ echo "== race-enabled socket chaos + kill-recover + multi-tenant conformance (re
 go test -race -run 'TestSocketChaosExactlyOnce$|TestSocketKillRecoverConformance$|TestMultiTenantDifferentialConformance$' \
     -count 1 ./internal/netsrv
 
+echo "== race-enabled wire-level chaos proxy (resets/partitions/stalls/bit-flips vs self-healing client)"
+go test -race -run 'TestProxyChaosExactlyOnce$|TestProxyKillRecoverConformance$' \
+    -count 1 ./internal/netsrv
+
 echo "== coverage gate (per-package deltas vs seed baseline)"
 sh scripts/cover.sh
 

@@ -109,6 +109,23 @@ type Options struct {
 	// Mutually exclusive with Listen.
 	Connect string
 
+	// Reconnect enables the self-healing network session (requires Listen
+	// or Connect): the record path runs over a netsrv.ResilientSession
+	// that auto-redials on connection loss with jittered exponential
+	// backoff, honors vSE1 retry-after hints, and resumes delivery at the
+	// durable LSN from the session ack. Only the Dial and Retry fields are
+	// consulted — Addr and Hello are filled from Listen/Connect and RunID.
+	// Report.Resilient exposes the session and its reconnect ledger.
+	Reconnect *netsrv.ReconnectConfig
+
+	// DialRetry shapes the initial Connect-mode dial when Reconnect is
+	// nil: transient vSE1 refusals (busy, session cap, shutdown) sleep the
+	// server's retry-after hint and try again within the policy budget
+	// instead of failing the run on the first refusal. Nil uses the
+	// default policy (10s budget, fail-fast on network errors). Requires
+	// Connect.
+	DialRetry *netsrv.RetryPolicy
+
 	// Durability attaches the analysis server's WAL + snapshot layer
 	// (internal/storage-backed). With it, the Faults crash window becomes a
 	// real crash: the server's memory is wiped, its disk crashes (losing
@@ -176,8 +193,9 @@ type Report struct {
 	Result       *vm.Result
 	Server       *server.Server   // nil in Connect mode: the run's server lives on the remote service
 	Link         *transport.Link  // non-nil when the run used the fault-injectable transport
-	Session      *netsrv.Session  // non-nil in Listen/Connect mode: the run's TCP session
-	Service      *netsrv.Service  // non-nil in Listen mode: the in-process listener the run fed
+	Session      *netsrv.Session          // non-nil in Listen/Connect mode without Reconnect: the run's TCP session
+	Resilient    *netsrv.ResilientSession // non-nil when Options.Reconnect routed the run through the self-healing session
+	Service      *netsrv.Service          // non-nil in Listen mode: the in-process listener the run fed
 	Detectors    []*detect.Detector
 	Records      []vm.Record // raw sensor records if collected
 	Profiler     *profiler.Profile
@@ -284,6 +302,12 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		if opt.Connect != "" && opt.Durability != nil {
 			return nil, fmt.Errorf("vsensor: Options.Durability tunes the local analysis server; a Connect run has none (configure the remote service instead)")
 		}
+		if opt.Reconnect != nil && opt.Listen == "" && opt.Connect == "" {
+			return nil, fmt.Errorf("vsensor: Options.Reconnect needs a networked session (set Listen or Connect)")
+		}
+		if opt.DialRetry != nil && opt.Connect == "" {
+			return nil, fmt.Errorf("vsensor: Options.DialRetry shapes the Connect-mode dial (set Connect, or use Reconnect)")
+		}
 		runID := opt.RunID
 		if runID == "" {
 			runID = "local"
@@ -315,6 +339,15 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 			if o != nil {
 				svc.SetObs(o)
 			}
+			if opt.Reconnect != nil {
+				rs, err := dialResilient(opt, svc.Addr().String(), runID, o)
+				if err != nil {
+					svc.Close()
+					return nil, err
+				}
+				rep.Service, rep.Resilient = svc, rs
+				break
+			}
 			sess, err := netsrv.Dial(svc.Addr().String(), netsrv.Hello{RunID: runID}, netsrv.DialConfig{})
 			if err != nil {
 				svc.Close()
@@ -322,7 +355,23 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 			}
 			rep.Service, rep.Session = svc, sess
 		case opt.Connect != "":
-			sess, err := netsrv.Dial(opt.Connect, netsrv.Hello{RunID: runID}, netsrv.DialConfig{})
+			if opt.Reconnect != nil {
+				rs, err := dialResilient(opt, opt.Connect, runID, o)
+				if err != nil {
+					return nil, err
+				}
+				rep.Resilient = rs
+				break
+			}
+			// Without the full self-healing wrapper, the initial dial still
+			// honors vSE1 retry-after hints on transient refusals (busy,
+			// session cap, shutdown) within a bounded budget, instead of
+			// exiting on the first refusal from a momentarily full service.
+			policy := netsrv.RetryPolicy{Seed: opt.Seed}
+			if opt.DialRetry != nil {
+				policy = *opt.DialRetry
+			}
+			sess, _, err := netsrv.DialRetry(opt.Connect, netsrv.Hello{RunID: runID}, netsrv.DialConfig{}, policy)
 			if err != nil {
 				return nil, err
 			}
@@ -331,6 +380,9 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		defer func() {
 			if rep.Session != nil {
 				_ = rep.Session.Close()
+			}
+			if rep.Resilient != nil {
+				_ = rep.Resilient.Close()
 			}
 			if rep.Service != nil {
 				_ = rep.Service.Close()
@@ -341,14 +393,17 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 		// fault-injectable transport link when Options.Faults/Transport
 		// ask for the production-shaped path. A networked session always
 		// routes through the link — it is the Medium the link delivers on.
-		if opt.Faults != nil || opt.Transport != nil || rep.Session != nil {
+		if opt.Faults != nil || opt.Transport != nil || rep.Session != nil || rep.Resilient != nil {
 			plan := transport.FaultPlan{}
 			if opt.Faults != nil {
 				plan = *opt.Faults
 			}
-			if rep.Session != nil {
+			switch {
+			case rep.Resilient != nil:
+				rep.Link = transport.NewLinkOver(rep.Resilient, plan)
+			case rep.Session != nil:
 				rep.Link = transport.NewLinkOver(rep.Session, plan)
-			} else {
+			default:
 				rep.Link = transport.NewLink(rep.Server, plan)
 			}
 			rep.Link.SetObs(o)
@@ -464,6 +519,7 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 			// server's versioned report cache: one render per state change,
 			// shared by every poller, revalidated by ETag.
 			netSvc := rep.Service
+			netRS := rep.Resilient
 			wrap := newSnapshotWrapper(srv, func(st map[string]any) {
 				st["ranks"] = ranks
 				st["uninstrumented"] = uninstrumented
@@ -474,6 +530,9 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 				if netSvc != nil {
 					st["listen"] = netSvc.Addr().String()
 					st["net"] = netSvc.StatusMap()
+				}
+				if netRS != nil {
+					st["reconnect"] = netRS.Stats()
 				}
 				if lin := o.Lineage(); lin != nil {
 					st["lineage"] = lin.Stats()
@@ -491,6 +550,7 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 			})
 		} else {
 			remote := opt.Connect
+			netRS := rep.Resilient
 			o.SetStatus(func() any {
 				st := map[string]any{
 					"ranks":          ranks,
@@ -501,6 +561,9 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 				}
 				if remote != "" {
 					st["remote"] = remote
+				}
+				if netRS != nil {
+					st["reconnect"] = netRS.Stats()
 				}
 				if lin := o.Lineage(); lin != nil {
 					st["lineage"] = lin.Stats()
@@ -525,6 +588,27 @@ func RunProgram(prog *ir.Program, opt Options) (*Report, error) {
 	}
 	fsp.End()
 	return rep, nil
+}
+
+// dialResilient builds the self-healing session from Options.Reconnect:
+// the facade owns the address and run identity, so only the Dial/Retry
+// knobs of the caller's config are consulted. The retry seed defaults to
+// the run seed, keeping backoff jitter reproducible with everything else.
+func dialResilient(opt Options, addr, runID string, o *obs.Obs) (*netsrv.ResilientSession, error) {
+	rc := *opt.Reconnect
+	rc.Addr = addr
+	rc.Hello = netsrv.Hello{RunID: runID}
+	if rc.Retry.Seed == 0 {
+		rc.Retry.Seed = opt.Seed
+	}
+	rs, err := netsrv.DialResilient(rc)
+	if err != nil {
+		return nil, err
+	}
+	if o != nil {
+		rs.SetObs(o)
+	}
+	return rs, nil
 }
 
 // recordCollector tees raw records into a slice before the detector.
